@@ -1,0 +1,61 @@
+#pragma once
+// Shared plumbing for the table/figure reproduction benches.
+//
+// Every bench prints the paper's rows as aligned text plus `# paper:`
+// annotations with the published values, so EXPERIMENTS.md is regenerated
+// by simply running every binary (see DESIGN.md, "Benchmark output
+// contract"). Datasets are generated at their default bench scale; pass
+// `--scale N` to override (1 = paper-size graphs, slower), `--seed S` for
+// a different synthetic instance.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace dynasparse::bench {
+
+struct BenchArgs {
+  int scale = 0;  // 0 = per-dataset default bench scale
+  std::uint64_t seed = 2023;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+      args.scale = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+  }
+  return args;
+}
+
+inline const std::vector<std::string>& dataset_tags() {
+  static const std::vector<std::string> tags = {"CI", "CO", "PU", "FL", "NE", "RE"};
+  return tags;
+}
+
+inline Dataset load_dataset(const std::string& tag, const BenchArgs& args) {
+  return generate_dataset(dataset_by_tag(tag), args.scale, args.seed);
+}
+
+inline GnnModel make_model(GnnModelKind kind, const Dataset& ds, std::uint64_t seed,
+                           double weight_sparsity = 0.0) {
+  Rng rng(seed + static_cast<std::uint64_t>(kind) * 131);
+  GnnModel m = build_model(kind, ds.spec.feature_dim, ds.spec.hidden_dim,
+                           ds.spec.num_classes, rng);
+  if (weight_sparsity > 0.0) prune_model(m, weight_sparsity);
+  return m;
+}
+
+inline double strategy_latency_ms(const CompiledProgram& prog, MappingStrategy s) {
+  RuntimeOptions opt;
+  opt.strategy = s;
+  return run_compiled(prog, opt).latency_ms;
+}
+
+}  // namespace dynasparse::bench

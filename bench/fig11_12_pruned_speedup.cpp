@@ -1,0 +1,66 @@
+// Reproduces paper Figs. 11 & 12 and Table VIII: speedup of Dynamic over
+// Static-1 (Fig. 11) and Static-2 (Fig. 12) as the weight matrices are
+// pruned to increasing sparsity, for all four models and six datasets;
+// Table VIII's geometric means per sparsity band close the summary.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/math_util.hpp"
+
+using namespace dynasparse;
+using namespace dynasparse::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = parse_args(argc, argv);
+  const std::vector<double> sparsities = {0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 0.99};
+  // Sparsity-band buckets of Table VIII.
+  std::map<std::string, std::vector<double>> band_s1, band_s2;
+  auto band_of = [](double s) -> std::string {
+    if (s < 0.5) return "<50%";
+    if (s < 0.7) return "50-70%";
+    if (s < 0.9) return "70-90%";
+    return ">90%";
+  };
+
+  for (GnnModelKind kind : paper_models()) {
+    std::printf("=== Figs. 11/12: %s — speedup of Dynamic vs weight sparsity ===\n",
+                model_kind_name(kind));
+    std::printf("%-4s %-6s", "tag", "vs");
+    for (double s : sparsities) std::printf("%9.0f%%", s * 100.0);
+    std::printf("\n");
+    for (const std::string& tag : dataset_tags()) {
+      Dataset ds = load_dataset(tag, args);
+      std::vector<double> so1, so2;
+      for (double s : sparsities) {
+        GnnModel m = make_model(kind, ds, args.seed, s);
+        CompiledProgram prog = compile(m, ds, u250_config());
+        double dyn = strategy_latency_ms(prog, MappingStrategy::kDynamic);
+        double s1 = strategy_latency_ms(prog, MappingStrategy::kStatic1);
+        double s2 = strategy_latency_ms(prog, MappingStrategy::kStatic2);
+        so1.push_back(s1 / dyn);
+        so2.push_back(s2 / dyn);
+        band_s1[band_of(s)].push_back(s1 / dyn);
+        band_s2[band_of(s)].push_back(s2 / dyn);
+      }
+      std::printf("%-4s %-6s", tag.c_str(), "S1");
+      for (double v : so1) std::printf("%9.2fx", v);
+      std::printf("\n%-4s %-6s", tag.c_str(), "S2");
+      for (double v : so2) std::printf("%9.2fx", v);
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("=== Table VIII: geo-mean speedup per weight-sparsity band ===\n");
+  std::printf("%-10s %10s %10s\n", "band", "SO-S1", "SO-S2");
+  for (const char* band : {"<50%", "50-70%", "70-90%", ">90%"}) {
+    std::printf("%-10s %9.2fx %9.2fx\n", band, geometric_mean(band_s1[band]),
+                geometric_mean(band_s2[band]));
+  }
+  std::printf("# paper Table VIII: SO-S1 2.16x / 4.36x / 10.77x / 15.96x,\n"
+              "#                   SO-S2 1.38x / 1.64x /  2.11x /  5.03x\n"
+              "# Reproduced claim: both speedups grow monotonically with sparsity.\n");
+  return 0;
+}

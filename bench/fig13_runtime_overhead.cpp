@@ -1,0 +1,37 @@
+// Reproduces paper Fig. 13: overhead of the runtime system (soft-processor
+// dynamic K2P mapping time) divided by the total execution time, on the
+// unpruned GNN models — paper average 6.8%, hidden by task scheduling.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dynasparse;
+using namespace dynasparse::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = parse_args(argc, argv);
+  std::printf("=== Fig. 13: runtime-system overhead / total execution time ===\n");
+  std::printf("%-10s", "model");
+  for (const std::string& tag : dataset_tags()) std::printf("%10s", tag.c_str());
+  std::printf("%12s\n", "exposed-ms");
+  double sum = 0.0;
+  int count = 0;
+  for (GnnModelKind kind : paper_models()) {
+    std::printf("%-10s", model_kind_name(kind));
+    double exposed = 0.0;
+    for (const std::string& tag : dataset_tags()) {
+      Dataset ds = load_dataset(tag, args);
+      GnnModel m = make_model(kind, ds, args.seed);
+      InferenceReport rep = run_inference(m, ds, {});
+      std::printf("%9.2f%%", rep.execution.runtime_overhead_ratio * 100.0);
+      exposed += rep.execution.exposed_runtime_ms;
+      sum += rep.execution.runtime_overhead_ratio;
+      ++count;
+    }
+    std::printf("%12.4f\n", exposed);
+  }
+  std::printf("average overhead: %.2f%% (paper: 6.8%% average, hidden by overlap)\n",
+              sum / count * 100.0);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark microbenches of the functional primitive kernels and
+// the format-conversion substrates — host-side performance sanity of the
+// building blocks (not paper artifacts; those live in the fig*/table*
+// binaries).
+
+#include <benchmark/benchmark.h>
+
+#include "matrix/format_convert.hpp"
+#include "matrix/matrix_ops.hpp"
+#include "matrix/partitioned_matrix.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace dynasparse;
+
+DenseMatrix make_dense(std::int64_t n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(n, n);
+  for (std::int64_t r = 0; r < n; ++r)
+    for (std::int64_t c = 0; c < n; ++c)
+      if (rng.bernoulli(density)) m.at(r, c) = static_cast<float>(rng.normal());
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  DenseMatrix x = make_dense(n, 1.0, 1), y = make_dense(n, 1.0, 2);
+  for (auto _ : state) {
+    DenseMatrix z = gemm(x, y);
+    benchmark::DoNotOptimize(z.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+
+void BM_Spdmm(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  double density = static_cast<double>(state.range(1)) / 100.0;
+  CooMatrix x = dense_to_coo(make_dense(n, density, 3));
+  DenseMatrix y = make_dense(n, 1.0, 4);
+  for (auto _ : state) {
+    DenseMatrix z = spdmm(x, y);
+    benchmark::DoNotOptimize(z.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz() * n);
+}
+BENCHMARK(BM_Spdmm)->Args({128, 1})->Args({128, 10})->Args({128, 50});
+
+void BM_Spmm(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  double density = static_cast<double>(state.range(1)) / 100.0;
+  CooMatrix x = dense_to_coo(make_dense(n, density, 5));
+  CooMatrix y = dense_to_coo(make_dense(n, density, 6));
+  for (auto _ : state) {
+    DenseMatrix z = spmm(x, y);
+    benchmark::DoNotOptimize(z.data().data());
+  }
+}
+BENCHMARK(BM_Spmm)->Args({128, 1})->Args({128, 10});
+
+void BM_DenseToCoo(benchmark::State& state) {
+  DenseMatrix m = make_dense(state.range(0), 0.1, 7);
+  for (auto _ : state) {
+    CooMatrix c = dense_to_coo(m);
+    benchmark::DoNotOptimize(c.entries().data());
+  }
+}
+BENCHMARK(BM_DenseToCoo)->Arg(256)->Arg(512);
+
+void BM_PartitionFromDense(benchmark::State& state) {
+  DenseMatrix m = make_dense(512, 0.05, 8);
+  for (auto _ : state) {
+    PartitionedMatrix p = PartitionedMatrix::from_dense(m, state.range(0),
+                                                        state.range(0), 1.0 / 3.0);
+    benchmark::DoNotOptimize(&p);
+  }
+}
+BENCHMARK(BM_PartitionFromDense)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TileAccumulate(benchmark::State& state) {
+  double density = static_cast<double>(state.range(0)) / 100.0;
+  DenseMatrix xd = make_dense(256, density, 9), yd = make_dense(256, density, 10);
+  Tile x = Tile::from_dense(xd, 1.0 / 3.0);
+  Tile y = Tile::from_dense(yd, 1.0 / 3.0);
+  for (auto _ : state) {
+    DenseMatrix acc(256, 256);
+    accumulate_product(x, y, acc);
+    benchmark::DoNotOptimize(acc.data().data());
+  }
+}
+BENCHMARK(BM_TileAccumulate)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Bring-your-own-graph scenario: build a Graph from an explicit edge list
+// (here: a small citation-network-like structure plus an RMAT community
+// graph), attach custom features, and run GraphSAGE inference — the
+// workflow a downstream user follows for data the registry doesn't cover.
+//
+//   ./custom_graph
+
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace dynasparse;
+
+  // --- Variant A: a hand-written mini graph -----------------------------
+  std::vector<Edge> edges = {
+      {0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}, {3, 4},
+      {4, 3}, {4, 0}, {0, 4}, {1, 3}, {2, 4},
+  };
+  Graph ring(5, edges);
+  Rng rng(23);
+  CooMatrix features = generate_features(5, 8, 0.75, rng);
+
+  Dataset custom;
+  custom.spec.name = "hand-built";
+  custom.spec.tag = "HB";
+  custom.spec.vertices = ring.num_vertices();
+  custom.spec.edges = ring.num_edges();
+  custom.spec.feature_dim = 8;
+  custom.spec.num_classes = 3;
+  custom.spec.hidden_dim = 4;
+  custom.graph = std::move(ring);
+  custom.features = std::move(features);
+
+  GnnModel sage = build_model(GnnModelKind::kSage, 8, 4, 3, rng);
+  InferenceReport rep = run_inference(sage, custom, {});
+  std::printf("hand-built graph: %s\n", rep.summary().c_str());
+  DenseMatrix out = rep.execution.output.to_dense();
+  for (std::int64_t v = 0; v < out.rows(); ++v) {
+    std::printf("  vertex %lld embedding:", static_cast<long long>(v));
+    for (std::int64_t c = 0; c < out.cols(); ++c) std::printf(" %+.3f", out.at(v, c));
+    std::printf("\n");
+  }
+
+  // --- Variant B: an RMAT community graph -------------------------------
+  Graph communities = rmat(4096, 40000, 0.55, 0.15, 0.15, rng);
+  Dataset big;
+  big.spec.name = "rmat-communities";
+  big.spec.tag = "RM";
+  big.spec.vertices = communities.num_vertices();
+  big.spec.edges = communities.num_edges();
+  big.spec.feature_dim = 96;
+  big.spec.num_classes = 10;
+  big.spec.hidden_dim = 32;
+  big.features = generate_features(4096, 96, 0.15, rng);
+  big.graph = std::move(communities);
+
+  GnnModel sage_big = build_model(GnnModelKind::kSage, 96, 32, 10, rng);
+  InferenceReport rep_big = run_inference(sage_big, big, {});
+  std::printf("\nRMAT graph: %s\n%s", rep_big.summary().c_str(),
+              rep_big.kernel_table().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Heterogeneous pipeline scenario — the paper's Section IX future work:
+// split a GNN between CPU, GPU and FPGA. The planner prices every kernel
+// on each device (FPGA from the cycle-level simulation, CPU/GPU from the
+// roofline models) and a dynamic program picks the assignment including
+// PCIe transfer costs for the feature matrix between devices.
+//
+//   ./hetero_pipeline
+
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "hetero/hetero_planner.hpp"
+#include "io/report_io.hpp"
+
+int main() {
+  using namespace dynasparse;
+
+  // A graph with very sparse features but a dense hidden pipeline: the
+  // sweet spot for splitting (FPGA excels at the sparse kernels, the GPU
+  // at the dense tail — exactly the paper's motivation).
+  DatasetSpec spec;
+  spec.name = "hetero-demo";
+  spec.tag = "HD";
+  spec.vertices = 8192;
+  spec.edges = 65536;
+  spec.feature_dim = 8192;  // NELL-like: huge, nearly-empty feature space
+  spec.num_classes = 32;
+  spec.h0_density = 0.002;
+  spec.hidden_dim = 256;
+  Dataset ds = generate_dataset(spec, 1, 41);
+
+  Rng rng(42);
+  GnnModel gin = build_model(GnnModelKind::kGin, spec.feature_dim, spec.hidden_dim,
+                             spec.num_classes, rng);
+  CompiledProgram prog = compile(gin, ds, u250_config());
+  ExecutionResult fpga_run = execute(prog, {});
+
+  auto lat = hetero_latency_matrix(prog, fpga_run);
+  std::printf("per-kernel latency (ms):\n%-16s %10s %10s %10s\n", "kernel", "CPU",
+              "GPU", "FPGA");
+  for (std::size_t i = 0; i < prog.kernels.size(); ++i)
+    std::printf("%-16s %10.4f %10.4f %10.4f\n",
+                prog.kernels[i].describe().substr(0, 16).c_str(), lat[i][0], lat[i][1],
+                lat[i][2]);
+
+  HeteroPlan plan = plan_heterogeneous(prog, fpga_run);
+  std::printf("\n%s\n", plan.describe().c_str());
+
+  // Transfers get cheaper with a faster interconnect (paper Section
+  // VIII-D suggests PCIe 5.0): rerun the plan with 4x the link bandwidth.
+  HeteroOptions fast;
+  fast.pcie_bytes_per_s = 4 * 11.2e9;
+  HeteroPlan plan_fast = plan_heterogeneous(prog, fpga_run, fast);
+  std::printf("with a 4x link: %s\n", plan_fast.describe().c_str());
+  return 0;
+}

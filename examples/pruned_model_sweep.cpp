@@ -1,0 +1,53 @@
+// Pruned-model scenario (the paper's Figs. 11/12 workload): magnitude-prune
+// a GIN model to increasing weight sparsity and watch the dynamic mapping
+// shift primitives (GEMM -> SpDMM -> SPMM -> skip) and latency fall, while
+// the static strategies leave the sparsity on the table.
+//
+//   ./pruned_model_sweep [sparsity ...]   (defaults: 0 30 60 90 99)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dynasparse;
+
+  std::vector<double> sparsities = {0.0, 0.3, 0.6, 0.9, 0.99};
+  if (argc > 1) {
+    sparsities.clear();
+    for (int i = 1; i < argc; ++i) sparsities.push_back(std::atof(argv[i]) / 100.0);
+  }
+
+  // CiteSeer: very sparse features + a large input dimension, so the
+  // Update kernels are compute-bound and the strategy gap is visible.
+  Dataset citeseer = generate_dataset(dataset_by_tag("CI"), 1, 11);
+  std::printf("%-9s %12s %12s %10s %8s %8s %8s %8s\n", "sparsity", "Dynamic(ms)",
+              "Static1(ms)", "speedup", "GEMM", "SpDMM", "SPMM", "skip");
+
+  for (double s : sparsities) {
+    Rng rng(17);
+    GnnModel gin = build_model(GnnModelKind::kGin, citeseer.spec.feature_dim,
+                               citeseer.spec.hidden_dim, citeseer.spec.num_classes, rng);
+    prune_model(gin, s);
+    CompiledProgram prog = compile(gin, citeseer, u250_config());
+
+    RuntimeOptions dyn;
+    InferenceReport rd = run_compiled(prog, dyn);
+    RuntimeOptions st;
+    st.strategy = MappingStrategy::kStatic1;
+    InferenceReport rs = run_compiled(prog, st);
+
+    const AcceleratorStats& stats = rd.execution.stats;
+    std::printf("%8.0f%% %12.4f %12.4f %9.2fx %8lld %8lld %8lld %8lld\n", s * 100.0,
+                rd.latency_ms, rs.latency_ms, rs.latency_ms / rd.latency_ms,
+                static_cast<long long>(stats.pairs_gemm),
+                static_cast<long long>(stats.pairs_spdmm),
+                static_cast<long long>(stats.pairs_spmm),
+                static_cast<long long>(stats.pairs_skipped));
+  }
+  std::printf("\nNote how pruning moves pairs out of GEMM into the sparse primitives\n"
+              "and eventually into outright skips — latency follows the density.\n");
+  return 0;
+}

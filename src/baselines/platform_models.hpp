@@ -1,0 +1,49 @@
+#pragma once
+// Analytic latency models of the paper's comparison platforms.
+//
+// The paper measures PyG/DGL on an AMD Ryzen 3990x CPU and an Nvidia
+// RTX3090 GPU (Table V) and compares accelerator latency against the
+// HyGCN ASIC and the BoostGCN FPGA design (Table X). Offline we model all
+// of them with a per-kernel roofline: a kernel takes
+//     max(flops / (peak * eff), bytes / bandwidth) + framework overhead,
+// where — as the paper notes (Section VIII-D) — these baselines exploit
+// *only the graph sparsity*: Aggregate is sparse (nnz-proportional work)
+// but Update is always dense, and feature/weight sparsity is ignored.
+// Efficiency factors are stated constants (see .cpp) chosen once from
+// typical measured utilization, not fit to the paper's numbers; the
+// claims we reproduce are the comparison *shapes*.
+
+#include <string>
+#include <vector>
+
+#include "graph/dataset.hpp"
+#include "model/model.hpp"
+
+namespace dynasparse {
+
+struct PlatformSpec {
+  std::string name;
+  double peak_flops = 0.0;           // Table V peak performance
+  double mem_bandwidth = 0.0;        // bytes/s
+  double dense_efficiency = 0.5;     // achieved fraction of peak on GEMM
+  double sparse_efficiency = 0.05;   // achieved fraction of peak on SpMM
+  double per_kernel_overhead_s = 0;  // framework dispatch/launch cost
+};
+
+/// Platform specs (Table V) with framework constants: PyG-CPU, DGL-CPU,
+/// PyG-GPU, DGL-GPU.
+const std::vector<PlatformSpec>& framework_platforms();
+
+/// Latency (seconds) of one kernel on `platform`. Kernel flops:
+/// Aggregate = 2 * nnz(A_hat) * f (graph sparsity exploited);
+/// Update = 2 * |V| * f_in * f_out (dense, weight/feature sparsity
+/// ignored). Bytes move every operand once.
+double platform_kernel_latency_s(const PlatformSpec& platform, const KernelSpec& kernel,
+                                 std::int64_t num_vertices, std::int64_t adj_nnz);
+
+/// Model `model` inference latency (ms) on `platform` for `ds`: sum of
+/// platform_kernel_latency_s over the kernel sequence.
+double platform_latency_ms(const PlatformSpec& platform, const GnnModel& model,
+                           const Dataset& ds);
+
+}  // namespace dynasparse

@@ -1,0 +1,97 @@
+#include "compiler/compiler.hpp"
+
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace dynasparse {
+
+const PartitionedMatrix& CompiledProgram::adjacency_for(const KernelSpec& spec) const {
+  auto it = adjacency.find(AdjOperatorKey{spec.adj, spec.epsilon});
+  if (it == adjacency.end())
+    throw std::logic_error("adjacency operator not materialized for kernel");
+  return it->second;
+}
+
+namespace {
+
+/// Shared compilation body; `plan` empty (n1 == 0) means "run the
+/// partition planner", otherwise the given plan is reused verbatim.
+CompiledProgram compile_impl(const GnnModel& model, const Dataset& ds,
+                             const SimConfig& cfg, const PartitionPlan& reuse_plan) {
+  if (!cfg.valid()) throw std::invalid_argument("invalid SimConfig");
+  std::string err;
+  if (!validate_model(model, &err)) throw std::invalid_argument("invalid model: " + err);
+  if (ds.features.cols() != model.in_dim)
+    throw std::invalid_argument("dataset feature dim does not match model in_dim");
+
+  CompiledProgram prog;
+  prog.config = cfg;
+  prog.model = model;
+
+  // ---- Step 1: IR / computation graph --------------------------------
+  Stopwatch sw;
+  prog.kernels = build_computation_graph(model, ds.graph);
+  if (!validate_computation_graph(prog.kernels))
+    throw std::logic_error("computation graph failed validation");
+  prog.stats.ir_ms = sw.elapsed_ms();
+
+  // ---- Step 2: data partitioning --------------------------------------
+  sw.restart();
+  if (reuse_plan.n1 > 0) {
+    if (reuse_plan.n2 <= 0 || reuse_plan.n1 % cfg.psys != 0 ||
+        reuse_plan.n2 % cfg.psys != 0)
+      throw std::invalid_argument("reused plan incompatible with config");
+    prog.plan = reuse_plan;
+  } else {
+    std::vector<KernelWorkload> workloads;
+    workloads.reserve(prog.kernels.size());
+    for (const KernelIR& k : prog.kernels)
+      workloads.push_back(
+          KernelWorkload{k.spec.kind, k.num_vertices, k.spec.out_dim});
+    prog.plan = plan_partitions(workloads, cfg);
+  }
+  for (KernelIR& k : prog.kernels) attach_scheme(k, prog.plan.n1, prog.plan.n2);
+
+  const double thr = cfg.sparse_storage_threshold;
+  // Materialize each adjacency operator the model references once.
+  for (const KernelIR& k : prog.kernels) {
+    if (k.spec.kind != KernelKind::kAggregate) continue;
+    AdjOperatorKey key{k.spec.adj, k.spec.epsilon};
+    if (prog.adjacency.count(key)) continue;
+    CsrMatrix op = build_adjacency_operator(ds.graph, k.spec.adj, k.spec.epsilon);
+    prog.adjacency.emplace(key,
+                           PartitionedMatrix::from_csr(op, prog.plan.n1, prog.plan.n1, thr));
+  }
+  prog.h0 = PartitionedMatrix::from_coo(ds.features, prog.plan.n1, prog.plan.n2, thr);
+  prog.weights.reserve(model.weights.size());
+  for (const DenseMatrix& w : model.weights)
+    prog.weights.push_back(
+        PartitionedMatrix::from_dense(w, prog.plan.n2, prog.plan.n2, thr));
+  prog.stats.partition_ms = sw.elapsed_ms();
+
+  // ---- Step 3: compile-time sparsity profiling ------------------------
+  sw.restart();
+  prog.h0_profile = profile_partitions(prog.h0);
+  prog.weight_profiles.reserve(prog.weights.size());
+  for (const PartitionedMatrix& w : prog.weights)
+    prog.weight_profiles.push_back(profile_partitions(w));
+  prog.stats.sparsity_ms = sw.elapsed_ms();
+
+  return prog;
+}
+
+}  // namespace
+
+CompiledProgram compile(const GnnModel& model, const Dataset& ds, const SimConfig& cfg) {
+  return compile_impl(model, ds, cfg, PartitionPlan{});
+}
+
+CompiledProgram compile_with_plan(const GnnModel& model, const Dataset& ds,
+                                  const SimConfig& cfg, const PartitionPlan& plan) {
+  if (plan.n1 <= 0 || plan.n2 <= 0)
+    throw std::invalid_argument("compile_with_plan needs a concrete plan");
+  return compile_impl(model, ds, cfg, plan);
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,80 @@
+#pragma once
+// Compiler driver (paper Section IV, "Step 1. Compilation/Preprocessing").
+//
+// compile() performs the three preprocessing stages on the host:
+//   1. IR generation      — one node per kernel (computation_graph)
+//   2. data partitioning  — choose (N1, N2) (partition_planner), attach
+//                           execution schemes, and reorganize A / W / H0
+//                           into partitions (PartitionedMatrix)
+//   3. sparsity prep      — per-partition density profiling of the
+//                           compile-time-known operands
+// The result is a CompiledProgram the runtime system executes. Wall-clock
+// per stage is recorded (Table IX reports this preprocessing time).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "compiler/computation_graph.hpp"
+#include "compiler/execution_scheme.hpp"
+#include "compiler/ir.hpp"
+#include "compiler/partition_planner.hpp"
+#include "compiler/sparsity_prep.hpp"
+#include "graph/dataset.hpp"
+#include "graph/normalization.hpp"
+#include "model/model.hpp"
+#include "util/config.hpp"
+
+namespace dynasparse {
+
+struct CompileStats {
+  double ir_ms = 0.0;          // IR + computation-graph generation
+  double partition_ms = 0.0;   // partition planning + data reorganization
+  double sparsity_ms = 0.0;    // compile-time density profiling
+  double total_ms() const { return ir_ms + partition_ms + sparsity_ms; }
+};
+
+/// Key of a materialized adjacency operator: models may use several
+/// operator variants (sym-norm, row-norm, A + (1+eps)I) over one graph.
+struct AdjOperatorKey {
+  AdjKind kind = AdjKind::kRaw;
+  double eps = 0.0;
+  bool operator<(const AdjOperatorKey& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    return eps < o.eps;
+  }
+};
+
+struct CompiledProgram {
+  SimConfig config;
+  GnnModel model;                // includes weight values
+  std::vector<KernelIR> kernels; // scheme metadata attached
+  PartitionPlan plan;
+
+  // Partitioned operands known at compile time.
+  std::map<AdjOperatorKey, PartitionedMatrix> adjacency;  // N1 x N1 tiles
+  PartitionedMatrix h0;                                   // N1 x N2 tiles
+  std::vector<PartitionedMatrix> weights;                 // N2 x N2 tiles
+
+  // Compile-time sparsity info (Step 1.3).
+  SparsityProfile h0_profile;
+  std::vector<SparsityProfile> weight_profiles;
+
+  CompileStats stats;
+
+  const PartitionedMatrix& adjacency_for(const KernelSpec& spec) const;
+};
+
+/// Compile `model` over `ds` for the platform `cfg`.
+CompiledProgram compile(const GnnModel& model, const Dataset& ds, const SimConfig& cfg);
+
+/// Recompile with a previously planned partitioning (paper Section
+/// VIII-A: "the optimized IR can be stored and reused if the sparsity of
+/// the input graph and GNN model changes"). Skips the planning stage and
+/// reuses `plan` verbatim; the data reorganization and sparsity profiling
+/// run against the (possibly re-pruned / re-featured) inputs. The model
+/// and graph *shapes* must match what the plan was made for.
+CompiledProgram compile_with_plan(const GnnModel& model, const Dataset& ds,
+                                  const SimConfig& cfg, const PartitionPlan& plan);
+
+}  // namespace dynasparse

@@ -1,0 +1,35 @@
+#include "compiler/computation_graph.hpp"
+
+namespace dynasparse {
+
+std::vector<KernelIR> build_computation_graph(const GnnModel& model, const Graph& graph) {
+  std::vector<KernelIR> nodes;
+  nodes.reserve(model.kernels.size());
+  for (std::size_t i = 0; i < model.kernels.size(); ++i) {
+    KernelIR ir;
+    ir.node_id = static_cast<int>(i);
+    ir.spec = model.kernels[i];
+    ir.num_vertices = graph.num_vertices();
+    ir.num_edges = graph.num_edges();
+    nodes.push_back(std::move(ir));
+  }
+  return nodes;
+}
+
+bool validate_computation_graph(const std::vector<KernelIR>& nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const KernelSpec& s = nodes[i].spec;
+    if (s.input != kFromFeatures) {
+      if (s.input < 0 || static_cast<std::size_t>(s.input) >= i) return false;
+      if (nodes[static_cast<std::size_t>(s.input)].spec.out_dim != s.in_dim) return false;
+    }
+    if (s.add_input >= 0) {
+      if (static_cast<std::size_t>(s.add_input) >= i) return false;
+      if (nodes[static_cast<std::size_t>(s.add_input)].spec.out_dim != s.out_dim)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dynasparse

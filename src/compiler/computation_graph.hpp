@@ -1,0 +1,21 @@
+#pragma once
+// Computation-graph construction (paper compilation Step 1): one IR node
+// per kernel of the model, edges given by KernelSpec::input/add_input.
+
+#include <vector>
+
+#include "compiler/ir.hpp"
+#include "graph/graph.hpp"
+#include "model/model.hpp"
+
+namespace dynasparse {
+
+/// Build the IR nodes (without scheme metadata) for `model` over `graph`.
+/// Node order equals model.kernels order, which is already topological.
+std::vector<KernelIR> build_computation_graph(const GnnModel& model, const Graph& graph);
+
+/// Verify the dependency structure: every edge points backwards, and the
+/// per-node dims chain (mirrors validate_model at the IR level).
+bool validate_computation_graph(const std::vector<KernelIR>& nodes);
+
+}  // namespace dynasparse

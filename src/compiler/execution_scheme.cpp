@@ -1,0 +1,27 @@
+#include "compiler/execution_scheme.hpp"
+
+#include "util/math_util.hpp"
+
+namespace dynasparse {
+
+void attach_scheme(KernelIR& ir, std::int64_t n1, std::int64_t n2) {
+  ExecutionSchemeMeta& s = ir.scheme;
+  s.n1 = n1;
+  s.n2 = n2;
+  s.grid_i = ceil_div(ir.num_vertices, n1);
+  s.grid_k = ceil_div(ir.spec.out_dim, n2);
+  s.inner_steps = ir.spec.kind == KernelKind::kAggregate
+                      ? ceil_div(ir.num_vertices, n1)
+                      : ceil_div(ir.spec.in_dim, n2);
+}
+
+std::vector<Task> generate_tasks(const KernelIR& ir) {
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(ir.scheme.num_tasks()));
+  for (std::int64_t gi = 0; gi < ir.scheme.grid_i; ++gi)
+    for (std::int64_t gk = 0; gk < ir.scheme.grid_k; ++gk)
+      tasks.push_back(Task{ir.node_id, gi, gk, ir.scheme.inner_steps});
+  return tasks;
+}
+
+}  // namespace dynasparse

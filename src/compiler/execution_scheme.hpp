@@ -1,0 +1,37 @@
+#pragma once
+// Execution-scheme generation (paper Algorithms 2-4).
+//
+// A kernel decomposes into independent *tasks*; each task owns one output
+// tile Z_ik and accumulates Z_ik += Matmul(X_ij, Y_jk) over the inner
+// dimension j. Which primitive executes each Matmul is the runtime
+// system's decision (Algorithm 7) — the scheme only fixes the tiling.
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/ir.hpp"
+
+namespace dynasparse {
+
+/// One computation task (paper Algorithm 4): produce output tile
+/// (out_gi, out_gk) of kernel `kernel_id` by accumulating `inner_steps`
+/// tile products.
+struct Task {
+  int kernel_id = 0;
+  std::int64_t out_gi = 0;
+  std::int64_t out_gk = 0;
+  std::int64_t inner_steps = 0;
+};
+
+/// Fill in the scheme metadata of `ir` for partition sizes (n1, n2):
+///   Aggregate (Algorithm 2): grid_i = ceil(|V|/N1), grid_k = ceil(f/N2),
+///                            inner  = ceil(|V|/N1)   (blocks of A)
+///   Update    (Algorithm 3): grid_i = ceil(|V|/N1), grid_k = ceil(f2/N2),
+///                            inner  = ceil(f1/N2)    (blocks of W)
+void attach_scheme(KernelIR& ir, std::int64_t n1, std::int64_t n2);
+
+/// Materialize the task list of one kernel, output tiles in row-major
+/// order of the grid.
+std::vector<Task> generate_tasks(const KernelIR& ir);
+
+}  // namespace dynasparse

@@ -1,0 +1,23 @@
+#include "compiler/ir.hpp"
+
+#include <sstream>
+
+namespace dynasparse {
+
+double KernelIR::dense_macs() const {
+  if (spec.kind == KernelKind::kAggregate)
+    return static_cast<double>(num_vertices) * static_cast<double>(num_vertices) *
+           static_cast<double>(spec.out_dim);
+  return static_cast<double>(num_vertices) * static_cast<double>(spec.in_dim) *
+         static_cast<double>(spec.out_dim);
+}
+
+std::string KernelIR::describe() const {
+  std::ostringstream os;
+  os << "#" << node_id << " " << spec.kind_name() << " L" << spec.layer_id << " ("
+     << spec.in_dim << " -> " << spec.out_dim << ") tasks=" << scheme.num_tasks()
+     << " inner=" << scheme.inner_steps;
+  return os.str();
+}
+
+}  // namespace dynasparse

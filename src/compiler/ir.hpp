@@ -1,0 +1,45 @@
+#pragma once
+// Intermediate representation of a GNN inference program (paper Table II).
+//
+// The compiler turns (model, graph metadata) into one KernelIR node per
+// computation kernel. Each node carries the Table II metadata plus the
+// execution-scheme metadata produced by data partitioning: the partition
+// sizes, the output tile grid, and the resulting task count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace dynasparse {
+
+/// Execution-scheme metadata of one kernel ("Meta data of execution
+/// scheme" row of Table II; concretely Algorithms 2/3 loop bounds).
+struct ExecutionSchemeMeta {
+  std::int64_t n1 = 0;          // row-partition size (A blocks, H row tiles)
+  std::int64_t n2 = 0;          // column-partition size (H/W column tiles)
+  std::int64_t grid_i = 0;      // output tile rows  = ceil(|V| / N1)
+  std::int64_t grid_k = 0;      // output tile cols  = ceil(f_out / N2)
+  std::int64_t inner_steps = 0; // accumulation steps per task (j loop)
+  std::int64_t num_tasks() const { return grid_i * grid_k; }
+};
+
+/// IR of one kernel: Table II fields + scheme metadata.
+struct KernelIR {
+  int node_id = 0;            // index in execution order
+  KernelSpec spec;            // kind, layer, dims, operator, activation...
+  std::int64_t num_vertices = 0;
+  std::int64_t num_edges = 0;
+  ExecutionSchemeMeta scheme;
+
+  /// Total multiply-accumulate workload of the kernel if executed densely:
+  /// Aggregate: |V| * |V| * f; Update: |V| * f_in * f_out.
+  double dense_macs() const;
+  /// Workload measure Q used by the partition planner (output elements).
+  std::int64_t planner_workload() const { return num_vertices * spec.out_dim; }
+
+  std::string describe() const;
+};
+
+}  // namespace dynasparse

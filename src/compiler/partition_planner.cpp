@@ -1,0 +1,82 @@
+#include "compiler/partition_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace dynasparse {
+
+namespace {
+
+/// Round n down to a multiple of psys, clamped to [floor_n, n_max].
+std::int64_t clamp_partition(std::int64_t n, std::int64_t psys, std::int64_t floor_n,
+                             std::int64_t n_max) {
+  n = std::min(n, n_max);
+  n -= n % psys;
+  return std::max(n, std::min(floor_n, n_max));
+}
+
+}  // namespace
+
+std::int64_t tasks_for(const KernelWorkload& k, std::int64_t n1, std::int64_t n2) {
+  return ceil_div(k.num_vertices, n1) * ceil_div(k.out_dim, n2);
+}
+
+PartitionPlan plan_partitions(const std::vector<KernelWorkload>& kernels,
+                              const SimConfig& cfg) {
+  if (kernels.empty()) throw std::invalid_argument("no kernels to plan");
+  const std::int64_t psys = cfg.psys;
+  const std::int64_t floor_n = cfg.min_partition;
+  const std::int64_t n_max = cfg.max_partition_size();
+  const std::int64_t min_tasks =
+      static_cast<std::int64_t>(cfg.load_balance_eta) * cfg.num_cores;
+
+  PartitionPlan plan;
+  plan.n_max = n_max;
+
+  // A kernel constrains the plan only if it can reach min_tasks at all
+  // (at the smallest partitions); tiny kernels fall to the floor sizes.
+  auto all_satisfied = [&](std::int64_t a, std::int64_t b) {
+    for (const KernelWorkload& k : kernels) {
+      if (tasks_for(k, floor_n, floor_n) < min_tasks) continue;
+      if (tasks_for(k, a, b) < min_tasks) return false;
+    }
+    return true;
+  };
+
+  // The paper's two-step order with the *actual* task counts of this
+  // library's tiling (the closed forms Q/N2^2 and Q/(N1*N2) are the
+  // idealized versions; ceil arithmetic matters when out_dim < N2).
+  // ---- Step 1: largest N2 such that the Update kernels still reach
+  // min_tasks in the best case (N1 at its floor maximizes grid_i).
+  std::int64_t n2 = n_max;
+  while (n2 > floor_n) {
+    bool ok = true;
+    for (const KernelWorkload& k : kernels) {
+      if (k.kind != KernelKind::kUpdate) continue;
+      if (tasks_for(k, floor_n, floor_n) < min_tasks) continue;
+      if (tasks_for(k, floor_n, n2) < min_tasks) ok = false;
+    }
+    if (ok) break;
+    n2 = clamp_partition(n2 - psys, psys, floor_n, n_max);
+  }
+
+  // ---- Step 2: largest N1 such that every kernel reaches min_tasks
+  // under the chosen N2.
+  std::int64_t n1 = n_max;
+  while (n1 > floor_n && !all_satisfied(n1, n2))
+    n1 = clamp_partition(n1 - psys, psys, floor_n, n_max);
+
+  // ---- Repair backstop: if the pair still violates the constraint,
+  // shrink N2 as well.
+  while (!all_satisfied(n1, n2) && n2 > floor_n)
+    n2 = clamp_partition(n2 / 2, psys, floor_n, n_max);
+
+  plan.n1 = n1;
+  plan.n2 = n2;
+  return plan;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,35 @@
+#include "compiler/sparsity_prep.hpp"
+
+#include <algorithm>
+
+namespace dynasparse {
+
+SparsityProfile profile_partitions(const PartitionedMatrix& m) {
+  SparsityProfile p;
+  p.overall_density = m.density();
+  double min_d = 1.0, max_d = 0.0;
+  bool any = false;
+  for (std::int64_t gi = 0; gi < m.grid_rows(); ++gi)
+    for (std::int64_t gj = 0; gj < m.grid_cols(); ++gj) {
+      const Tile& t = m.tile(gi, gj);
+      ++p.tiles;
+      if (t.empty()) {
+        ++p.empty_tiles;
+        continue;
+      }
+      any = true;
+      min_d = std::min(min_d, t.density());
+      max_d = std::max(max_d, t.density());
+      if (t.format == TileFormat::kCoo)
+        ++p.sparse_tiles;
+      else
+        ++p.dense_tiles;
+    }
+  if (any) {
+    p.min_tile_density = min_d;
+    p.max_tile_density = max_d;
+  }
+  return p;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,28 @@
+#pragma once
+// Compile-time sparsity preprocessing (paper Step 1, item 3): while data
+// partitioning reorganizes A, W and H0 into partitions, counters profile
+// the density of every partition. Densities of intermediate feature
+// matrices H1..HL are *not* known here — they are profiled by the
+// accelerator's Sparsity Profiler at runtime.
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/partitioned_matrix.hpp"
+
+namespace dynasparse {
+
+/// Summary statistics of one partitioned operand.
+struct SparsityProfile {
+  std::int64_t tiles = 0;
+  std::int64_t empty_tiles = 0;
+  std::int64_t sparse_tiles = 0;  // stored COO
+  std::int64_t dense_tiles = 0;   // stored dense
+  double overall_density = 0.0;
+  double min_tile_density = 0.0;  // over non-empty tiles
+  double max_tile_density = 0.0;
+};
+
+SparsityProfile profile_partitions(const PartitionedMatrix& m);
+
+}  // namespace dynasparse

@@ -1,0 +1,32 @@
+#include "core/engine.hpp"
+
+namespace dynasparse {
+
+InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& runtime) {
+  InferenceReport rep;
+  rep.model_name = prog.model.name;
+  rep.strategy = runtime.strategy;
+  rep.compile = prog.stats;
+  rep.execution = execute(prog, runtime);
+  rep.latency_ms = rep.execution.latency_ms;
+
+  // End-to-end latency (paper Section VIII-D): preprocessing + PCIe data
+  // movement of the partitioned operands + accelerator execution.
+  std::size_t moved_bytes = prog.h0.ddr_bytes(prog.config);
+  for (const auto& [key, adj] : prog.adjacency) moved_bytes += adj.ddr_bytes(prog.config);
+  for (const PartitionedMatrix& w : prog.weights) moved_bytes += w.ddr_bytes(prog.config);
+  rep.data_movement_ms =
+      static_cast<double>(moved_bytes) / kPcieBytesPerSecond * 1e3;
+  rep.end_to_end_ms = rep.compile.total_ms() + rep.data_movement_ms + rep.latency_ms;
+  return rep;
+}
+
+InferenceReport run_inference(const GnnModel& model, const Dataset& ds,
+                              const EngineOptions& options) {
+  CompiledProgram prog = compile(model, ds, options.config);
+  InferenceReport rep = run_compiled(prog, options.runtime);
+  rep.dataset_tag = ds.spec.tag;
+  return rep;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,38 @@
+#pragma once
+// Dynasparse engine — the library's top-level public API.
+//
+// One call runs the paper's full pipeline: host compilation (IR, data
+// partitioning, compile-time sparsity profiling) followed by the runtime
+// system driving the simulated Alveo-U250-class accelerator. Example:
+//
+//   auto ds    = dynasparse::generate_dataset(dynasparse::dataset_by_tag("CO"), 1, 7);
+//   dynasparse::Rng rng(13);
+//   auto model = dynasparse::build_model(dynasparse::GnnModelKind::kGcn,
+//                                        ds.spec.feature_dim, ds.spec.hidden_dim,
+//                                        ds.spec.num_classes, rng);
+//   auto report = dynasparse::run_inference(model, ds, {});
+//   std::cout << report.latency_ms << " ms\n";
+
+#include "compiler/compiler.hpp"
+#include "core/report.hpp"
+#include "graph/dataset.hpp"
+#include "model/model.hpp"
+#include "runtime/runtime_system.hpp"
+
+namespace dynasparse {
+
+struct EngineOptions {
+  SimConfig config = u250_config();
+  RuntimeOptions runtime;
+};
+
+/// Compile `model` over `ds` and execute it under the configured mapping
+/// strategy. Deterministic for fixed inputs.
+InferenceReport run_inference(const GnnModel& model, const Dataset& ds,
+                              const EngineOptions& options);
+
+/// Run the same compiled program under a different strategy (reuses the
+/// compilation — how the strategy-comparison benches iterate cheaply).
+InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& runtime);
+
+}  // namespace dynasparse

@@ -1,0 +1,35 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dynasparse {
+
+std::string InferenceReport::summary() const {
+  std::ostringstream os;
+  os << std::setprecision(4) << model_name << " on " << dataset_tag << " ["
+     << strategy_name(strategy) << "]: latency " << latency_ms << " ms"
+     << " (compile " << compile.total_ms() << " ms, exec " << execution.exec_ms
+     << " ms, runtime-overhead " << std::setprecision(3)
+     << execution.runtime_overhead_ratio * 100.0 << "%)";
+  return os.str();
+}
+
+std::string InferenceReport::kernel_table() const {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "kernel" << std::right << std::setw(12)
+     << "cycles" << std::setw(9) << "tasks" << std::setw(9) << "GEMM" << std::setw(9)
+     << "SpDMM" << std::setw(9) << "SPMM" << std::setw(9) << "skip" << std::setw(11)
+     << "out-dens" << '\n';
+  for (const KernelExecutionReport& k : execution.kernels) {
+    os << std::left << std::setw(14) << k.name << std::right << std::setw(12)
+       << static_cast<long long>(k.makespan_cycles) << std::setw(9) << k.tasks
+       << std::setw(9) << k.pairs_gemm << std::setw(9) << k.pairs_spdmm << std::setw(9)
+       << k.pairs_spmm << std::setw(9) << k.pairs_skipped << std::setw(11)
+       << std::fixed << std::setprecision(4) << k.output_density << '\n';
+    os.unsetf(std::ios::fixed);
+  }
+  return os.str();
+}
+
+}  // namespace dynasparse

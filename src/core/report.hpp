@@ -1,0 +1,39 @@
+#pragma once
+// Inference report: everything the paper's evaluation tables read off a
+// run, in one value type.
+
+#include <string>
+
+#include "compiler/compiler.hpp"
+#include "runtime/runtime_system.hpp"
+
+namespace dynasparse {
+
+struct InferenceReport {
+  std::string model_name;
+  std::string dataset_tag;
+  MappingStrategy strategy = MappingStrategy::kDynamic;
+
+  CompileStats compile;          // Table IX data
+  ExecutionResult execution;     // per-kernel breakdown, Fig. 13 data
+
+  /// Accelerator execution latency in ms — the paper's headline metric
+  /// (Section VIII-A "Performance metric").
+  double latency_ms = 0.0;
+  /// End-to-end latency = preprocessing + (modelled) data movement +
+  /// execution (Section VIII-D discussion).
+  double end_to_end_ms = 0.0;
+  /// Modelled CPU->FPGA PCIe transfer time of graph + model + IR.
+  double data_movement_ms = 0.0;
+
+  /// Render a one-line summary (used by examples and benches).
+  std::string summary() const;
+  /// Render the per-kernel table.
+  std::string kernel_table() const;
+};
+
+/// Sustained PCIe bandwidth of the U250 host link (paper Section VIII-D:
+/// ~11.2 GB/s) used for the data-movement estimate.
+inline constexpr double kPcieBytesPerSecond = 11.2e9;
+
+}  // namespace dynasparse

@@ -1,0 +1,97 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dynasparse {
+
+namespace {
+
+std::uint64_t edge_key(std::int64_t src, std::int64_t dst, std::int64_t n) {
+  return static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(n) +
+         static_cast<std::uint64_t>(dst);
+}
+
+/// Draw m distinct edges using `draw_endpoint` for both ends. Gives up on a
+/// duplicate draw after a generous retry budget so degenerate parameters
+/// terminate (slightly under-shooting m instead of spinning forever).
+std::vector<Edge> draw_distinct_edges(std::int64_t n, std::int64_t m, Rng& rng,
+                                      const std::function<std::int64_t()>& draw_endpoint) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = m * 50 + 1000;
+  while (static_cast<std::int64_t>(edges.size()) < m && attempts < max_attempts) {
+    ++attempts;
+    std::int64_t s = draw_endpoint();
+    std::int64_t d = draw_endpoint();
+    if (seen.insert(edge_key(s, d, n)).second) edges.push_back({s, d});
+    (void)rng;
+  }
+  return edges;
+}
+
+}  // namespace
+
+Graph erdos_renyi(std::int64_t n, std::int64_t m, Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("need n > 0");
+  if (m > n * n) throw std::invalid_argument("more edges than vertex pairs");
+  auto endpoint = [&] { return rng.uniform_int(0, n - 1); };
+  return Graph(n, draw_distinct_edges(n, m, rng, endpoint));
+}
+
+Graph power_law(std::int64_t n, std::int64_t m, double skew, Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("need n > 0");
+  if (skew < 0.0 || skew >= 1.0) throw std::invalid_argument("skew must be in [0, 1)");
+  // Inverse-transform sampling of p(rank) ~ (rank+1)^(-skew): for u in
+  // [0,1), rank = floor(n * u^(1/(1-skew))) concentrates mass on low ranks.
+  double expo = 1.0 / (1.0 - skew);
+  auto endpoint = [&] {
+    double u = rng.uniform();
+    auto r = static_cast<std::int64_t>(std::floor(std::pow(u, expo) * static_cast<double>(n)));
+    return std::min(r, n - 1);
+  };
+  return Graph(n, draw_distinct_edges(n, m, rng, endpoint));
+}
+
+Graph rmat(std::int64_t n, std::int64_t m, double a, double b, double c, Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("need n > 0");
+  double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0) throw std::invalid_argument("bad RMAT quadrants");
+  // Round n up to a power of two for the recursive descent, then reject
+  // endpoints outside [0, n).
+  std::int64_t size = 1;
+  while (size < n) size <<= 1;
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = m * 100 + 1000;
+  while (static_cast<std::int64_t>(edges.size()) < m && attempts < max_attempts) {
+    ++attempts;
+    std::int64_t r0 = 0, c0 = 0, span = size;
+    while (span > 1) {
+      span >>= 1;
+      double u = rng.uniform();
+      if (u < a) {
+        // top-left: nothing to add
+      } else if (u < a + b) {
+        c0 += span;
+      } else if (u < a + b + c) {
+        r0 += span;
+      } else {
+        r0 += span;
+        c0 += span;
+      }
+    }
+    if (r0 >= n || c0 >= n) continue;
+    if (seen.insert(edge_key(c0, r0, n)).second) edges.push_back({c0, r0});
+  }
+  return Graph(n, edges);
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,31 @@
+#pragma once
+// Synthetic graph generators.
+//
+// The paper evaluates on Planetoid/Flickr/NELL/Reddit downloads; offline we
+// generate graphs that match their |V|, |E| (and hence adjacency density,
+// Table VI) with a heavy-tailed degree distribution, which is the property
+// the partition-level density variation (paper Fig. 1) comes from.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace dynasparse {
+
+/// G(n, m): exactly m distinct directed edges chosen uniformly.
+Graph erdos_renyi(std::int64_t n, std::int64_t m, Rng& rng);
+
+/// Heavy-tailed generator: endpoints are drawn with probability
+/// proportional to (rank+1)^(-skew), giving hub vertices and the uneven
+/// per-block adjacency densities seen in real graphs. skew in [0, 1);
+/// skew = 0 degenerates to Erdős–Rényi.
+Graph power_law(std::int64_t n, std::int64_t m, double skew, Rng& rng);
+
+/// Recursive-matrix (R-MAT) generator with quadrant probabilities
+/// (a, b, c, d), a + b + c + d = 1. Produces community-like block
+/// structure — distinct tiles of A get visibly different densities.
+Graph rmat(std::int64_t n, std::int64_t m, double a, double b, double c, Rng& rng);
+
+}  // namespace dynasparse

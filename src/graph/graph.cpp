@@ -1,0 +1,36 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dynasparse {
+
+Graph::Graph(std::int64_t num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices) {
+  if (num_vertices < 0) throw std::invalid_argument("negative vertex count");
+  for (const Edge& e : edges)
+    if (e.src < 0 || e.src >= num_vertices || e.dst < 0 || e.dst >= num_vertices)
+      throw std::invalid_argument("edge endpoint out of range");
+  // CSR rows are destinations: sort by (dst, src) and collapse duplicates.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.dst == b.dst && a.src == b.src;
+                          }),
+              edges.end());
+  std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) ++row_ptr[static_cast<std::size_t>(e.dst) + 1];
+  for (std::size_t r = 1; r < row_ptr.size(); ++r) row_ptr[r] += row_ptr[r - 1];
+  std::vector<std::int64_t> col_idx;
+  std::vector<float> values;
+  col_idx.reserve(edges.size());
+  values.assign(edges.size(), 1.0f);
+  for (const Edge& e : edges) col_idx.push_back(e.src);
+  num_edges_ = static_cast<std::int64_t>(edges.size());
+  adjacency_ = CsrMatrix(num_vertices, num_vertices, std::move(row_ptr),
+                         std::move(col_idx), std::move(values));
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,46 @@
+#pragma once
+// Graph structure for full-graph GNN inference.
+//
+// A graph is stored as a CSR adjacency over vertex ids [0, |V|). For the
+// GNN kernels the adjacency is consumed as a |V| x |V| sparse matrix A
+// where row i holds the in-neighbors of vertex i, so Aggregate() is the
+// product A * H (paper Section III-A).
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr_matrix.hpp"
+
+namespace dynasparse {
+
+struct Edge {
+  std::int64_t src = 0;
+  std::int64_t dst = 0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Build from an edge list. Edges are interpreted as src -> dst; the
+  /// adjacency used by Aggregate has A[dst][src] = 1. Duplicates collapse.
+  Graph(std::int64_t num_vertices, std::vector<Edge> edges);
+
+  std::int64_t num_vertices() const { return num_vertices_; }
+  std::int64_t num_edges() const { return num_edges_; }
+
+  /// Binary adjacency (value 1.0 per edge) as CSR, A[dst][src].
+  const CsrMatrix& adjacency() const { return adjacency_; }
+
+  /// In-degree of v (row nnz of A), excluding any self loops added later.
+  std::int64_t in_degree(std::int64_t v) const { return adjacency_.row_nnz(v); }
+
+  /// Density of A = |E| / |V|^2.
+  double adjacency_density() const { return adjacency_.density(); }
+
+ private:
+  std::int64_t num_vertices_ = 0;
+  std::int64_t num_edges_ = 0;
+  CsrMatrix adjacency_;
+};
+
+}  // namespace dynasparse

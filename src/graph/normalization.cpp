@@ -1,0 +1,84 @@
+#include "graph/normalization.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dynasparse {
+
+CsrMatrix add_self_loops(const CsrMatrix& a, float weight) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("self loops need square matrix");
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::int64_t> col_idx;
+  std::vector<float> values;
+  row_ptr.reserve(static_cast<std::size_t>(a.rows()) + 1);
+  col_idx.reserve(static_cast<std::size_t>(a.nnz() + a.rows()));
+  values.reserve(col_idx.capacity());
+  row_ptr.push_back(0);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    bool inserted = false;
+    for (std::int64_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      std::size_t ki = static_cast<std::size_t>(k);
+      std::int64_t c = a.col_idx()[ki];
+      if (!inserted && c >= r) {
+        if (c == r) {
+          col_idx.push_back(r);
+          values.push_back(a.values()[ki] + weight);
+          inserted = true;
+          continue;
+        }
+        col_idx.push_back(r);
+        values.push_back(weight);
+        inserted = true;
+      }
+      col_idx.push_back(c);
+      values.push_back(a.values()[ki]);
+    }
+    if (!inserted) {
+      col_idx.push_back(r);
+      values.push_back(weight);
+    }
+    row_ptr.push_back(static_cast<std::int64_t>(col_idx.size()));
+  }
+  return CsrMatrix(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix build_adjacency_operator(const Graph& g, AdjKind kind, double eps) {
+  const CsrMatrix& a = g.adjacency();
+  switch (kind) {
+    case AdjKind::kRaw:
+      return a;
+    case AdjKind::kSelfLoopEps:
+      return add_self_loops(a, static_cast<float>(1.0 + eps));
+    case AdjKind::kRowNorm: {
+      CsrMatrix out = a;
+      for (std::int64_t r = 0; r < out.rows(); ++r) {
+        std::int64_t deg = out.row_nnz(r);
+        if (deg == 0) continue;
+        float inv = 1.0f / static_cast<float>(deg);
+        for (std::int64_t k = out.row_begin(r); k < out.row_end(r); ++k)
+          out.values()[static_cast<std::size_t>(k)] *= inv;
+      }
+      return out;
+    }
+    case AdjKind::kSymNorm: {
+      CsrMatrix sl = add_self_loops(a, 1.0f);
+      // Degrees of A + I (row sums of the binary structure).
+      std::vector<float> inv_sqrt_deg(static_cast<std::size_t>(sl.rows()));
+      for (std::int64_t r = 0; r < sl.rows(); ++r)
+        inv_sqrt_deg[static_cast<std::size_t>(r)] =
+            1.0f / std::sqrt(static_cast<float>(sl.row_nnz(r)));
+      CsrMatrix out = sl;
+      for (std::int64_t r = 0; r < out.rows(); ++r)
+        for (std::int64_t k = out.row_begin(r); k < out.row_end(r); ++k) {
+          std::size_t ki = static_cast<std::size_t>(k);
+          out.values()[ki] *= inv_sqrt_deg[static_cast<std::size_t>(r)] *
+                              inv_sqrt_deg[static_cast<std::size_t>(out.col_idx()[ki])];
+        }
+      return out;
+    }
+  }
+  throw std::logic_error("unknown AdjKind");
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,29 @@
+#pragma once
+// Adjacency operators used by the GNN models.
+//
+// Each model consumes the graph through a weighted adjacency matrix:
+//   GCN / SGC : sym-norm  A_hat = D^{-1/2} (A + I) D^{-1/2}
+//   GraphSAGE : row-norm  D^{-1} A                  (mean aggregation)
+//   GIN       : A + (1 + eps) I                     (sum + weighted self)
+// Building the operator host-side keeps Aggregate() a pure matrix product
+// on the accelerator, matching the paper's kernel abstraction.
+
+#include "graph/graph.hpp"
+#include "matrix/csr_matrix.hpp"
+
+namespace dynasparse {
+
+enum class AdjKind {
+  kRaw,       // A as-is
+  kSymNorm,   // D^{-1/2} (A + I) D^{-1/2}
+  kRowNorm,   // D^{-1} A (rows with degree 0 stay zero)
+  kSelfLoopEps,  // A + (1 + eps) I
+};
+
+/// Materialize the weighted adjacency operator for a model.
+CsrMatrix build_adjacency_operator(const Graph& g, AdjKind kind, double eps = 0.0);
+
+/// A + I with unit self-loop weights (helper shared by kSymNorm).
+CsrMatrix add_self_loops(const CsrMatrix& a, float weight);
+
+}  // namespace dynasparse

@@ -1,0 +1,60 @@
+#pragma once
+// Heterogeneous execution planner — the paper's stated future work
+// (Section IX): "extend Dynasparse on heterogeneous platforms that
+// consist of CPU, GPU and FPGA, where GPU is effective for dense
+// primitives, FPGA is effective for sparse primitives and the CPU can
+// execute complex control flow".
+//
+// Given a compiled program, the planner assigns every kernel to one of
+// the three devices by minimizing predicted end-to-end time with a
+// dynamic program over the kernel chain: per-kernel device latencies come
+// from the simulator (FPGA, per-kernel makespans of a Dynamic run) and
+// the roofline models (CPU/GPU), and moving the feature matrix between
+// devices between consecutive kernels pays a PCIe transfer.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "runtime/runtime_system.hpp"
+
+namespace dynasparse {
+
+enum class DeviceKind { kCpu = 0, kGpu = 1, kFpga = 2 };
+inline constexpr int kNumDevices = 3;
+
+const char* device_name(DeviceKind d);
+
+struct HeteroOptions {
+  /// PCIe bandwidth for inter-device feature transfers (bytes/s);
+  /// default = the U250 link of the paper's end-to-end discussion.
+  double pcie_bytes_per_s = 11.2e9;
+  /// Fixed per-transfer latency (DMA setup + driver), seconds.
+  double transfer_latency_s = 20e-6;
+};
+
+struct HeteroPlan {
+  std::vector<DeviceKind> assignment;        // per kernel
+  std::vector<double> kernel_ms;             // chosen-device latency
+  double total_ms = 0.0;                     // exec + transfers
+  double transfer_ms = 0.0;                  // PCIe movement portion
+  double fpga_only_ms = 0.0;                 // baseline: everything on FPGA
+  double speedup_vs_fpga_only() const {
+    return total_ms > 0.0 ? fpga_only_ms / total_ms : 0.0;
+  }
+  std::string describe() const;
+};
+
+/// Per-kernel latency matrix (ms), kernels x devices.
+std::vector<std::array<double, kNumDevices>> hetero_latency_matrix(
+    const CompiledProgram& prog, const ExecutionResult& fpga_run);
+
+/// Plan the assignment. `fpga_run` must be an execution of `prog` (its
+/// per-kernel makespans price the FPGA column).
+HeteroPlan plan_heterogeneous(const CompiledProgram& prog,
+                              const ExecutionResult& fpga_run,
+                              const HeteroOptions& options = {});
+
+}  // namespace dynasparse

@@ -1,0 +1,125 @@
+#include "io/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dynasparse {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, int line) {
+  std::ostringstream os;
+  os << what << " at line " << line;
+  throw std::runtime_error(os.str());
+}
+
+/// Fetch the next non-comment, non-blank line; returns false at EOF.
+bool next_data_line(std::istream& in, std::string& line, int& line_no) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return f;
+}
+
+std::ofstream create_or_throw(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot create " + path);
+  return f;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  if (!next_data_line(in, line, line_no)) fail("missing vertex count", line_no);
+  std::int64_t n = -1;
+  {
+    std::istringstream is(line);
+    if (!(is >> n) || n < 0) fail("bad vertex count", line_no);
+  }
+  std::vector<Edge> edges;
+  while (next_data_line(in, line, line_no)) {
+    std::istringstream is(line);
+    Edge e;
+    if (!(is >> e.src >> e.dst)) fail("bad edge line", line_no);
+    if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n)
+      fail("edge endpoint out of range", line_no);
+    edges.push_back(e);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream f = open_or_throw(path);
+  return read_edge_list(f);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# dynasparse edge list: <num_vertices>, then src dst per line\n";
+  out << g.num_vertices() << '\n';
+  const CsrMatrix& a = g.adjacency();
+  // CSR rows are destinations; emit src dst.
+  for (std::int64_t dst = 0; dst < a.rows(); ++dst)
+    for (std::int64_t k = a.row_begin(dst); k < a.row_end(dst); ++k)
+      out << a.col_idx()[static_cast<std::size_t>(k)] << ' ' << dst << '\n';
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream f = create_or_throw(path);
+  write_edge_list(g, f);
+}
+
+CooMatrix read_features(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  if (!next_data_line(in, line, line_no)) fail("missing feature shape", line_no);
+  std::int64_t rows = -1, cols = -1;
+  {
+    std::istringstream is(line);
+    if (!(is >> rows >> cols) || rows < 0 || cols < 0) fail("bad feature shape", line_no);
+  }
+  CooMatrix m(rows, cols, Layout::kRowMajor);
+  while (next_data_line(in, line, line_no)) {
+    std::istringstream is(line);
+    std::int64_t r, c;
+    float v;
+    if (!(is >> r >> c >> v)) fail("bad feature triplet", line_no);
+    if (r < 0 || r >= rows || c < 0 || c >= cols)
+      fail("feature index out of range", line_no);
+    if (v != 0.0f) m.push(r, c, v);
+  }
+  m.sort_to_layout();
+  if (!m.well_formed()) fail("duplicate feature positions", line_no);
+  return m;
+}
+
+CooMatrix read_features_file(const std::string& path) {
+  std::ifstream f = open_or_throw(path);
+  return read_features(f);
+}
+
+void write_features(const CooMatrix& m, std::ostream& out) {
+  out << "# dynasparse features: <rows> <cols>, then row col value per line\n";
+  out << m.rows() << ' ' << m.cols() << '\n';
+  for (const CooEntry& e : m.entries())
+    out << e.row << ' ' << e.col << ' ' << e.value << '\n';
+}
+
+void write_features_file(const CooMatrix& m, const std::string& path) {
+  std::ofstream f = create_or_throw(path);
+  write_features(m, f);
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,33 @@
+#pragma once
+// Plain-text graph and feature I/O.
+//
+// Lets downstream users run Dynasparse on their own data instead of the
+// synthetic registry. Formats are deliberately simple and line-oriented:
+//
+//   edge list:  "# comment" lines ignored; first data line is
+//               "<num_vertices>"; every further line "src dst".
+//   features:   first data line "<rows> <cols>"; every further line
+//               "row col value" (COO triplets, any order).
+//
+// Both readers validate ranges and throw std::runtime_error with a line
+// number on malformed input.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "matrix/coo_matrix.hpp"
+
+namespace dynasparse {
+
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+CooMatrix read_features(std::istream& in);
+CooMatrix read_features_file(const std::string& path);
+void write_features(const CooMatrix& m, std::ostream& out);
+void write_features_file(const CooMatrix& m, const std::string& path);
+
+}  // namespace dynasparse

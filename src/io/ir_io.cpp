@@ -1,0 +1,124 @@
+#include "io/ir_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dynasparse {
+
+namespace {
+
+constexpr const char* kMagic = "dynasparse-ir-v1";
+
+[[noreturn]] void fail(const char* what, int line) {
+  std::ostringstream os;
+  os << what << " at line " << line;
+  throw std::runtime_error(os.str());
+}
+
+bool spec_equal(const KernelSpec& a, const KernelSpec& b) {
+  return a.kind == b.kind && a.layer_id == b.layer_id && a.in_dim == b.in_dim &&
+         a.out_dim == b.out_dim && a.weight_index == b.weight_index && a.adj == b.adj &&
+         a.epsilon == b.epsilon && a.op == b.op && a.input == b.input &&
+         a.add_input == b.add_input && a.act == b.act;
+}
+
+}  // namespace
+
+bool IrSnapshot::operator==(const IrSnapshot& o) const {
+  if (plan.n1 != o.plan.n1 || plan.n2 != o.plan.n2 || plan.n_max != o.plan.n_max)
+    return false;
+  if (kernels.size() != o.kernels.size()) return false;
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelIR& a = kernels[i];
+    const KernelIR& b = o.kernels[i];
+    if (a.node_id != b.node_id || a.num_vertices != b.num_vertices ||
+        a.num_edges != b.num_edges)
+      return false;
+    if (!spec_equal(a.spec, b.spec)) return false;
+    const ExecutionSchemeMeta &sa = a.scheme, &sb = b.scheme;
+    if (sa.n1 != sb.n1 || sa.n2 != sb.n2 || sa.grid_i != sb.grid_i ||
+        sa.grid_k != sb.grid_k || sa.inner_steps != sb.inner_steps)
+      return false;
+  }
+  return true;
+}
+
+IrSnapshot snapshot_of(const CompiledProgram& prog) {
+  return IrSnapshot{prog.plan, prog.kernels};
+}
+
+void write_ir(const IrSnapshot& snap, std::ostream& out) {
+  out << kMagic << '\n';
+  out << "plan " << snap.plan.n1 << ' ' << snap.plan.n2 << ' ' << snap.plan.n_max
+      << '\n';
+  out << "kernels " << snap.kernels.size() << '\n';
+  for (const KernelIR& k : snap.kernels) {
+    const KernelSpec& s = k.spec;
+    out << "kernel " << k.node_id << ' ' << k.num_vertices << ' ' << k.num_edges << ' '
+        << static_cast<int>(s.kind) << ' ' << s.layer_id << ' ' << s.in_dim << ' '
+        << s.out_dim << ' ' << s.weight_index << ' ' << static_cast<int>(s.adj) << ' '
+        << s.epsilon << ' ' << static_cast<int>(s.op) << ' ' << s.input << ' '
+        << s.add_input << ' ' << static_cast<int>(s.act) << '\n';
+    const ExecutionSchemeMeta& m = k.scheme;
+    out << "scheme " << m.n1 << ' ' << m.n2 << ' ' << m.grid_i << ' ' << m.grid_k << ' '
+        << m.inner_steps << '\n';
+  }
+}
+
+IrSnapshot read_ir(std::istream& in) {
+  IrSnapshot snap;
+  std::string line, word;
+  int line_no = 0;
+  auto next = [&]() {
+    if (!std::getline(in, line)) fail("unexpected end of IR snapshot", line_no);
+    ++line_no;
+    return std::istringstream(line);
+  };
+  {
+    std::istringstream is = next();
+    is >> word;
+    if (word != kMagic) fail("bad IR snapshot magic", line_no);
+  }
+  {
+    std::istringstream is = next();
+    is >> word >> snap.plan.n1 >> snap.plan.n2 >> snap.plan.n_max;
+    if (word != "plan" || !is || snap.plan.n1 <= 0 || snap.plan.n2 <= 0)
+      fail("bad plan line", line_no);
+  }
+  std::size_t count = 0;
+  {
+    std::istringstream is = next();
+    is >> word >> count;
+    if (word != "kernels" || !is) fail("bad kernel count", line_no);
+  }
+  snap.kernels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    KernelIR& k = snap.kernels[i];
+    {
+      std::istringstream is = next();
+      int kind = 0, adj = 0, op = 0, act = 0;
+      is >> word >> k.node_id >> k.num_vertices >> k.num_edges >> kind >>
+          k.spec.layer_id >> k.spec.in_dim >> k.spec.out_dim >> k.spec.weight_index >>
+          adj >> k.spec.epsilon >> op >> k.spec.input >> k.spec.add_input >> act;
+      if (word != "kernel" || !is) fail("bad kernel line", line_no);
+      if (kind < 0 || kind > 1 || adj < 0 || adj > 3 || op < 0 || op > 2 || act < 0 ||
+          act > 2)
+        fail("enum out of range in kernel line", line_no);
+      k.spec.kind = static_cast<KernelKind>(kind);
+      k.spec.adj = static_cast<AdjKind>(adj);
+      k.spec.op = static_cast<AccumOp>(op);
+      k.spec.act = static_cast<Activation>(act);
+    }
+    {
+      std::istringstream is = next();
+      ExecutionSchemeMeta& m = k.scheme;
+      is >> word >> m.n1 >> m.n2 >> m.grid_i >> m.grid_k >> m.inner_steps;
+      if (word != "scheme" || !is) fail("bad scheme line", line_no);
+    }
+  }
+  return snap;
+}
+
+}  // namespace dynasparse

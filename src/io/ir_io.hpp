@@ -1,0 +1,34 @@
+#pragma once
+// Optimized-IR serialization.
+//
+// The paper argues the compiler's output is reusable: "the optimized IR
+// can be stored and reused if the sparsity of the input graph and GNN
+// model changes" (Section VIII-A). This module persists exactly that
+// artifact — the kernel IRs with their execution-scheme metadata and the
+// partition plan — as a line-oriented text snapshot that round-trips.
+// (Operand data lives with the dataset; the IR is the plan.)
+
+#include <iosfwd>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "compiler/ir.hpp"
+
+namespace dynasparse {
+
+/// The reusable compiler artifact: plan + per-kernel IR.
+struct IrSnapshot {
+  PartitionPlan plan;
+  std::vector<KernelIR> kernels;
+
+  /// Structural equality (used by tests and cache-validity checks).
+  bool operator==(const IrSnapshot& o) const;
+};
+
+IrSnapshot snapshot_of(const CompiledProgram& prog);
+
+void write_ir(const IrSnapshot& snap, std::ostream& out);
+/// Throws std::runtime_error (with a line number) on malformed input.
+IrSnapshot read_ir(std::istream& in);
+
+}  // namespace dynasparse

@@ -1,0 +1,69 @@
+#include "io/report_io.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dynasparse {
+
+namespace {
+/// Minimal JSON string escaping (names are ASCII identifiers here, but
+/// stay safe against quotes/backslashes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string report_to_csv(const InferenceReport& report) {
+  std::ostringstream os;
+  os << "kernel,makespan_cycles,compute_cycles,memory_cycles,ahm_cycles,"
+        "tasks,pairs,pairs_gemm,pairs_spdmm,pairs_spmm,pairs_skipped,"
+        "load_imbalance,output_density\n";
+  os << std::setprecision(10);
+  for (const KernelExecutionReport& k : report.execution.kernels) {
+    os << k.name << ',' << k.makespan_cycles << ',' << k.compute_cycles << ','
+       << k.memory_cycles << ',' << k.ahm_cycles << ',' << k.tasks << ',' << k.pairs
+       << ',' << k.pairs_gemm << ',' << k.pairs_spdmm << ',' << k.pairs_spmm << ','
+       << k.pairs_skipped << ',' << k.load_imbalance << ',' << k.output_density
+       << '\n';
+  }
+  os << "TOTAL," << report.execution.exec_cycles << ",,,,"
+     << report.execution.stats.tasks << ',' << report.execution.stats.pairs
+     << ',' << report.execution.stats.pairs_gemm << ','
+     << report.execution.stats.pairs_spdmm << ',' << report.execution.stats.pairs_spmm
+     << ',' << report.execution.stats.pairs_skipped << ",,\n";
+  return os.str();
+}
+
+std::string report_to_json(const InferenceReport& report) {
+  std::ostringstream os;
+  os << std::setprecision(10);
+  os << "{\"model\":\"" << json_escape(report.model_name) << "\",";
+  os << "\"dataset\":\"" << json_escape(report.dataset_tag) << "\",";
+  os << "\"strategy\":\"" << strategy_name(report.strategy) << "\",";
+  os << "\"latency_ms\":" << report.latency_ms << ',';
+  os << "\"end_to_end_ms\":" << report.end_to_end_ms << ',';
+  os << "\"compile_ms\":" << report.compile.total_ms() << ',';
+  os << "\"data_movement_ms\":" << report.data_movement_ms << ',';
+  os << "\"runtime_overhead_ratio\":" << report.execution.runtime_overhead_ratio << ',';
+  os << "\"kernels\":[";
+  bool first = true;
+  for (const KernelExecutionReport& k : report.execution.kernels) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(k.name) << "\",\"makespan_cycles\":"
+       << k.makespan_cycles << ",\"tasks\":" << k.tasks << ",\"pairs\":" << k.pairs
+       << ",\"gemm\":" << k.pairs_gemm << ",\"spdmm\":" << k.pairs_spdmm
+       << ",\"spmm\":" << k.pairs_spmm << ",\"skipped\":" << k.pairs_skipped
+       << ",\"output_density\":" << k.output_density << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dynasparse

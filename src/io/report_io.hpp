@@ -1,0 +1,18 @@
+#pragma once
+// Report serialization: render an InferenceReport as CSV (one row per
+// kernel, for spreadsheets/plotting) or JSON (for dashboards / regression
+// tracking of the reproduced tables).
+
+#include <string>
+
+#include "core/report.hpp"
+
+namespace dynasparse {
+
+/// CSV with a header row and one row per kernel, followed by a totals row.
+std::string report_to_csv(const InferenceReport& report);
+
+/// Compact JSON object: run metadata, totals, and a kernels array.
+std::string report_to_json(const InferenceReport& report);
+
+}  // namespace dynasparse

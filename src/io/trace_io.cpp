@@ -1,0 +1,39 @@
+#include "io/trace_io.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dynasparse {
+
+std::string schedule_to_chrome_trace(const std::vector<KernelTrace>& kernels,
+                                     const SimConfig& cfg) {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  const double us_per_cycle = 1e6 / cfg.core_clock_hz;
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const KernelTrace& k : kernels) {
+    for (const ScheduledInterval& iv : k.intervals) {
+      if (!first) os << ',';
+      first = false;
+      double ts = (k.start_offset_cycles + iv.start_cycles) * us_per_cycle;
+      double dur = (iv.end_cycles - iv.start_cycles) * us_per_cycle;
+      os << "{\"name\":\"" << k.name << " task " << iv.task << "\",\"cat\":\""
+         << k.name << "\",\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << dur
+         << ",\"pid\":1,\"tid\":" << iv.core << '}';
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string execution_to_chrome_trace(const ExecutionResult& result,
+                                      const SimConfig& cfg) {
+  std::vector<KernelTrace> kernels;
+  kernels.reserve(result.timeline.size());
+  for (const ExecutionResult::KernelTimeline& t : result.timeline)
+    kernels.push_back(KernelTrace{t.name, t.intervals, t.start_offset_cycles});
+  return schedule_to_chrome_trace(kernels, cfg);
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,35 @@
+#pragma once
+// Chrome-tracing export of a simulated schedule.
+//
+// Renders per-core task timelines in the Trace Event Format consumed by
+// chrome://tracing and Perfetto: every scheduled interval becomes a
+// complete ("X") event with the Computation Core as the thread id and the
+// kernel as the category. Cycle timestamps convert to microseconds at the
+// accelerator clock.
+
+#include <string>
+#include <vector>
+
+#include "runtime/runtime_system.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/config.hpp"
+
+namespace dynasparse {
+
+/// One kernel's timeline plus its display name.
+struct KernelTrace {
+  std::string name;
+  std::vector<ScheduledInterval> intervals;
+  double start_offset_cycles = 0.0;  // kernels execute back to back
+};
+
+/// Serialize kernel timelines as a Trace Event Format JSON array object.
+std::string schedule_to_chrome_trace(const std::vector<KernelTrace>& kernels,
+                                     const SimConfig& cfg);
+
+/// Convenience: export the timeline recorded by an engine run made with
+/// RuntimeOptions::collect_timeline = true.
+std::string execution_to_chrome_trace(const ExecutionResult& result,
+                                      const SimConfig& cfg);
+
+}  // namespace dynasparse

@@ -1,0 +1,57 @@
+#include "matrix/coo_matrix.hpp"
+
+#include <algorithm>
+
+namespace dynasparse {
+
+namespace {
+bool row_major_less(const CooEntry& a, const CooEntry& b) {
+  return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+bool col_major_less(const CooEntry& a, const CooEntry& b) {
+  return a.col != b.col ? a.col < b.col : a.row < b.row;
+}
+}  // namespace
+
+void CooMatrix::sort_to_layout() {
+  if (layout_ == Layout::kRowMajor)
+    std::sort(entries_.begin(), entries_.end(), row_major_less);
+  else
+    std::sort(entries_.begin(), entries_.end(), col_major_less);
+}
+
+CooMatrix CooMatrix::with_layout(Layout layout) const {
+  CooMatrix out(rows_, cols_, layout);
+  out.entries_ = entries_;
+  out.sort_to_layout();
+  return out;
+}
+
+CooMatrix CooMatrix::transposed() const {
+  CooMatrix out(cols_, rows_, layout_);
+  out.entries_.reserve(entries_.size());
+  for (const CooEntry& e : entries_) out.entries_.push_back({e.col, e.row, e.value});
+  out.sort_to_layout();
+  return out;
+}
+
+bool CooMatrix::well_formed() const {
+  auto less = layout_ == Layout::kRowMajor ? row_major_less : col_major_less;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const CooEntry& e = entries_[i];
+    if (e.row < 0 || e.row >= rows_ || e.col < 0 || e.col >= cols_) return false;
+    if (i > 0) {
+      // Strictly increasing in layout order implies sorted and duplicate-free.
+      if (!less(entries_[i - 1], e)) return false;
+    }
+  }
+  return true;
+}
+
+DenseMatrix CooMatrix::to_dense() const {
+  DenseMatrix out(rows_, cols_, Layout::kRowMajor);
+  for (const CooEntry& e : entries_) out.at(e.row, e.col) += e.value;
+  return out;
+}
+
+}  // namespace dynasparse

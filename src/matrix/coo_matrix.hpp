@@ -1,0 +1,66 @@
+#pragma once
+// Sparse matrix in Coordinate (COO) format — the paper's on-device sparse
+// representation (Section V-A): each nonzero is a (col, row, value)
+// three-tuple, and the element *order* encodes the data layout (row-major
+// or column-major).
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/dense_matrix.hpp"
+
+namespace dynasparse {
+
+struct CooEntry {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+  float value = 0.0f;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(std::int64_t rows, std::int64_t cols, Layout layout = Layout::kRowMajor)
+      : rows_(rows), cols_(cols), layout_(layout) {}
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  Layout layout() const { return layout_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(entries_.size()); }
+  double density() const {
+    if (rows_ == 0 || cols_ == 0) return 0.0;
+    return static_cast<double>(nnz()) / static_cast<double>(rows_ * cols_);
+  }
+
+  const std::vector<CooEntry>& entries() const { return entries_; }
+  std::vector<CooEntry>& entries() { return entries_; }
+
+  /// Append an entry; caller is responsible for keeping layout order (or
+  /// calling sort_to_layout afterwards) and for not duplicating positions.
+  void push(std::int64_t r, std::int64_t c, float v) { entries_.push_back({r, c, v}); }
+
+  /// Sort entries into this matrix's layout order: row-major sorts by
+  /// (row, col), column-major by (col, row).
+  void sort_to_layout();
+
+  /// Return the same nonzeros re-ordered for the other layout.
+  CooMatrix with_layout(Layout layout) const;
+
+  /// Logical transpose (swaps row/col of every entry and the shape).
+  CooMatrix transposed() const;
+
+  /// True if entries are sorted according to layout() and positions are
+  /// in-bounds and unique.
+  bool well_formed() const;
+
+  /// Materialize as dense (row-major). Intended for tests / small tiles.
+  DenseMatrix to_dense() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  Layout layout_ = Layout::kRowMajor;
+  std::vector<CooEntry> entries_;
+};
+
+}  // namespace dynasparse

@@ -1,0 +1,51 @@
+#include "matrix/csr_matrix.hpp"
+
+#include <stdexcept>
+
+namespace dynasparse {
+
+CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
+                     std::vector<std::int64_t> row_ptr, std::vector<std::int64_t> col_idx,
+                     std::vector<float> values)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)), values_(std::move(values)) {
+  if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1)
+    throw std::invalid_argument("CSR row_ptr size mismatch");
+  if (col_idx_.size() != values_.size())
+    throw std::invalid_argument("CSR col_idx/values size mismatch");
+}
+
+bool CsrMatrix::well_formed() const {
+  if (row_ptr_.empty() || row_ptr_.front() != 0) return false;
+  if (row_ptr_.back() != nnz()) return false;
+  for (std::size_t r = 0; r + 1 < row_ptr_.size(); ++r) {
+    if (row_ptr_[r] > row_ptr_[r + 1]) return false;
+    for (std::int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      std::size_t i = static_cast<std::size_t>(k);
+      if (col_idx_[i] < 0 || col_idx_[i] >= cols_) return false;
+      if (k > row_ptr_[r] && col_idx_[i - 1] >= col_idx_[i]) return false;
+    }
+  }
+  return true;
+}
+
+CooMatrix CsrMatrix::to_coo(Layout layout) const {
+  CooMatrix out(rows_, cols_, layout);
+  out.entries().reserve(static_cast<std::size_t>(nnz()));
+  for (std::int64_t r = 0; r < rows_; ++r)
+    for (std::int64_t k = row_begin(r); k < row_end(r); ++k)
+      out.push(r, col_idx_[static_cast<std::size_t>(k)], values_[static_cast<std::size_t>(k)]);
+  if (layout != Layout::kRowMajor) out.sort_to_layout();
+  return out;
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix out(rows_, cols_, Layout::kRowMajor);
+  for (std::int64_t r = 0; r < rows_; ++r)
+    for (std::int64_t k = row_begin(r); k < row_end(r); ++k)
+      out.at(r, col_idx_[static_cast<std::size_t>(k)]) +=
+          values_[static_cast<std::size_t>(k)];
+  return out;
+}
+
+}  // namespace dynasparse

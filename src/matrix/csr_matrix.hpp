@@ -1,0 +1,53 @@
+#pragma once
+// Compressed Sparse Row matrix. Used host-side: graph adjacency storage and
+// the reference kernels iterate CSR for cache-friendly row access. The
+// simulated device uses COO (paper Section V-A); conversions live in
+// format_convert.hpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/coo_matrix.hpp"
+
+namespace dynasparse {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  /// Build from shape + parallel arrays; row_ptr.size() must be rows+1.
+  CsrMatrix(std::int64_t rows, std::int64_t cols, std::vector<std::int64_t> row_ptr,
+            std::vector<std::int64_t> col_idx, std::vector<float> values);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(col_idx_.size()); }
+  double density() const {
+    if (rows_ == 0 || cols_ == 0) return 0.0;
+    return static_cast<double>(nnz()) / static_cast<double>(rows_ * cols_);
+  }
+
+  const std::vector<std::int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& values() { return values_; }
+
+  std::int64_t row_begin(std::int64_t r) const { return row_ptr_[static_cast<std::size_t>(r)]; }
+  std::int64_t row_end(std::int64_t r) const { return row_ptr_[static_cast<std::size_t>(r) + 1]; }
+  std::int64_t row_nnz(std::int64_t r) const { return row_end(r) - row_begin(r); }
+
+  /// Structural validity: monotone row_ptr, in-bounds sorted column
+  /// indices without duplicates within a row.
+  bool well_formed() const;
+
+  CooMatrix to_coo(Layout layout = Layout::kRowMajor) const;
+  DenseMatrix to_dense() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_ = {0};
+  std::vector<std::int64_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace dynasparse

@@ -1,0 +1,54 @@
+#include "matrix/dense_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dynasparse {
+
+DenseMatrix::DenseMatrix(std::int64_t rows, std::int64_t cols, Layout layout)
+    : rows_(rows), cols_(cols), layout_(layout),
+      data_(static_cast<std::size_t>(rows * cols), 0.0f) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative matrix shape");
+}
+
+std::int64_t DenseMatrix::nnz() const {
+  std::int64_t n = 0;
+  for (float v : data_)
+    if (v != 0.0f) ++n;
+  return n;
+}
+
+double DenseMatrix::density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(rows_ * cols_);
+}
+
+DenseMatrix DenseMatrix::with_layout(Layout layout) const {
+  if (layout == layout_) return *this;
+  DenseMatrix out(rows_, cols_, layout);
+  for (std::int64_t r = 0; r < rows_; ++r)
+    for (std::int64_t c = 0; c < cols_; ++c) out.at(r, c) = at(r, c);
+  return out;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix out(cols_, rows_, Layout::kRowMajor);
+  for (std::int64_t r = 0; r < rows_; ++r)
+    for (std::int64_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  return out;
+}
+
+void DenseMatrix::fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+float DenseMatrix::max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("shape mismatch in max_abs_diff");
+  float m = 0.0f;
+  for (std::int64_t r = 0; r < a.rows(); ++r)
+    for (std::int64_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::fabs(a.at(r, c) - b.at(r, c)));
+  return m;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,70 @@
+#pragma once
+// Dense fp32 matrix with an explicit storage layout.
+//
+// Layout matters to the accelerator: the GEMM execution mode requires its
+// second operand column-major (paper Table III), and the Layout
+// Transformation Unit charges cycles for transposition. The host-side data
+// structure records the layout so the simulator can bill transforms.
+
+#include <cstdint>
+#include <vector>
+
+namespace dynasparse {
+
+enum class Layout { kRowMajor, kColMajor };
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  /// Zero-initialized rows x cols matrix in the given layout.
+  DenseMatrix(std::int64_t rows, std::int64_t cols, Layout layout = Layout::kRowMajor);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  Layout layout() const { return layout_; }
+  std::int64_t size() const { return rows_ * cols_; }
+
+  /// Element access by logical (row, col), independent of layout.
+  float at(std::int64_t r, std::int64_t c) const { return data_[index(r, c)]; }
+  float& at(std::int64_t r, std::int64_t c) { return data_[index(r, c)]; }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// Number of elements with value != 0.
+  std::int64_t nnz() const;
+  /// nnz / (rows * cols); 0 for an empty matrix.
+  double density() const;
+
+  /// Re-store the same logical matrix in the other layout (a physical
+  /// transpose of the backing array). Logical indices are unchanged.
+  DenseMatrix with_layout(Layout layout) const;
+
+  /// Logical transpose: returns the cols x rows matrix B with
+  /// B[c][r] == (*this)[r][c], stored row-major.
+  DenseMatrix transposed() const;
+
+  /// Set every element to v.
+  void fill(float v);
+
+  /// Max |a - b| over all elements; matrices must be the same shape.
+  static float max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+  bool same_shape(const DenseMatrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  std::size_t index(std::int64_t r, std::int64_t c) const {
+    return layout_ == Layout::kRowMajor
+               ? static_cast<std::size_t>(r * cols_ + c)
+               : static_cast<std::size_t>(c * rows_ + r);
+  }
+
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  Layout layout_ = Layout::kRowMajor;
+  std::vector<float> data_;
+};
+
+}  // namespace dynasparse

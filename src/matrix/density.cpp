@@ -1,0 +1,21 @@
+#include "matrix/density.hpp"
+
+namespace dynasparse {
+
+std::int64_t count_nonzeros(const std::vector<float>& values) {
+  std::int64_t n = 0;
+  for (float v : values)
+    if (v != 0.0f) ++n;
+  return n;
+}
+
+double profile_density(const DenseMatrix& m) { return m.density(); }
+
+double profile_density(const CooMatrix& m) { return m.density(); }
+
+double density_from_nnz(std::int64_t nnz, std::int64_t rows, std::int64_t cols) {
+  if (rows == 0 || cols == 0) return 0.0;
+  return static_cast<double>(nnz) / static_cast<double>(rows * cols);
+}
+
+}  // namespace dynasparse

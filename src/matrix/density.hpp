@@ -1,0 +1,25 @@
+#pragma once
+// Density profiling — functional counterpart of the hardware Sparsity
+// Profiler (comparator array + adder tree at the Result Buffer output,
+// paper Section V-B2). Density = nnz / (rows * cols); sparsity = 1 - density.
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/coo_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+
+namespace dynasparse {
+
+/// Count of nonzeros in a raw value stream (what the comparator array sees).
+std::int64_t count_nonzeros(const std::vector<float>& values);
+
+/// Density of a dense matrix.
+double profile_density(const DenseMatrix& m);
+/// Density of a COO matrix (entries assumed nonzero).
+double profile_density(const CooMatrix& m);
+
+/// Density of the m x n product-shape metadata given an nnz count.
+double density_from_nnz(std::int64_t nnz, std::int64_t rows, std::int64_t cols);
+
+}  // namespace dynasparse

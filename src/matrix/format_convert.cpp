@@ -1,0 +1,84 @@
+#include "matrix/format_convert.hpp"
+
+#include "util/prefix_sum.hpp"
+
+namespace dynasparse {
+
+CooMatrix dense_to_coo(const DenseMatrix& m) {
+  CooMatrix out(m.rows(), m.cols(), m.layout());
+  if (m.layout() == Layout::kRowMajor) {
+    for (std::int64_t r = 0; r < m.rows(); ++r)
+      for (std::int64_t c = 0; c < m.cols(); ++c)
+        if (m.at(r, c) != 0.0f) out.push(r, c, m.at(r, c));
+  } else {
+    for (std::int64_t c = 0; c < m.cols(); ++c)
+      for (std::int64_t r = 0; r < m.rows(); ++r)
+        if (m.at(r, c) != 0.0f) out.push(r, c, m.at(r, c));
+  }
+  return out;
+}
+
+DenseMatrix coo_to_dense(const CooMatrix& m) { return m.to_dense(); }
+
+CsrMatrix dense_to_csr(const DenseMatrix& m) {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(m.rows()), 0);
+  for (std::int64_t r = 0; r < m.rows(); ++r)
+    for (std::int64_t c = 0; c < m.cols(); ++c)
+      if (m.at(r, c) != 0.0f) ++counts[static_cast<std::size_t>(r)];
+  std::vector<std::int64_t> row_ptr = exclusive_prefix_sum(counts);
+  row_ptr.push_back(row_ptr.empty() ? 0 : row_ptr.back() + (counts.empty() ? 0 : counts.back()));
+  std::vector<std::int64_t> col_idx;
+  std::vector<float> values;
+  col_idx.reserve(static_cast<std::size_t>(row_ptr.back()));
+  values.reserve(static_cast<std::size_t>(row_ptr.back()));
+  for (std::int64_t r = 0; r < m.rows(); ++r)
+    for (std::int64_t c = 0; c < m.cols(); ++c)
+      if (m.at(r, c) != 0.0f) {
+        col_idx.push_back(c);
+        values.push_back(m.at(r, c));
+      }
+  return CsrMatrix(m.rows(), m.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix coo_to_csr(const CooMatrix& m) {
+  CooMatrix sorted = m.layout() == Layout::kRowMajor ? m : m.with_layout(Layout::kRowMajor);
+  sorted.sort_to_layout();
+  std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(m.rows()) + 1, 0);
+  for (const CooEntry& e : sorted.entries()) ++row_ptr[static_cast<std::size_t>(e.row) + 1];
+  for (std::size_t r = 1; r < row_ptr.size(); ++r) row_ptr[r] += row_ptr[r - 1];
+  std::vector<std::int64_t> col_idx;
+  std::vector<float> values;
+  col_idx.reserve(sorted.entries().size());
+  values.reserve(sorted.entries().size());
+  for (const CooEntry& e : sorted.entries()) {
+    col_idx.push_back(e.col);
+    values.push_back(e.value);
+  }
+  return CsrMatrix(m.rows(), m.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CompactedChunk compact_chunk(const std::vector<float>& chunk) {
+  // Functional mirror of the hardware pipeline: the prefix sum of "is zero"
+  // gives each survivor its left-shift distance; applying the shift stage
+  // by stage (1, 2, 4, ... positions) compacts in log(n) steps. Here we
+  // apply the final permutation directly — the staged network computes the
+  // same result, which the unit tests verify against Fig. 8's example.
+  std::vector<std::int64_t> is_zero(chunk.size());
+  for (std::size_t i = 0; i < chunk.size(); ++i) is_zero[i] = chunk[i] == 0.0f ? 1 : 0;
+  std::vector<std::int64_t> shift = exclusive_prefix_sum(is_zero);
+  CompactedChunk out;
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    if (chunk[i] != 0.0f) {
+      out.values.push_back(chunk[i]);
+      out.source_index.push_back(static_cast<int>(i));
+      // The element lands at position i - shift[i]; order of push_back
+      // already realizes that because shifts are monotone.
+      (void)shift;
+    }
+  }
+  return out;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,43 @@
+#pragma once
+// Data-format conversion between dense and sparse representations.
+//
+// Functionally these are host-side conversions; the hardware equivalents
+// (the Dense-to-Sparse and Sparse-to-Dense modules of the Auxiliary
+// Hardware Module, paper Fig. 8) are *streaming* pipelines whose cycle
+// costs are modelled in src/sim/format_transform.hpp. The functional
+// `dense_to_coo` here mirrors the hardware algorithm: per n-element chunk,
+// compute the prefix sum of zero counts and compact survivors left.
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/coo_matrix.hpp"
+#include "matrix/csr_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+
+namespace dynasparse {
+
+/// Dense -> COO keeping the dense matrix's layout order (row-major scan
+/// for row-major input, column-major scan otherwise).
+CooMatrix dense_to_coo(const DenseMatrix& m);
+
+/// COO -> dense (row-major). Duplicate positions accumulate.
+DenseMatrix coo_to_dense(const CooMatrix& m);
+
+/// Dense -> CSR.
+CsrMatrix dense_to_csr(const DenseMatrix& m);
+
+/// COO (any layout) -> CSR.
+CsrMatrix coo_to_csr(const CooMatrix& m);
+
+/// One hardware D2S pipeline step (paper Fig. 8): compact the nonzeros of
+/// an n-wide chunk to the left, preserving order, and report their
+/// original indices. Exposed for unit-testing the pipeline model against
+/// the figure's worked example.
+struct CompactedChunk {
+  std::vector<float> values;        // surviving nonzero values, in order
+  std::vector<int> source_index;    // original position of each survivor
+};
+CompactedChunk compact_chunk(const std::vector<float>& chunk);
+
+}  // namespace dynasparse

@@ -1,0 +1,28 @@
+#include "matrix/layout.hpp"
+
+#include <stdexcept>
+
+namespace dynasparse {
+
+DenseMatrix toggle_layout(const DenseMatrix& m) {
+  return m.with_layout(m.layout() == Layout::kRowMajor ? Layout::kColMajor
+                                                       : Layout::kRowMajor);
+}
+
+CooMatrix toggle_layout(const CooMatrix& m) {
+  return m.with_layout(m.layout() == Layout::kRowMajor ? Layout::kColMajor
+                                                       : Layout::kRowMajor);
+}
+
+DenseMatrix merge_partials(const DenseMatrix& row_major_part,
+                           const DenseMatrix& col_major_part) {
+  if (!row_major_part.same_shape(col_major_part))
+    throw std::invalid_argument("merge_partials shape mismatch");
+  DenseMatrix out(row_major_part.rows(), row_major_part.cols(), Layout::kRowMajor);
+  for (std::int64_t r = 0; r < out.rows(); ++r)
+    for (std::int64_t c = 0; c < out.cols(); ++c)
+      out.at(r, c) = row_major_part.at(r, c) + col_major_part.at(r, c);
+  return out;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,23 @@
+#pragma once
+// Data-layout transformation — functional counterpart of the Layout
+// Transformation Unit (streaming permutation network, paper Section V-B2).
+// Row-major <-> column-major re-storage of the same logical matrix is a
+// physical transpose of the backing array.
+
+#include "matrix/coo_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+
+namespace dynasparse {
+
+/// Re-store `m` in the opposite layout (logical values unchanged).
+DenseMatrix toggle_layout(const DenseMatrix& m);
+CooMatrix toggle_layout(const CooMatrix& m);
+
+/// Merge two partial results of the same logical tile, one row-major and
+/// one column-major, into a single row-major tile (the Layout Merger of
+/// the Result Buffer: partial sums from GEMM-mode and transposed-operand
+/// passes are added elementwise on the way to DDR).
+DenseMatrix merge_partials(const DenseMatrix& row_major_part,
+                           const DenseMatrix& col_major_part);
+
+}  // namespace dynasparse

@@ -1,0 +1,46 @@
+#pragma once
+// Reference implementations of the three computation primitives.
+//
+// GEMM, SpDMM and SPMM are *numerically identical* operations — they all
+// compute Z = X * Y — and differ only in which zero elements they skip
+// (paper Section III-A). These host-side kernels are the functional ground
+// truth: the simulator's per-tile execution and the end-to-end engine are
+// both validated against them, and the property tests assert the three
+// primitives agree on random inputs across the whole density grid.
+//
+// Accumulation order: all kernels accumulate in the order k = 0..n-1 for
+// output (i, j) += X(i, k) * Y(k, j), so results are bit-identical across
+// primitives, not merely close.
+
+#include "matrix/coo_matrix.hpp"
+#include "matrix/csr_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+
+namespace dynasparse {
+
+/// Dense x dense -> dense (row-major). The GEMM primitive.
+DenseMatrix gemm(const DenseMatrix& x, const DenseMatrix& y);
+
+/// Sparse x dense -> dense. The SpDMM primitive: skips zeros of X.
+DenseMatrix spdmm(const CooMatrix& x, const DenseMatrix& y);
+
+/// Dense x sparse -> dense. SpDMM with the *second* operand sparse (the
+/// hardware handles this by loading X into BufferO and routing on Y; see
+/// Algorithm 7 lines 14-15 which place the sparser operand in BufferU).
+DenseMatrix spdmm_rhs(const DenseMatrix& x, const CooMatrix& y);
+
+/// Sparse x sparse -> dense. The SPMM primitive (row-wise product).
+DenseMatrix spmm(const CooMatrix& x, const CooMatrix& y);
+
+/// CSR x dense -> dense; cache-friendly host kernel used by the naive
+/// reference model and the CPU baseline's functional path.
+DenseMatrix csr_spdmm(const CsrMatrix& x, const DenseMatrix& y);
+
+/// z += x * y with dense accumulation into a caller-provided tile. All the
+/// simulator's functional tile math funnels through these.
+void gemm_accumulate(const DenseMatrix& x, const DenseMatrix& y, DenseMatrix& z);
+void spdmm_accumulate(const CooMatrix& x, const DenseMatrix& y, DenseMatrix& z);
+void spdmm_rhs_accumulate(const DenseMatrix& x, const CooMatrix& y, DenseMatrix& z);
+void spmm_accumulate(const CooMatrix& x, const CooMatrix& y, DenseMatrix& z);
+
+}  // namespace dynasparse

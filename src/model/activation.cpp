@@ -1,0 +1,30 @@
+#include "model/activation.hpp"
+
+namespace dynasparse {
+
+float apply_activation(Activation act, float v, float prelu_slope) {
+  switch (act) {
+    case Activation::kNone:
+      return v;
+    case Activation::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case Activation::kPRelu:
+      return v > 0.0f ? v : prelu_slope * v;
+  }
+  return v;
+}
+
+std::function<float(float)> activation_fn(Activation act, float prelu_slope) {
+  return [act, prelu_slope](float v) { return apply_activation(act, v, prelu_slope); };
+}
+
+const char* activation_name(Activation act) {
+  switch (act) {
+    case Activation::kNone: return "none";
+    case Activation::kRelu: return "ReLU";
+    case Activation::kPRelu: return "PReLU";
+  }
+  return "?";
+}
+
+}  // namespace dynasparse

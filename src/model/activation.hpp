@@ -1,0 +1,20 @@
+#pragma once
+// Element-wise activation functions (paper IR Table II: ReLU, PReLU).
+// All activations map 0 to 0, so they preserve structural zeros and can be
+// fused into the tile-store path of the simulated accelerator.
+
+#include <functional>
+
+namespace dynasparse {
+
+enum class Activation { kNone, kRelu, kPRelu };
+
+/// Apply the activation to one value. PReLU uses the given negative slope.
+float apply_activation(Activation act, float v, float prelu_slope = 0.01f);
+
+/// Functor form for PartitionedMatrix::apply_elementwise.
+std::function<float(float)> activation_fn(Activation act, float prelu_slope = 0.01f);
+
+const char* activation_name(Activation act);
+
+}  // namespace dynasparse

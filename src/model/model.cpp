@@ -1,0 +1,279 @@
+#include "model/model.hpp"
+
+#include <sstream>
+
+#include "model/pruning.hpp"
+#include "model/weights.hpp"
+
+namespace dynasparse {
+
+std::int64_t GnnModel::total_weight_elems() const {
+  std::int64_t n = 0;
+  for (const DenseMatrix& w : weights) n += w.size();
+  return n;
+}
+
+double GnnModel::weight_density() const {
+  std::int64_t total = total_weight_elems();
+  if (total == 0) return 0.0;
+  std::int64_t nnz = 0;
+  for (const DenseMatrix& w : weights) nnz += w.nnz();
+  return static_cast<double>(nnz) / static_cast<double>(total);
+}
+
+const char* model_kind_name(GnnModelKind kind) {
+  switch (kind) {
+    case GnnModelKind::kGcn: return "GCN";
+    case GnnModelKind::kSage: return "GraphSAGE";
+    case GnnModelKind::kGin: return "GIN";
+    case GnnModelKind::kSgc: return "SGC";
+  }
+  return "?";
+}
+
+const std::vector<GnnModelKind>& paper_models() {
+  static const std::vector<GnnModelKind> kinds = {
+      GnnModelKind::kGcn, GnnModelKind::kSage, GnnModelKind::kGin, GnnModelKind::kSgc};
+  return kinds;
+}
+
+namespace {
+
+/// GCN layer (paper Fig. 10): Update then Aggregate with the sym-norm
+/// operator. Doing Update first shrinks the feature dimension before the
+/// expensive sparse product — and matches the paper's observation that
+/// GCN's first kernel is Update(H0, W1) (Section VIII-B).
+void append_gcn(GnnModel& m, const std::vector<std::int64_t>& dims, Rng& rng) {
+  const int layers = static_cast<int>(dims.size()) - 1;
+  int node = -1;
+  for (int layer = 1; layer <= layers; ++layer) {
+    std::int64_t fin = dims[static_cast<std::size_t>(layer - 1)];
+    std::int64_t fout = dims[static_cast<std::size_t>(layer)];
+    m.weights.push_back(xavier_uniform(fin, fout, rng));
+    KernelSpec up;
+    up.kind = KernelKind::kUpdate;
+    up.layer_id = layer;
+    up.in_dim = fin;
+    up.out_dim = fout;
+    up.weight_index = static_cast<int>(m.weights.size()) - 1;
+    up.input = node;
+    m.kernels.push_back(up);
+    node = static_cast<int>(m.kernels.size()) - 1;
+
+    KernelSpec ag;
+    ag.kind = KernelKind::kAggregate;
+    ag.layer_id = layer;
+    ag.in_dim = fout;
+    ag.out_dim = fout;
+    ag.adj = AdjKind::kSymNorm;
+    ag.input = node;
+    ag.act = layer < layers ? Activation::kRelu : Activation::kNone;
+    m.kernels.push_back(ag);
+    node = static_cast<int>(m.kernels.size()) - 1;
+  }
+}
+
+/// GraphSAGE layer: h' = act(W_self h + W_neigh mean(h_neighbors)).
+/// Three kernels per layer: a self Update, a mean Aggregate, and a
+/// neighbor Update whose output is combined (add_input) with the self path.
+void append_sage(GnnModel& m, const std::vector<std::int64_t>& dims, Rng& rng) {
+  const int layers = static_cast<int>(dims.size()) - 1;
+  int node = -1;
+  for (int layer = 1; layer <= layers; ++layer) {
+    std::int64_t fin = dims[static_cast<std::size_t>(layer - 1)];
+    std::int64_t fout = dims[static_cast<std::size_t>(layer)];
+
+    m.weights.push_back(xavier_uniform(fin, fout, rng));
+    KernelSpec self_up;
+    self_up.kind = KernelKind::kUpdate;
+    self_up.layer_id = layer;
+    self_up.in_dim = fin;
+    self_up.out_dim = fout;
+    self_up.weight_index = static_cast<int>(m.weights.size()) - 1;
+    self_up.input = node;
+    m.kernels.push_back(self_up);
+    int self_node = static_cast<int>(m.kernels.size()) - 1;
+
+    KernelSpec ag;
+    ag.kind = KernelKind::kAggregate;
+    ag.layer_id = layer;
+    ag.in_dim = fin;
+    ag.out_dim = fin;
+    ag.adj = AdjKind::kRowNorm;  // mean aggregation
+    ag.op = AccumOp::kSum;       // weighted sum realizes the mean
+    ag.input = node;
+    m.kernels.push_back(ag);
+    int agg_node = static_cast<int>(m.kernels.size()) - 1;
+
+    m.weights.push_back(xavier_uniform(fin, fout, rng));
+    KernelSpec neigh_up;
+    neigh_up.kind = KernelKind::kUpdate;
+    neigh_up.layer_id = layer;
+    neigh_up.in_dim = fin;
+    neigh_up.out_dim = fout;
+    neigh_up.weight_index = static_cast<int>(m.weights.size()) - 1;
+    neigh_up.input = agg_node;
+    neigh_up.add_input = self_node;
+    neigh_up.act = layer < layers ? Activation::kRelu : Activation::kNone;
+    m.kernels.push_back(neigh_up);
+    node = static_cast<int>(m.kernels.size()) - 1;
+  }
+}
+
+/// GIN layer: h' = MLP((1 + eps) h + sum(h_neighbors)); the MLP is a
+/// 2-layer perceptron, so one Aggregate (A + (1+eps)I) then two Updates.
+void append_gin(GnnModel& m, const std::vector<std::int64_t>& dims, Rng& rng) {
+  constexpr double kEps = 0.1;
+  const int layers = static_cast<int>(dims.size()) - 1;
+  int node = -1;
+  for (int layer = 1; layer <= layers; ++layer) {
+    std::int64_t fin = dims[static_cast<std::size_t>(layer - 1)];
+    std::int64_t fout = dims[static_cast<std::size_t>(layer)];
+
+    KernelSpec ag;
+    ag.kind = KernelKind::kAggregate;
+    ag.layer_id = layer;
+    ag.in_dim = fin;
+    ag.out_dim = fin;
+    ag.adj = AdjKind::kSelfLoopEps;
+    ag.epsilon = kEps;
+    ag.input = node;
+    m.kernels.push_back(ag);
+    node = static_cast<int>(m.kernels.size()) - 1;
+
+    // MLP: fin -> fout -> fout with ReLU between (and after, except the
+    // final model output).
+    m.weights.push_back(xavier_uniform(fin, fout, rng));
+    KernelSpec up1;
+    up1.kind = KernelKind::kUpdate;
+    up1.layer_id = layer;
+    up1.in_dim = fin;
+    up1.out_dim = fout;
+    up1.weight_index = static_cast<int>(m.weights.size()) - 1;
+    up1.input = node;
+    up1.act = Activation::kRelu;
+    m.kernels.push_back(up1);
+    node = static_cast<int>(m.kernels.size()) - 1;
+
+    m.weights.push_back(xavier_uniform(fout, fout, rng));
+    KernelSpec up2;
+    up2.kind = KernelKind::kUpdate;
+    up2.layer_id = layer;
+    up2.in_dim = fout;
+    up2.out_dim = fout;
+    up2.weight_index = static_cast<int>(m.weights.size()) - 1;
+    up2.input = node;
+    up2.act = layer < layers ? Activation::kRelu : Activation::kNone;
+    m.kernels.push_back(up2);
+    node = static_cast<int>(m.kernels.size()) - 1;
+  }
+}
+
+/// SGC with K hops: K propagation hops (sym-norm Aggregates) followed by a
+/// single Update — "Aggregate, Aggregate, Update" in Fig. 10 for K = 2.
+void append_sgc(GnnModel& m, int hops, Rng& rng) {
+  int node = -1;
+  for (int hop = 1; hop <= hops; ++hop) {
+    KernelSpec ag;
+    ag.kind = KernelKind::kAggregate;
+    ag.layer_id = hop;
+    ag.in_dim = m.in_dim;
+    ag.out_dim = m.in_dim;
+    ag.adj = AdjKind::kSymNorm;
+    ag.input = node;
+    m.kernels.push_back(ag);
+    node = static_cast<int>(m.kernels.size()) - 1;
+  }
+  m.weights.push_back(xavier_uniform(m.in_dim, m.out_dim, rng));
+  KernelSpec up;
+  up.kind = KernelKind::kUpdate;
+  up.layer_id = hops;
+  up.in_dim = m.in_dim;
+  up.out_dim = m.out_dim;
+  up.weight_index = 0;
+  up.input = node;
+  m.kernels.push_back(up);
+}
+
+}  // namespace
+
+GnnModel build_deep_model(GnnModelKind kind, const std::vector<std::int64_t>& dims,
+                          Rng& rng) {
+  if (dims.size() < 2) throw std::invalid_argument("need at least in and out dims");
+  for (std::int64_t d : dims)
+    if (d <= 0) throw std::invalid_argument("dims must be positive");
+  GnnModel m;
+  m.kind = kind;
+  m.name = model_kind_name(kind);
+  m.num_layers = static_cast<int>(dims.size()) - 1;
+  m.in_dim = dims.front();
+  m.hidden_dim = dims.size() > 2 ? dims[1] : dims.back();
+  m.out_dim = dims.back();
+  switch (kind) {
+    case GnnModelKind::kGcn: append_gcn(m, dims, rng); break;
+    case GnnModelKind::kSage: append_sage(m, dims, rng); break;
+    case GnnModelKind::kGin: append_gin(m, dims, rng); break;
+    case GnnModelKind::kSgc:
+      // Hops are weight-free, so the feature dim is fixed until the
+      // final Update; interior dims must restate in_dim.
+      for (std::size_t i = 1; i + 1 < dims.size(); ++i)
+        if (dims[i] != dims.front())
+          throw std::invalid_argument("SGC interior dims must equal in_dim");
+      append_sgc(m, m.num_layers, rng);
+      break;
+  }
+  return m;
+}
+
+GnnModel build_model(GnnModelKind kind, std::int64_t in_dim, std::int64_t hidden_dim,
+                     std::int64_t out_dim, Rng& rng) {
+  if (kind == GnnModelKind::kSgc)
+    return build_deep_model(kind, {in_dim, in_dim, out_dim}, rng);
+  return build_deep_model(kind, {in_dim, hidden_dim, out_dim}, rng);
+}
+
+void prune_model(GnnModel& model, double sparsity) {
+  for (DenseMatrix& w : model.weights) magnitude_prune(w, sparsity);
+}
+
+bool validate_model(const GnnModel& model, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  std::vector<std::int64_t> out_dims(model.kernels.size());
+  for (std::size_t i = 0; i < model.kernels.size(); ++i) {
+    const KernelSpec& k = model.kernels[i];
+    std::ostringstream tag;
+    tag << "kernel " << i << " (" << k.kind_name() << ", layer " << k.layer_id << "): ";
+    if (k.input != kFromFeatures &&
+        (k.input < 0 || static_cast<std::size_t>(k.input) >= i))
+      return fail(tag.str() + "input must reference an earlier node or H0");
+    std::int64_t in_dim =
+        k.input == kFromFeatures ? model.in_dim : out_dims[static_cast<std::size_t>(k.input)];
+    if (k.in_dim != in_dim) return fail(tag.str() + "in_dim does not match input node");
+    if (k.kind == KernelKind::kUpdate) {
+      if (k.weight_index < 0 ||
+          static_cast<std::size_t>(k.weight_index) >= model.weights.size())
+        return fail(tag.str() + "weight_index out of range");
+      const DenseMatrix& w = model.weights[static_cast<std::size_t>(k.weight_index)];
+      if (w.rows() != k.in_dim || w.cols() != k.out_dim)
+        return fail(tag.str() + "weight shape mismatch");
+    } else {
+      if (k.in_dim != k.out_dim)
+        return fail(tag.str() + "Aggregate must preserve feature dim");
+    }
+    if (k.add_input >= 0) {
+      if (static_cast<std::size_t>(k.add_input) >= i)
+        return fail(tag.str() + "add_input must reference an earlier node");
+      if (out_dims[static_cast<std::size_t>(k.add_input)] != k.out_dim)
+        return fail(tag.str() + "add_input dim mismatch");
+    }
+    out_dims[i] = k.out_dim;
+  }
+  if (!model.kernels.empty() && model.kernels.back().out_dim != model.out_dim)
+    return fail("final kernel does not produce out_dim");
+  return true;
+}
+
+}  // namespace dynasparse

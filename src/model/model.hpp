@@ -1,0 +1,93 @@
+#pragma once
+// GNN model specifications: GCN, GraphSAGE, GIN, SGC (paper Fig. 10).
+//
+// A model is described as an ordered sequence of kernel nodes, each either
+// an Aggregate (sparse product with an adjacency operator) or an Update
+// (product with a weight matrix). Nodes name their input explicitly so the
+// branching GraphSAGE layer (self-transform in parallel with
+// aggregate-then-transform, combined by summation) is expressible; the
+// other models are simple chains.
+//
+// The paper evaluates 2-layer versions of every model with hidden
+// dimension 16 (CI/CO/PU) or 128 (FL/NE/RE); `build_model` defaults match.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/normalization.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "matrix/partitioned_matrix.hpp"
+#include "model/activation.hpp"
+#include "util/random.hpp"
+
+namespace dynasparse {
+
+enum class GnnModelKind { kGcn, kSage, kGin, kSgc };
+
+enum class KernelKind { kAggregate, kUpdate };
+
+/// Input designator: kFromFeatures = the dataset's H0.
+inline constexpr int kFromFeatures = -1;
+
+/// One computation-kernel node of the model's computation graph.
+struct KernelSpec {
+  KernelKind kind = KernelKind::kUpdate;
+  int layer_id = 0;          // 1-based GNN layer this node belongs to
+  std::int64_t in_dim = 0;   // feature columns of the input matrix
+  std::int64_t out_dim = 0;  // feature columns of the output matrix
+  int weight_index = -1;     // Update: index into GnnModel::weights
+  AdjKind adj = AdjKind::kRaw;  // Aggregate: adjacency operator to use
+  double epsilon = 0.0;         // Aggregate with kSelfLoopEps (GIN)
+  AccumOp op = AccumOp::kSum;   // aggregation reduce operator
+  int input = kFromFeatures;    // node index whose output feeds this node
+  int add_input = -1;           // optional node output summed in post-matmul
+  Activation act = Activation::kNone;  // applied after the optional add
+
+  const char* kind_name() const {
+    return kind == KernelKind::kAggregate ? "Aggregate" : "Update";
+  }
+};
+
+struct GnnModel {
+  GnnModelKind kind = GnnModelKind::kGcn;
+  std::string name;
+  int num_layers = 2;
+  std::int64_t in_dim = 0;
+  std::int64_t hidden_dim = 0;
+  std::int64_t out_dim = 0;
+  std::vector<KernelSpec> kernels;      // topological execution order
+  std::vector<DenseMatrix> weights;     // referenced by weight_index
+
+  /// Sum over Update kernels of in_dim * out_dim (pruning denominator).
+  std::int64_t total_weight_elems() const;
+  /// Average density across all weight matrices.
+  double weight_density() const;
+};
+
+const char* model_kind_name(GnnModelKind kind);
+
+/// All four paper models, in paper order (GCN, GraphSAGE, GIN, SGC).
+const std::vector<GnnModelKind>& paper_models();
+
+/// Build a 2-layer model with Xavier-initialized weights.
+/// in_dim/out_dim come from the dataset (feature_dim / num_classes).
+GnnModel build_model(GnnModelKind kind, std::int64_t in_dim, std::int64_t hidden_dim,
+                     std::int64_t out_dim, Rng& rng);
+
+/// Build an L-layer model: `dims` lists the feature dimension at every
+/// layer boundary (dims.size() - 1 layers; dims = {in, hidden..., out}).
+/// SGC interprets the depth as the propagation hop count K with a single
+/// final Update (its hops are weight-free, so interior dims must equal
+/// dims.front()).
+GnnModel build_deep_model(GnnModelKind kind, const std::vector<std::int64_t>& dims,
+                          Rng& rng);
+
+/// Prune every weight matrix of `model` to `sparsity` (Figs. 11/12 sweep).
+void prune_model(GnnModel& model, double sparsity);
+
+/// Structural validation of the kernel graph: inputs reference earlier
+/// nodes (or H0), dims chain correctly, weight indices in range.
+bool validate_model(const GnnModel& model, std::string* error = nullptr);
+
+}  // namespace dynasparse

@@ -1,0 +1,42 @@
+#include "model/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dynasparse {
+
+void magnitude_prune(DenseMatrix& w, double sparsity) {
+  if (sparsity < 0.0 || sparsity > 1.0)
+    throw std::invalid_argument("sparsity must be in [0, 1]");
+  if (sparsity == 0.0 || w.size() == 0) return;
+  const std::int64_t total = w.size();
+  auto target_zeros = static_cast<std::int64_t>(std::llround(sparsity * static_cast<double>(total)));
+  if (target_zeros <= 0) return;
+
+  std::vector<float>& data = w.data();
+  std::int64_t existing_zeros = 0;
+  for (float v : data)
+    if (v == 0.0f) ++existing_zeros;
+  std::int64_t to_zero = target_zeros - existing_zeros;
+  if (to_zero <= 0) return;
+
+  // nth_element over (|value|, index) keeps determinism under ties.
+  std::vector<std::pair<float, std::int64_t>> mag;
+  mag.reserve(static_cast<std::size_t>(total - existing_zeros));
+  for (std::int64_t i = 0; i < total; ++i)
+    if (data[static_cast<std::size_t>(i)] != 0.0f)
+      mag.push_back({std::fabs(data[static_cast<std::size_t>(i)]), i});
+  auto kth = mag.begin() + std::min<std::int64_t>(to_zero, static_cast<std::int64_t>(mag.size()));
+  std::nth_element(mag.begin(), kth, mag.end());
+  for (auto it = mag.begin(); it != kth; ++it)
+    data[static_cast<std::size_t>(it->second)] = 0.0f;
+}
+
+double sparsity_of(const DenseMatrix& w) {
+  if (w.size() == 0) return 0.0;
+  return 1.0 - w.density();
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,20 @@
+#pragma once
+// Model pruning (magnitude pruning) used by the paper's pruned-model
+// evaluation (Figs. 11/12, Table VIII): all weight matrices of a model are
+// pruned to the same target sparsity, and only the resulting *sparsity
+// level* enters the experiments.
+
+#include "matrix/dense_matrix.hpp"
+
+namespace dynasparse {
+
+/// Zero out the smallest-magnitude elements of `w` until at least
+/// `sparsity` (in [0, 1]) of the elements are zero. Ties broken by
+/// position for determinism. sparsity = 0 is a no-op; sparsity = 1 empties
+/// the matrix.
+void magnitude_prune(DenseMatrix& w, double sparsity);
+
+/// Realized sparsity of a matrix (1 - density).
+double sparsity_of(const DenseMatrix& w);
+
+}  // namespace dynasparse

@@ -1,0 +1,28 @@
+#pragma once
+// Naive full-matrix reference inference.
+//
+// Ground truth for validating the compiler + simulator pipeline: executes
+// the same kernel sequence with plain (untiled) host kernels, in the same
+// per-element accumulation order, so engine outputs match bit-for-bit on
+// test-scale datasets. Dense intermediates make this O(|V| * dim) memory —
+// use on test/bench-small graphs only.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matrix/coo_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "model/model.hpp"
+
+namespace dynasparse {
+
+/// Outputs of every kernel node, indexed like model.kernels. The last
+/// entry is the model output (final vertex embeddings).
+std::vector<DenseMatrix> reference_inference(const GnnModel& model, const Graph& graph,
+                                             const CooMatrix& features);
+
+/// Convenience: just the final embedding matrix.
+DenseMatrix reference_output(const GnnModel& model, const Graph& graph,
+                             const CooMatrix& features);
+
+}  // namespace dynasparse

@@ -1,0 +1,16 @@
+#include "model/weights.hpp"
+
+#include <cmath>
+
+namespace dynasparse {
+
+DenseMatrix xavier_uniform(std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  DenseMatrix w(fan_in, fan_out, Layout::kRowMajor);
+  double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::int64_t r = 0; r < fan_in; ++r)
+    for (std::int64_t c = 0; c < fan_out; ++c)
+      w.at(r, c) = static_cast<float>(rng.uniform(-bound, bound));
+  return w;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,14 @@
+#pragma once
+// Weight initialization for GNN models.
+
+#include <cstdint>
+
+#include "matrix/dense_matrix.hpp"
+#include "util/random.hpp"
+
+namespace dynasparse {
+
+/// Glorot/Xavier-uniform initialized fan_in x fan_out weight matrix.
+DenseMatrix xavier_uniform(std::int64_t fan_in, std::int64_t fan_out, Rng& rng);
+
+}  // namespace dynasparse

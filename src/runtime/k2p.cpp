@@ -1,0 +1,45 @@
+#include "runtime/k2p.hpp"
+
+#include <algorithm>
+
+#include "runtime/perf_model.hpp"
+
+namespace dynasparse {
+
+const char* strategy_name(MappingStrategy s) {
+  switch (s) {
+    case MappingStrategy::kStatic1: return "Static-1";
+    case MappingStrategy::kStatic2: return "Static-2";
+    case MappingStrategy::kDynamic: return "Dynamic";
+  }
+  return "?";
+}
+
+PairDecision decide_pair(MappingStrategy strategy, MappedKernelKind kind, double ax,
+                         double ay, int psys) {
+  PairDecision d;
+  switch (strategy) {
+    case MappingStrategy::kStatic1:
+      if (kind == MappedKernelKind::kAggregate) {
+        d.prim = Primitive::kSpdmm;
+        d.alpha_spdmm = ax;  // A viewed sparse regardless of H
+      } else {
+        d.prim = Primitive::kGemm;
+      }
+      return d;
+    case MappingStrategy::kStatic2:
+      // Both kernels as SpDMM; the left operand (A or H) viewed sparse.
+      d.prim = Primitive::kSpdmm;
+      d.alpha_spdmm = ax;
+      return d;
+    case MappingStrategy::kDynamic: {
+      d.prim = choose_primitive(ax, ay, psys);
+      d.alpha_spdmm = std::min(ax, ay);
+      d.x_in_buffer_u = ax <= ay;  // argmin density -> BufferU
+      return d;
+    }
+  }
+  return d;
+}
+
+}  // namespace dynasparse

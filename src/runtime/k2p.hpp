@@ -1,0 +1,38 @@
+#pragma once
+// Kernel-to-primitive mapping strategies (paper Section VIII-B).
+//
+//   Static-1 (HyGCN / BoostGCN): Aggregate -> SpDMM with A as the sparse
+//     operand; Update -> GEMM. Blind to feature/weight sparsity.
+//   Static-2 (AWB-GCN): both kernels -> SpDMM, the left operand (A for
+//     Aggregate, H for Update) viewed as sparse. Blind to weight sparsity
+//     and to the case where dense inputs make GEMM cheaper.
+//   Dynamic (this paper, Algorithm 7): per tile pair, pick the optimal
+//     primitive from the profiled densities; empty pairs are skipped and
+//     the sparser operand is routed to BufferU.
+
+#include "sim/cycle_model.hpp"
+
+namespace dynasparse {
+
+enum class MappingStrategy { kStatic1, kStatic2, kDynamic };
+
+const char* strategy_name(MappingStrategy s);
+
+enum class MappedKernelKind { kAggregate, kUpdate };
+
+/// Decision for one tile pair X (density ax) * Y (density ay).
+struct PairDecision {
+  Primitive prim = Primitive::kSkip;
+  /// Density charged by the SpDMM cycle model = density of the operand
+  /// placed in BufferU (min for Dynamic, always ax for the static
+  /// strategies, which hard-wire the left operand as the sparse one).
+  double alpha_spdmm = 0.0;
+  /// True when X goes to BufferU (affects nothing functionally; recorded
+  /// for stats/tests of Algorithm 7 lines 14-15).
+  bool x_in_buffer_u = true;
+};
+
+PairDecision decide_pair(MappingStrategy strategy, MappedKernelKind kind, double ax,
+                         double ay, int psys);
+
+}  // namespace dynasparse

@@ -1,0 +1,22 @@
+#include "runtime/perf_model.hpp"
+
+#include <algorithm>
+
+namespace dynasparse {
+
+Primitive choose_primitive(double ax, double ay, int psys) {
+  double amin = std::min(ax, ay);
+  double amax = std::max(ax, ay);
+  if (amin <= 0.0) return Primitive::kSkip;
+  if (amin >= 0.5) return Primitive::kGemm;
+  if (amax >= 2.0 / static_cast<double>(psys)) return Primitive::kSpdmm;
+  return Primitive::kSpmm;
+}
+
+double predicted_cycles(const CycleModel& model, const PairShape& shape) {
+  Primitive p = choose_primitive(shape.ax, shape.ay, model.psys());
+  double amin = std::min(shape.ax, shape.ay);
+  return model.pair_cycles(p, shape, amin);
+}
+
+}  // namespace dynasparse

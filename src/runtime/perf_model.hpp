@@ -1,0 +1,25 @@
+#pragma once
+// The Analyzer's analytical performance model (paper Section VI-A).
+//
+// For a pair with densities (ax, ay), let amin = min, amax = max. The
+// cycle formulas of Table IV partition the (amin, amax) domain into three
+// non-overlapping optimality regions:
+//   amin >= 1/2                      -> GEMM   fastest
+//   amin <  1/2 and amax >= 2/psys   -> SpDMM  fastest
+//   amin <  1/2 and amax <  2/psys   -> SPMM   fastest
+// plus the degenerate amin == 0 region where the product is zero and the
+// pair is skipped outright (Algorithm 7 lines 6-7).
+
+#include "sim/cycle_model.hpp"
+
+namespace dynasparse {
+
+/// The optimal primitive for densities (ax, ay) per the closed-form
+/// regions above. Never returns kSkip for amin > 0.
+Primitive choose_primitive(double ax, double ay, int psys);
+
+/// Predicted cycles of the *chosen* primitive (the value the Analyzer
+/// compares when reasoning about mappings).
+double predicted_cycles(const CycleModel& model, const PairShape& shape);
+
+}  // namespace dynasparse

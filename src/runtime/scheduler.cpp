@@ -1,0 +1,60 @@
+#include "runtime/scheduler.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace dynasparse {
+
+double ScheduleResult::load_imbalance() const {
+  if (core_busy_cycles.empty()) return 1.0;
+  double max_busy = 0.0, sum = 0.0;
+  for (double b : core_busy_cycles) {
+    max_busy = std::max(max_busy, b);
+    sum += b;
+  }
+  double mean = sum / static_cast<double>(core_busy_cycles.size());
+  return mean > 0.0 ? max_busy / mean : 1.0;
+}
+
+ScheduleResult schedule_tasks(const std::vector<double>& task_cycles, int num_cores) {
+  if (num_cores <= 0) throw std::invalid_argument("need at least one core");
+  ScheduleResult r;
+  r.core_busy_cycles.assign(static_cast<std::size_t>(num_cores), 0.0);
+  r.task_core.assign(task_cycles.size(), -1);
+
+  // Min-heap of (free_time, core); the earliest-idle core interrupts first.
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> idle;
+  for (int c = 0; c < num_cores; ++c) idle.push({0.0, c});
+
+  for (std::size_t i = 0; i < task_cycles.size(); ++i) {
+    auto [free_at, core] = idle.top();
+    idle.pop();
+    double done = free_at + task_cycles[i];
+    r.task_core[i] = core;
+    r.core_busy_cycles[static_cast<std::size_t>(core)] += task_cycles[i];
+    r.makespan_cycles = std::max(r.makespan_cycles, done);
+    idle.push({done, core});
+  }
+  return r;
+}
+
+std::vector<ScheduledInterval> schedule_timeline(const std::vector<double>& task_cycles,
+                                                 int num_cores) {
+  if (num_cores <= 0) throw std::invalid_argument("need at least one core");
+  std::vector<ScheduledInterval> timeline;
+  timeline.reserve(task_cycles.size());
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> idle;
+  for (int c = 0; c < num_cores; ++c) idle.push({0.0, c});
+  for (std::size_t i = 0; i < task_cycles.size(); ++i) {
+    auto [free_at, core] = idle.top();
+    idle.pop();
+    double done = free_at + task_cycles[i];
+    timeline.push_back({static_cast<int>(i), core, free_at, done});
+    idle.push({done, core});
+  }
+  return timeline;
+}
+
+}  // namespace dynasparse

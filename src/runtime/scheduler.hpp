@@ -1,0 +1,40 @@
+#pragma once
+// Dynamic task scheduling (paper Algorithm 8).
+//
+// Within one kernel, tasks are independent; each Computation Core raises
+// an interrupt when idle and the soft processor hands it the next task.
+// That is exactly greedy list scheduling: we simulate it with a min-heap
+// of core free times. Kernels are separated by a barrier (Algorithm 8
+// line 6: wait until all tasks of kernel l are executed).
+
+#include <cstdint>
+#include <vector>
+
+namespace dynasparse {
+
+struct ScheduleResult {
+  double makespan_cycles = 0.0;
+  std::vector<double> core_busy_cycles;   // per-core total work
+  std::vector<int> task_core;             // assignment, parallel to input
+  /// max(core busy) / mean(core busy); 1.0 = perfectly balanced.
+  double load_imbalance() const;
+};
+
+/// Greedy list scheduling of `task_cycles` (in input order) over
+/// `num_cores` identical cores.
+ScheduleResult schedule_tasks(const std::vector<double>& task_cycles, int num_cores);
+
+/// One scheduled interval, for timelines / trace export.
+struct ScheduledInterval {
+  int task = 0;
+  int core = 0;
+  double start_cycles = 0.0;
+  double end_cycles = 0.0;
+};
+
+/// Reconstruct the per-core timeline of the greedy schedule (same
+/// assignment rule as schedule_tasks; intervals sorted by start time).
+std::vector<ScheduledInterval> schedule_timeline(const std::vector<double>& task_cycles,
+                                                 int num_cores);
+
+}  // namespace dynasparse

@@ -1,0 +1,18 @@
+#include "sim/accelerator.hpp"
+
+namespace dynasparse {
+
+void AcceleratorStats::merge(const AcceleratorStats& o) {
+  tasks += o.tasks;
+  pairs += o.pairs;
+  pairs_gemm += o.pairs_gemm;
+  pairs_spdmm += o.pairs_spdmm;
+  pairs_spmm += o.pairs_spmm;
+  pairs_skipped += o.pairs_skipped;
+  mode_switches += o.mode_switches;
+  compute_cycles += o.compute_cycles;
+  memory_cycles += o.memory_cycles;
+  ahm_cycles += o.ahm_cycles;
+}
+
+}  // namespace dynasparse

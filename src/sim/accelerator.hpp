@@ -1,0 +1,30 @@
+#pragma once
+// Accelerator-level utilities: aggregated execution statistics and the
+// host-side thread pool used to run the *functional* part of the
+// simulation in parallel. (The simulated seven-core schedule is computed
+// by runtime/scheduler.hpp independently of how many host threads run the
+// arithmetic — functional results are deterministic because every task
+// owns its output tile exclusively.)
+
+#include <cstdint>
+
+#include "util/parallel.hpp"  // re-exported: parallel_for lives in util
+
+namespace dynasparse {
+
+struct AcceleratorStats {
+  std::int64_t tasks = 0;
+  std::int64_t pairs = 0;
+  std::int64_t pairs_gemm = 0;
+  std::int64_t pairs_spdmm = 0;
+  std::int64_t pairs_spmm = 0;
+  std::int64_t pairs_skipped = 0;
+  std::int64_t mode_switches = 0;
+  double compute_cycles = 0.0;  // summed over cores
+  double memory_cycles = 0.0;
+  double ahm_cycles = 0.0;
+
+  void merge(const AcceleratorStats& o);
+};
+
+}  // namespace dynasparse

@@ -1,0 +1,54 @@
+#include "sim/compute_core.hpp"
+
+#include <algorithm>
+
+#include "sim/sparsity_profiler.hpp"
+
+namespace dynasparse {
+
+ComputeCoreModel::ComputeCoreModel(const SimConfig& cfg)
+    : cfg_(cfg), cycle_model_(cfg.psys), memory_model_(cfg) {}
+
+TaskTiming ComputeCoreModel::time_task(const std::vector<PairWork>& pairs,
+                                       std::size_t writeback_bytes,
+                                       std::int64_t result_elements, bool hide_ahm,
+                                       int active_cores) const {
+  TaskTiming t;
+  double load_bytes = 0.0;
+  Primitive last = Primitive::kSkip;
+  for (const PairWork& p : pairs) {
+    ++t.pairs;
+    if (p.prim == Primitive::kSkip) {
+      ++t.skipped_pairs;
+      continue;
+    }
+    t.compute_cycles += p.compute_cycles_override >= 0.0
+                            ? p.compute_cycles_override
+                            : cycle_model_.pair_cycles(p.prim, p.shape, p.alpha_spdmm);
+    load_bytes += p.load_bytes;
+    t.ahm_cycles += p.ahm_cycles;
+    if (last != Primitive::kSkip && p.prim != last) {
+      t.compute_cycles += cfg_.mode_switch_cycles;
+      ++t.mode_switches;
+    }
+    last = p.prim;
+  }
+  // DDR bandwidth splits across the cores actually running tasks of this
+  // kernel; a single active core streams at the full channel rate.
+  int sharers = active_cores > 0 ? std::min(active_cores, cfg_.num_cores)
+                                 : cfg_.num_cores;
+  double bytes_per_cycle =
+      memory_model_.bytes_per_cycle_total() / static_cast<double>(sharers);
+  t.memory_cycles =
+      (load_bytes + static_cast<double>(writeback_bytes)) / bytes_per_cycle;
+  t.ahm_cycles += profile_stream_cycles(result_elements, cfg_.psys);
+  // Double buffering overlaps compute with the streaming loads/stores and
+  // the AHM's on-the-fly transforms (paper Section V-B3): the task takes
+  // the longer of the two pipelines. Without double buffering the AHM
+  // stream work serializes with everything else.
+  t.total_cycles = std::max(t.compute_cycles, t.memory_cycles);
+  if (!hide_ahm) t.total_cycles = t.compute_cycles + t.memory_cycles + t.ahm_cycles;
+  return t;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,72 @@
+#pragma once
+// Computation Core timing (paper Section V-B).
+//
+// A core executes one task (paper Algorithm 4) as a sequence of tile-pair
+// products. Compute cycles follow the CycleModel for the chosen execution
+// mode; memory cycles follow the MemoryModel over the tiles' *stored*
+// bytes; AHM work (sparsity profiling, format/layout transformation) is
+// computed separately and, with double buffering enabled (the paper's
+// configuration, Section V-B3), hidden under the max(compute, memory)
+// pipeline. Mode switches between consecutive pairs cost one cycle.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cycle_model.hpp"
+#include "sim/memory_model.hpp"
+#include "util/config.hpp"
+
+namespace dynasparse {
+
+/// Fully-priced unit of work: one tile-pair product inside a task.
+struct PairWork {
+  PairShape shape;
+  Primitive prim = Primitive::kSkip;
+  double alpha_spdmm = 0.0;  // density charged in SpDMM mode
+  /// Stored bytes of X and Y actually moved for this pair. Fractional:
+  /// operand strips that stay resident in the double-buffered on-chip
+  /// buffers across tasks (e.g. a weight column strip reused by every
+  /// row-block task) carry an amortized share instead of a full reload.
+  double load_bytes = 0.0;
+  double ahm_cycles = 0.0;  // format + layout transform work on load
+  /// When >= 0, use this compute-cycle count instead of the closed-form
+  /// model (set by the engine's detailed-timing mode, which runs the
+  /// dataflow models of sim/acm_functional.hpp per pair).
+  double compute_cycles_override = -1.0;
+};
+
+struct TaskTiming {
+  double compute_cycles = 0.0;
+  double memory_cycles = 0.0;   // loads + result writeback
+  double ahm_cycles = 0.0;      // profiler + FTM + LTU stream work
+  double total_cycles = 0.0;    // what the scheduler sees
+  std::int64_t pairs = 0;
+  std::int64_t skipped_pairs = 0;
+  int mode_switches = 0;
+};
+
+class ComputeCoreModel {
+ public:
+  explicit ComputeCoreModel(const SimConfig& cfg);
+
+  const CycleModel& cycles() const { return cycle_model_; }
+  const MemoryModel& memory() const { return memory_model_; }
+
+  /// Price a whole task. `writeback_bytes` is the stored size of the
+  /// output tile; `result_elements` its dense element count (the Sparsity
+  /// Profiler streams every element on the store path). When `hide_ahm`
+  /// is true (double buffering on) AHM cycles do not extend the task.
+  /// `active_cores` is how many cores share the DDR channels while this
+  /// kernel runs (min(num_cores, tasks) — a lone task streams at full
+  /// bandwidth); 0 means all cores.
+  TaskTiming time_task(const std::vector<PairWork>& pairs, std::size_t writeback_bytes,
+                       std::int64_t result_elements, bool hide_ahm,
+                       int active_cores = 0) const;
+
+ private:
+  SimConfig cfg_;
+  CycleModel cycle_model_;
+  MemoryModel memory_model_;
+};
+
+}  // namespace dynasparse

@@ -1,0 +1,53 @@
+#include "sim/cycle_model.hpp"
+
+#include <stdexcept>
+
+namespace dynasparse {
+
+const char* primitive_name(Primitive p) {
+  switch (p) {
+    case Primitive::kSkip: return "Skip";
+    case Primitive::kGemm: return "GEMM";
+    case Primitive::kSpdmm: return "SpDMM";
+    case Primitive::kSpmm: return "SPMM";
+  }
+  return "?";
+}
+
+CycleModel::CycleModel(int psys) : psys_(psys) {
+  if (psys <= 0) throw std::invalid_argument("psys must be positive");
+}
+
+double CycleModel::gemm_cycles(const PairShape& s) const {
+  return s.mnd() / (static_cast<double>(psys_) * psys_);
+}
+
+double CycleModel::spdmm_cycles(const PairShape& s, double alpha_sparse) const {
+  return 2.0 * alpha_sparse * s.mnd() / (static_cast<double>(psys_) * psys_);
+}
+
+double CycleModel::spmm_cycles(const PairShape& s) const {
+  return s.ax * s.ay * s.mnd() / static_cast<double>(psys_);
+}
+
+double CycleModel::macs_per_cycle(Primitive p) const {
+  switch (p) {
+    case Primitive::kSkip: return 0.0;
+    case Primitive::kGemm: return static_cast<double>(psys_) * psys_;
+    case Primitive::kSpdmm: return static_cast<double>(psys_) * psys_ / 2.0;
+    case Primitive::kSpmm: return static_cast<double>(psys_);
+  }
+  return 0.0;
+}
+
+double CycleModel::pair_cycles(Primitive p, const PairShape& s, double alpha_spdmm) const {
+  switch (p) {
+    case Primitive::kSkip: return 0.0;
+    case Primitive::kGemm: return gemm_cycles(s);
+    case Primitive::kSpdmm: return spdmm_cycles(s, alpha_spdmm);
+    case Primitive::kSpmm: return spmm_cycles(s);
+  }
+  return 0.0;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,54 @@
+#pragma once
+// Analytical cycle model of the Agile Computation Module (paper Table IV).
+//
+// For a tile product X (m x n, density ax) * Y (n x d, density ay) on a
+// Computation Core with ALU array psys x psys:
+//   GEMM  : systolic output-stationary, psys^2 MAC/cycle  ->  mnd/psys^2
+//   SpDMM : scatter-gather,             psys^2/2 MAC/cycle -> 2*a*mnd/psys^2
+//           where a is the density of the operand placed in BufferU
+//   SPMM  : row-wise product,           psys   MAC/cycle  -> ax*ay*mnd/psys
+// Which primitive the runtime chooses is the K2P decision (Algorithm 7);
+// this class only prices a given choice.
+
+#include <cstdint>
+
+namespace dynasparse {
+
+enum class Primitive { kSkip, kGemm, kSpdmm, kSpmm };
+
+const char* primitive_name(Primitive p);
+
+struct PairShape {
+  std::int64_t m = 0;  // rows of X / Z
+  std::int64_t n = 0;  // cols of X == rows of Y
+  std::int64_t d = 0;  // cols of Y / Z
+  double ax = 0.0;     // density of X
+  double ay = 0.0;     // density of Y
+  double mnd() const {
+    return static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(d);
+  }
+};
+
+class CycleModel {
+ public:
+  explicit CycleModel(int psys);
+
+  int psys() const { return psys_; }
+
+  double gemm_cycles(const PairShape& s) const;
+  /// alpha_sparse = density of the operand treated as sparse (BufferU).
+  double spdmm_cycles(const PairShape& s, double alpha_sparse) const;
+  double spmm_cycles(const PairShape& s) const;
+
+  /// Peak MACs per cycle of each execution mode (Table IV row 1).
+  double macs_per_cycle(Primitive p) const;
+
+  /// Cycles for the pair under primitive `p`; `alpha_spdmm` is only read
+  /// for kSpdmm (it encodes which operand the strategy views as sparse).
+  double pair_cycles(Primitive p, const PairShape& s, double alpha_spdmm) const;
+
+ private:
+  int psys_;
+};
+
+}  // namespace dynasparse

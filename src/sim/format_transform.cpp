@@ -1,0 +1,23 @@
+#include "sim/format_transform.hpp"
+
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace dynasparse {
+
+namespace {
+double stream_cycles(std::int64_t elements, int lanes) {
+  if (lanes <= 0) throw std::invalid_argument("lanes must be positive");
+  if (elements <= 0) return 0.0;
+  return static_cast<double>(ceil_div(elements, lanes)) +
+         static_cast<double>(prefix_network_stages(lanes));
+}
+}  // namespace
+
+double d2s_cycles(std::int64_t elements, int lanes) { return stream_cycles(elements, lanes); }
+
+double s2d_cycles(std::int64_t elements, int lanes) { return stream_cycles(elements, lanes); }
+
+}  // namespace dynasparse

@@ -1,0 +1,21 @@
+#pragma once
+// Timing model of the Format Transformation Module (paper Section V-B2,
+// Fig. 8): Dense-to-Sparse compaction via a log(n)-stage prefix-sum
+// shifter and the mirror-image Sparse-to-Dense expander. Both stream n
+// elements per cycle — the paper sizes n = 16 to match one DDR4 channel —
+// so format transformation adds pipeline latency only and is hidden by
+// double buffering (ablation knob in RuntimeOptions exposes it).
+
+#include <cstdint>
+
+namespace dynasparse {
+
+/// Cycles for D2S over `elements` dense values at `lanes`/cycle, including
+/// the log2(lanes) pipeline-fill stages.
+double d2s_cycles(std::int64_t elements, int lanes);
+
+/// Cycles for S2D over `nnz` sparse tuples expanding into `elements`
+/// dense values (throughput bound is the dense side).
+double s2d_cycles(std::int64_t elements, int lanes);
+
+}  // namespace dynasparse

@@ -1,0 +1,20 @@
+#include "sim/layout_transform.hpp"
+
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace dynasparse {
+
+double layout_transform_cycles(std::int64_t rows, std::int64_t cols, int lanes) {
+  if (lanes <= 0) throw std::invalid_argument("lanes must be positive");
+  std::int64_t elements = rows * cols;
+  if (elements <= 0) return 0.0;
+  // Streaming permutation: elements/lanes beats plus a 2*log2(lanes)-stage
+  // butterfly fill (forward + reverse halves of the permutation network).
+  return static_cast<double>(ceil_div(elements, lanes)) +
+         2.0 * static_cast<double>(prefix_network_stages(lanes));
+}
+
+}  // namespace dynasparse

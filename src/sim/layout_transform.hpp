@@ -1,0 +1,16 @@
+#pragma once
+// Timing model of the Layout Transformation Unit (paper Section V-B2):
+// a streaming permutation network (Chen et al., bitonic-permutation based)
+// that transposes a tile between row-major and column-major at `lanes`
+// elements per cycle with a small network fill latency. GEMM mode needs
+// its second operand column-major (Table III); everything in DDR is kept
+// row-major, so the LTU runs on the load path of GEMM pairs.
+
+#include <cstdint>
+
+namespace dynasparse {
+
+/// Cycles to re-layout a rows x cols dense tile at `lanes` elements/cycle.
+double layout_transform_cycles(std::int64_t rows, std::int64_t cols, int lanes);
+
+}  // namespace dynasparse

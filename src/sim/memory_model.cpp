@@ -1,0 +1,13 @@
+#include "sim/memory_model.hpp"
+
+#include <stdexcept>
+
+namespace dynasparse {
+
+MemoryModel::MemoryModel(const SimConfig& cfg) {
+  if (!cfg.valid()) throw std::invalid_argument("invalid SimConfig");
+  total_rate_ = cfg.ddr_bytes_per_cycle();
+  per_core_rate_ = total_rate_ / static_cast<double>(cfg.num_cores);
+}
+
+}  // namespace dynasparse

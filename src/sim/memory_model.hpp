@@ -1,0 +1,34 @@
+#pragma once
+// External-memory traffic model.
+//
+// The Alveo U250 board delivers 77 GB/s of DDR4 bandwidth (paper Table V)
+// shared by all Computation Cores; at the 250 MHz accelerator clock that
+// is ~308 bytes/cycle in total. We model the steady state as an even
+// static split across cores (each core's double-buffered loads stream at
+// bandwidth/num_cores), which matches the paper's per-core DDR channel
+// assignment closely enough for relative comparisons.
+
+#include <cstddef>
+
+#include "util/config.hpp"
+
+namespace dynasparse {
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(const SimConfig& cfg);
+
+  double bytes_per_cycle_total() const { return total_rate_; }
+  double bytes_per_cycle_per_core() const { return per_core_rate_; }
+
+  /// Cycles for one core to stream `bytes` from/to DDR.
+  double core_transfer_cycles(std::size_t bytes) const {
+    return static_cast<double>(bytes) / per_core_rate_;
+  }
+
+ private:
+  double total_rate_;
+  double per_core_rate_;
+};
+
+}  // namespace dynasparse

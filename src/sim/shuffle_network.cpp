@@ -1,0 +1,45 @@
+#include "sim/shuffle_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dynasparse {
+
+ShuffleNetwork::ShuffleNetwork(int ports) : ports_(ports) {
+  if (ports <= 0 || (ports & (ports - 1)) != 0)
+    throw std::invalid_argument("shuffle network needs power-of-two ports");
+  stages_ = 0;
+  for (int w = 1; w < ports; w <<= 1) ++stages_;
+}
+
+int ShuffleNetwork::route_wave(const std::vector<int>& destinations) const {
+  if (destinations.empty()) return 0;
+  if (static_cast<int>(destinations.size()) > ports_)
+    throw std::invalid_argument("wave wider than network");
+  std::vector<int> counts(static_cast<std::size_t>(ports_), 0);
+  for (int d : destinations) {
+    if (d < 0 || d >= ports_) throw std::invalid_argument("destination out of range");
+    ++counts[static_cast<std::size_t>(d)];
+  }
+  int max_mult = *std::max_element(counts.begin(), counts.end());
+  return 1 + (max_mult - 1);
+}
+
+double ShuffleNetwork::stream_cycles(const std::vector<int>& destinations,
+                                     int wave_width) const {
+  if (wave_width <= 0 || wave_width > ports_)
+    throw std::invalid_argument("bad wave width");
+  double cycles = stages_;  // pipeline fill
+  std::vector<int> wave;
+  wave.reserve(static_cast<std::size_t>(wave_width));
+  for (std::size_t i = 0; i < destinations.size(); i += static_cast<std::size_t>(wave_width)) {
+    wave.assign(destinations.begin() + static_cast<std::ptrdiff_t>(i),
+                destinations.begin() +
+                    static_cast<std::ptrdiff_t>(std::min(
+                        destinations.size(), i + static_cast<std::size_t>(wave_width))));
+    cycles += route_wave(wave);
+  }
+  return cycles;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,42 @@
+#pragma once
+// Index / Data Shuffle Network model (paper Section V-B: butterfly
+// networks with buffering that route nonzero elements to memory banks and
+// input pairs to Update Units / Sparse Computation Pipelines).
+//
+// Functionally a shuffle network delivers every packet to its destination
+// port; temporally, packets destined to the same output port in the same
+// wave serialize. The buffered butterfly hides in-flight reordering, so
+// the per-wave cost is 1 cycle plus the worst output-port multiplicity
+// beyond one (head-of-line conflicts), plus a log2(ports) pipeline fill
+// charged once per stream.
+
+#include <cstdint>
+#include <vector>
+
+namespace dynasparse {
+
+class ShuffleNetwork {
+ public:
+  /// ports must be a power of two (butterfly geometry).
+  explicit ShuffleNetwork(int ports);
+
+  int ports() const { return ports_; }
+  /// Pipeline depth (log2 ports).
+  int stages() const { return stages_; }
+
+  /// Route one wave of packets (destination port ids, size <= ports).
+  /// Returns the cycles the wave occupies the network: 1 + (max
+  /// per-port multiplicity - 1).
+  int route_wave(const std::vector<int>& destinations) const;
+
+  /// Total cycles to stream `destinations` through the network at
+  /// `wave_width` packets per cycle, including the pipeline fill.
+  /// Destination order is preserved within the stream (buffered routing).
+  double stream_cycles(const std::vector<int>& destinations, int wave_width) const;
+
+ private:
+  int ports_;
+  int stages_;
+};
+
+}  // namespace dynasparse

@@ -1,0 +1,3 @@
+#include "sim/soft_processor.hpp"
+
+// Header-only implementation; this TU anchors the translation unit list.

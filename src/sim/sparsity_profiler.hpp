@@ -1,0 +1,15 @@
+#pragma once
+// Timing model of the hardware Sparsity Profiler (paper Section V-B2):
+// a comparator array with an adder tree at the Result Buffer output port
+// counts nonzeros as the result streams to DDR. It processes `lanes`
+// elements per cycle plus an adder-tree drain of log2(lanes) cycles, and
+// is hidden under double buffering in the default configuration.
+
+#include <cstdint>
+
+namespace dynasparse {
+
+/// Cycles to profile a stream of `elements` values, `lanes` per cycle.
+double profile_stream_cycles(std::int64_t elements, int lanes);
+
+}  // namespace dynasparse

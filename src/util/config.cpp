@@ -1,0 +1,31 @@
+#include "util/config.hpp"
+
+namespace dynasparse {
+
+int SimConfig::max_partition_size() const {
+  // Largest N with N*N dense fp32 elements fitting the per-tile budget,
+  // rounded down to a multiple of psys so systolic tiling stays aligned.
+  std::size_t elems = onchip_tile_bytes / static_cast<std::size_t>(dense_elem_bytes);
+  int n = 1;
+  while (static_cast<std::size_t>(n + 1) * static_cast<std::size_t>(n + 1) <= elems) ++n;
+  if (n >= psys) n -= n % psys;
+  return n;
+}
+
+bool SimConfig::valid() const {
+  if (psys <= 0 || (psys & (psys - 1)) != 0) return false;
+  if (num_cores <= 0) return false;
+  if (core_clock_hz <= 0 || soft_clock_hz <= 0) return false;
+  if (ddr_bandwidth_bytes_per_s <= 0) return false;
+  if (dense_elem_bytes <= 0 || coo_elem_bytes <= 0) return false;
+  if (onchip_tile_bytes < static_cast<std::size_t>(psys) * psys * dense_elem_bytes)
+    return false;
+  if (load_balance_eta < 1) return false;
+  if (min_partition < psys || min_partition % psys != 0) return false;
+  if (sparse_storage_threshold <= 0.0 || sparse_storage_threshold > 1.0) return false;
+  return true;
+}
+
+SimConfig u250_config() { return SimConfig{}; }
+
+}  // namespace dynasparse

@@ -1,0 +1,92 @@
+#pragma once
+// Hardware and system configuration for the Dynasparse simulator.
+//
+// Defaults reproduce the paper's implementation on the Xilinx Alveo U250
+// (Section VII): seven Computation Cores at 250 MHz, ALU arrays of
+// psys = 16, a MicroBlaze-class soft processor at 370 MHz, and 77 GB/s of
+// DDR4 bandwidth shared by all cores.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dynasparse {
+
+/// Static description of the simulated accelerator platform.
+///
+/// All cycle accounting in `src/sim` and the analytical performance model in
+/// `src/runtime` read their parameters from this struct, so a single
+/// instance fully determines simulated latency.
+struct SimConfig {
+  /// Dimension of the ALU array in each Computation Core (paper: 16).
+  int psys = 16;
+  /// Number of Computation Cores (paper: 7 across four SLRs).
+  int num_cores = 7;
+  /// Accelerator clock in Hz (paper: 250 MHz).
+  double core_clock_hz = 250.0e6;
+  /// Soft-processor clock in Hz (paper: MicroBlaze at 370 MHz).
+  double soft_clock_hz = 370.0e6;
+  /// Aggregate DDR bandwidth in bytes/second shared by all cores
+  /// (paper Table V: 77 GB/s).
+  double ddr_bandwidth_bytes_per_s = 77.0e9;
+  /// Bytes of a dense matrix element (fp32).
+  int dense_elem_bytes = 4;
+  /// Bytes of a sparse COO element: (col, row, value) three-tuple.
+  int coo_elem_bytes = 12;
+  /// On-chip buffer capacity per core in bytes available for one input
+  /// operand (the URAM-backed BufferO that streams the dense operand).
+  /// The U250 carries 45 MB of on-chip memory (paper Table V) across the
+  /// seven cores' buffer sets; 2 MB per streaming buffer matches the
+  /// paper's 87.5% URAM utilization.
+  std::size_t onchip_tile_bytes = 2 * 1024 * 1024;
+  /// Load-balance factor eta: every kernel must decompose into at least
+  /// eta * num_cores tasks (paper Section VI-C, eta = 4, following GPOP).
+  int load_balance_eta = 4;
+  /// Floor of the partition sizes N1/N2. Partitions below ~4x psys give
+  /// tile products too little arithmetic intensity to ever beat the DDR
+  /// stream (the systolic array idles), so the planner never goes under
+  /// this even when the load-balance heuristic asks for less.
+  int min_partition = 64;
+  /// Soft-processor cycles charged per pair-wise K2P decision
+  /// (Algorithm 7 body: fetch two densities from the D-Cache, compare,
+  /// emit the primitive choice; a handful of MicroBlaze instructions with
+  /// 1-2 cycle get/put AXI accesses per paper Section VII).
+  int k2p_cycles_per_pair = 4;
+  /// Soft-processor cycles for a pair whose sparser operand is an empty
+  /// partition: the density fetch short-circuits (Algorithm 7 line 6),
+  /// which is why the paper observes runtime overhead *decreasing* as
+  /// pruning empties more partitions (Section VIII-C).
+  int k2p_skip_cycles = 1;
+  /// Soft-processor cycles to dispatch one task to an idle core
+  /// (interrupt entry + AXI-stream control words).
+  int dispatch_cycles_per_task = 24;
+  /// Cycle cost of switching the execution mode of a Computation Core
+  /// (paper Section V-B1: one clock cycle).
+  int mode_switch_cycles = 1;
+  /// Density threshold at or below which a tile is *stored* in COO format
+  /// in DDR. With 12-byte COO tuples vs 4-byte dense words, sparse storage
+  /// is smaller when density < 1/3.
+  double sparse_storage_threshold = 1.0 / 3.0;
+
+  /// Derived: DDR bytes delivered per accelerator clock cycle (all cores).
+  double ddr_bytes_per_cycle() const {
+    return ddr_bandwidth_bytes_per_s / core_clock_hz;
+  }
+  /// Derived: largest square dense tile edge that fits one on-chip buffer.
+  int max_partition_size() const;
+  /// Convert accelerator cycles to milliseconds.
+  double cycles_to_ms(double cycles) const {
+    return cycles / core_clock_hz * 1e3;
+  }
+  /// Convert soft-processor cycles to milliseconds.
+  double soft_cycles_to_ms(double cycles) const {
+    return cycles / soft_clock_hz * 1e3;
+  }
+  /// Validate invariants (positive sizes, psys a power of two, ...).
+  /// Returns true when the configuration is usable.
+  bool valid() const;
+};
+
+/// The configuration used by the paper's evaluation (Section VII).
+SimConfig u250_config();
+
+}  // namespace dynasparse

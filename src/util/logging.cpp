@@ -1,0 +1,31 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace dynasparse {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    default: return "";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << tag(level) << msg << '\n';
+}
+
+}  // namespace dynasparse

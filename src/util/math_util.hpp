@@ -1,0 +1,28 @@
+#pragma once
+// Small arithmetic helpers shared across subsystems.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dynasparse {
+
+/// ceil(a / b) for non-negative a and positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Geometric mean of positive values; returns 0 for an empty input.
+inline double geometric_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Clamp x into [lo, hi].
+constexpr double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace dynasparse

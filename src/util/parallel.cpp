@@ -1,0 +1,42 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace dynasparse {
+
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn,
+                  int threads) {
+  if (n <= 0) return;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  std::int64_t nthreads = threads > 0 ? threads : static_cast<std::int64_t>(hw);
+  nthreads = std::min<std::int64_t>(nthreads, n);
+  if (nthreads <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::int64_t> next{0};
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  auto worker = [&] {
+    try {
+      while (true) {
+        std::int64_t i = next.fetch_add(1);
+        if (i >= n || failed.load()) break;
+        fn(i);
+      }
+    } catch (...) {
+      if (!failed.exchange(true)) error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nthreads));
+  for (std::int64_t t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  if (failed.load() && error) std::rethrow_exception(error);
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,18 @@
+#pragma once
+// Host-side thread-pool helper. Used by the simulator's functional path
+// and by the compiler's data partitioning; simulated timing never depends
+// on how many host threads run (determinism is by construction: each
+// parallel work item owns its output slot exclusively).
+
+#include <cstdint>
+#include <functional>
+
+namespace dynasparse {
+
+/// Run fn(0..n-1) across up to `threads` host threads (0 = all hardware
+/// threads). Work items are claimed dynamically off an atomic counter
+/// (task costs vary wildly with tile density); exceptions propagate.
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn,
+                  int threads = 0);
+
+}  // namespace dynasparse

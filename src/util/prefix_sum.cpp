@@ -1,0 +1,35 @@
+#include "util/prefix_sum.hpp"
+
+namespace dynasparse {
+
+std::vector<std::int64_t> exclusive_prefix_sum(const std::vector<std::int64_t>& in) {
+  std::vector<std::int64_t> out(in.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += in[i];
+  }
+  return out;
+}
+
+std::vector<std::int64_t> inclusive_prefix_sum(const std::vector<std::int64_t>& in) {
+  std::vector<std::int64_t> out(in.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+int prefix_network_stages(int n) {
+  int stages = 0;
+  int width = 1;
+  while (width < n) {
+    width <<= 1;
+    ++stages;
+  }
+  return stages;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,21 @@
+#pragma once
+// Prefix sums, used functionally by the Dense-to-Sparse conversion (paper
+// Fig. 8 drives its compaction shifter with a zero-count prefix sum) and by
+// CSR construction.
+
+#include <cstdint>
+#include <vector>
+
+namespace dynasparse {
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i-1]; out.size() == in.size().
+std::vector<std::int64_t> exclusive_prefix_sum(const std::vector<std::int64_t>& in);
+
+/// Inclusive prefix sum: out[i] = sum of in[0..i].
+std::vector<std::int64_t> inclusive_prefix_sum(const std::vector<std::int64_t>& in);
+
+/// Number of pipeline stages of an n-wide prefix-sum / compaction network
+/// (ceil(log2 n)); this is the latency model of the hardware D2S module.
+int prefix_network_stages(int n);
+
+}  // namespace dynasparse

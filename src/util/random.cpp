@@ -1,0 +1,32 @@
+#include "util/random.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dynasparse {
+
+std::vector<std::int64_t> Rng::sample_without_replacement(std::int64_t n, std::int64_t k) {
+  if (k >= n) {
+    std::vector<std::int64_t> all(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    return all;
+  }
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t unless
+  // already chosen, in which case insert j. Produces a uniform k-subset.
+  std::unordered_set<std::int64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k) * 2);
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t j = n - k; j < n; ++j) {
+    std::int64_t t = uniform_int(0, j);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace dynasparse

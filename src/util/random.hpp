@@ -1,0 +1,62 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic component (graph generators, weight init, pruning masks,
+// feature sampling) draws from an explicitly seeded `Rng` so that tests and
+// benchmarks are reproducible run to run and machine to machine.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dynasparse {
+
+/// Thin wrapper around std::mt19937_64 with the handful of draw shapes the
+/// library needs. Passing `Rng&` (never a copy) threads one stream through
+/// a whole construction, mirroring how PyG seeds dataset transforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Standard normal scaled by `stddev`.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(gen_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+  }
+
+  /// k distinct integers sampled uniformly from [0, n) (k <= n).
+  /// Uses Floyd's algorithm: O(k) expected draws, no O(n) scratch.
+  std::vector<std::int64_t> sample_without_replacement(std::int64_t n, std::int64_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace dynasparse

@@ -1,0 +1,4 @@
+#include "util/stopwatch.hpp"
+
+// Header-only in practice; this TU anchors the target so every module has a
+// .cpp and the library links even when nothing else references it.

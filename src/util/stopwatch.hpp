@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock stopwatch for host-side measurements (compiler preprocessing
+// time, Table IX). Simulated latency never uses this; it comes from cycle
+// accounting in src/sim.
+
+#include <chrono>
+
+namespace dynasparse {
+
+class Stopwatch {
+ public:
+  Stopwatch() { restart(); }
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dynasparse

@@ -1,0 +1,181 @@
+// Unit + property tests: detailed ACM execution-mode models (paper
+// Section V-B1) — functional equivalence with the host kernels and cycle
+// counts bounded below by the Table IV ideals.
+
+#include <gtest/gtest.h>
+
+#include "matrix/format_convert.hpp"
+#include "matrix/matrix_ops.hpp"
+#include "sim/acm_functional.hpp"
+#include "sim/cycle_model.hpp"
+#include "sim/shuffle_network.hpp"
+#include "test_helpers.hpp"
+
+namespace dynasparse {
+namespace {
+
+using testing::random_dense;
+
+TEST(ShuffleNetworkTest, GeometryValidation) {
+  EXPECT_THROW(ShuffleNetwork(0), std::invalid_argument);
+  EXPECT_THROW(ShuffleNetwork(12), std::invalid_argument);
+  ShuffleNetwork n(16);
+  EXPECT_EQ(n.ports(), 16);
+  EXPECT_EQ(n.stages(), 4);
+}
+
+TEST(ShuffleNetworkTest, ConflictFreeWaveIsOneCycle) {
+  ShuffleNetwork n(8);
+  EXPECT_EQ(n.route_wave({0, 1, 2, 3, 4, 5, 6, 7}), 1);
+  EXPECT_EQ(n.route_wave({3}), 1);
+  EXPECT_EQ(n.route_wave({}), 0);
+}
+
+TEST(ShuffleNetworkTest, ConflictsSerialize) {
+  ShuffleNetwork n(8);
+  EXPECT_EQ(n.route_wave({5, 5}), 2);
+  EXPECT_EQ(n.route_wave({5, 5, 5, 5}), 4);
+  EXPECT_EQ(n.route_wave({1, 2, 2, 3}), 2);
+}
+
+TEST(ShuffleNetworkTest, WaveValidation) {
+  ShuffleNetwork n(4);
+  EXPECT_THROW(n.route_wave({0, 1, 2, 3, 0}), std::invalid_argument);
+  EXPECT_THROW(n.route_wave({7}), std::invalid_argument);
+}
+
+TEST(ShuffleNetworkTest, StreamIncludesFill) {
+  ShuffleNetwork n(8);
+  // 16 conflict-free packets in waves of 4 -> 4 waves + 3 fill stages.
+  std::vector<int> dests;
+  for (int i = 0; i < 16; ++i) dests.push_back(i % 4);
+  // Waves of width 4 all target ports 0..3 once each -> 1 cycle per wave.
+  EXPECT_DOUBLE_EQ(n.stream_cycles(dests, 4), 3.0 + 4.0);
+}
+
+TEST(GemmSystolicTest, FunctionalMatchesGemm) {
+  Rng rng(1);
+  DenseMatrix x = random_dense(20, 30, 0.7, rng);
+  DenseMatrix y = random_dense(30, 10, 0.7, rng);
+  DenseMatrix z(20, 10);
+  GemmSystolicModel model(8);
+  DetailedTiming t = model.run(x, y, z);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(z, gemm(x, y)), 0.0f);
+  EXPECT_EQ(t.macs, 20 * 30 * 10);
+}
+
+TEST(GemmSystolicTest, CyclesAboveIdealByFillDrain) {
+  GemmSystolicModel model(16);
+  Rng rng(2);
+  DenseMatrix x = random_dense(64, 64, 1.0, rng);
+  DenseMatrix y = random_dense(64, 64, 1.0, rng);
+  DenseMatrix z(64, 64);
+  DetailedTiming t = model.run(x, y, z);
+  CycleModel ideal(16);
+  double ideal_cycles = ideal.gemm_cycles(PairShape{64, 64, 64, 1.0, 1.0});
+  EXPECT_GE(t.cycles, ideal_cycles);
+  // 4x4 = 16 passes, each 64 + 32 cycles.
+  EXPECT_DOUBLE_EQ(t.cycles, 16.0 * (64.0 + 32.0));
+  EXPECT_GT(t.utilization, 0.4);
+  EXPECT_LE(t.utilization, 1.0);
+}
+
+TEST(SpdmmScatterGatherTest, FunctionalMatchesSpdmm) {
+  Rng rng(3);
+  DenseMatrix xd = random_dense(40, 40, 0.1, rng);
+  DenseMatrix y = random_dense(40, 24, 0.9, rng);
+  CooMatrix xs = dense_to_coo(xd);
+  DenseMatrix z(40, 24);
+  SpdmmScatterGatherModel model(16);
+  DetailedTiming t = model.run(xs, y, z);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(z, spdmm(xs, y)), 0.0f);
+  EXPECT_EQ(t.macs, xs.nnz() * 24);
+}
+
+TEST(SpdmmScatterGatherTest, PsysValidation) {
+  EXPECT_THROW(SpdmmScatterGatherModel(1), std::invalid_argument);
+  EXPECT_THROW(SpdmmScatterGatherModel(12), std::invalid_argument);
+}
+
+TEST(SpdmmScatterGatherTest, BankConflictsCostCycles) {
+  // All nonzeros in one column -> every wave hits one bank.
+  CooMatrix hot(64, 64, Layout::kRowMajor);
+  for (int r = 0; r < 64; ++r) hot.push(r, 5, 1.0f);
+  CooMatrix spread(64, 64, Layout::kRowMajor);
+  for (int r = 0; r < 64; ++r) spread.push(r, r, 1.0f);
+  Rng rng(4);
+  DenseMatrix y = random_dense(64, 16, 1.0, rng);
+  SpdmmScatterGatherModel model(16);
+  DenseMatrix z1(64, 16), z2(64, 16);
+  DetailedTiming t_hot = model.run(hot, y, z1);
+  DetailedTiming t_spread = model.run(spread, y, z2);
+  EXPECT_GT(t_hot.conflicts, 0);
+  EXPECT_GT(t_hot.cycles, t_spread.cycles);
+}
+
+TEST(SpmmRowwiseTest, FunctionalMatchesSpmm) {
+  Rng rng(5);
+  DenseMatrix xd = random_dense(30, 30, 0.15, rng);
+  DenseMatrix yd = random_dense(30, 30, 0.15, rng);
+  CooMatrix xs = dense_to_coo(xd), ys = dense_to_coo(yd);
+  DenseMatrix z(30, 30);
+  SpmmRowwiseModel model(16);
+  DetailedTiming t = model.run(xs, ys, z);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(z, spmm(xs, ys)), 0.0f);
+  EXPECT_GT(t.macs, 0);
+}
+
+TEST(SpmmRowwiseTest, ImbalanceRaisesCycles) {
+  // All X nonzeros in rows congruent to 0 mod psys -> one SCP does all
+  // the work; cycles == total macs, not macs / psys.
+  CooMatrix x(32, 32, Layout::kRowMajor);
+  for (int c = 0; c < 32; ++c) x.push(0, c, 1.0f);
+  for (int c = 0; c < 32; ++c) x.push(16, c, 1.0f);
+  Rng rng(6);
+  DenseMatrix yd = random_dense(32, 8, 0.5, rng);
+  CooMatrix ys = dense_to_coo(yd);
+  SpmmRowwiseModel model(16);
+  DenseMatrix z(32, 8);
+  DetailedTiming t = model.run(x, ys, z);
+  EXPECT_DOUBLE_EQ(t.cycles, static_cast<double>(t.macs));  // rows 0,16 -> SCP 0
+  EXPECT_GT(t.conflicts, 0);
+}
+
+// ---- Property sweep: all three detailed modes agree with the reference
+// and sit at or above the Table IV ideal cycle count. ----------------------
+class DetailedModeSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(DetailedModeSweep, FunctionalEqualAndCyclesAboveIdeal) {
+  auto [dx, dy, psys] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dx * 100 + dy * 10 + psys));
+  const std::int64_t m = 48, n = 48, d = 32;
+  DenseMatrix x = random_dense(m, n, dx, rng);
+  DenseMatrix y = random_dense(n, d, dy, rng);
+  CooMatrix xs = dense_to_coo(x), ys = dense_to_coo(y);
+  DenseMatrix expect = gemm(x, y);
+  CycleModel ideal(psys);
+  PairShape shape{m, n, d, x.density(), y.density()};
+
+  DenseMatrix zg(m, d), zs(m, d), zp(m, d);
+  DetailedTiming tg = GemmSystolicModel(psys).run(x, y, zg);
+  DetailedTiming ts = SpdmmScatterGatherModel(psys).run(xs, y, zs);
+  DetailedTiming tp = SpmmRowwiseModel(psys).run(xs, ys, zp);
+
+  EXPECT_EQ(DenseMatrix::max_abs_diff(zg, expect), 0.0f);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(zs, expect), 0.0f);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(zp, expect), 0.0f);
+
+  EXPECT_GE(tg.cycles + 1e-9, ideal.gemm_cycles(shape));
+  EXPECT_GE(ts.cycles + 1e-9, ideal.spdmm_cycles(shape, shape.ax) - psys);
+  EXPECT_GE(tp.cycles + 1e-9, ideal.spmm_cycles(shape) - psys);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityGrid, DetailedModeSweep,
+    ::testing::Combine(::testing::Values(0.02, 0.1, 0.5, 0.9),
+                       ::testing::Values(0.02, 0.1, 0.5, 0.9),
+                       ::testing::Values(8, 16)));
+
+}  // namespace
+}  // namespace dynasparse

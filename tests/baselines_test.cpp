@@ -1,0 +1,94 @@
+// Unit tests: CPU/GPU framework roofline models and the HyGCN/BoostGCN
+// accelerator models (Table X / Fig. 14 comparators).
+
+#include <gtest/gtest.h>
+
+#include "baselines/accelerator_models.hpp"
+#include "baselines/platform_models.hpp"
+#include "graph/dataset.hpp"
+#include "model/model.hpp"
+
+namespace dynasparse {
+namespace {
+
+Dataset co_dataset() { return generate_dataset(dataset_by_tag("CO"), 1, 17); }
+
+GnnModel gcn_for(const Dataset& ds) {
+  Rng rng(9);
+  return build_model(GnnModelKind::kGcn, ds.spec.feature_dim, ds.spec.hidden_dim,
+                     ds.spec.num_classes, rng);
+}
+
+TEST(PlatformModelsTest, FourFrameworkPlatforms) {
+  const auto& specs = framework_platforms();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "PyG-CPU");
+  EXPECT_EQ(specs[2].name, "PyG-GPU");
+  // Table V peaks.
+  EXPECT_DOUBLE_EQ(specs[0].peak_flops, 3.7e12);
+  EXPECT_DOUBLE_EQ(specs[2].peak_flops, 36.0e12);
+}
+
+TEST(PlatformModelsTest, LatencyPositiveAndFinite) {
+  Dataset ds = co_dataset();
+  GnnModel m = gcn_for(ds);
+  for (const PlatformSpec& p : framework_platforms()) {
+    double ms = platform_latency_ms(p, m, ds);
+    EXPECT_GT(ms, 0.0) << p.name;
+    EXPECT_LT(ms, 1e7) << p.name;
+  }
+}
+
+TEST(PlatformModelsTest, GpuFasterThanCpuSameFramework) {
+  Dataset ds = co_dataset();
+  GnnModel m = gcn_for(ds);
+  const auto& p = framework_platforms();
+  EXPECT_LT(platform_latency_ms(p[2], m, ds), platform_latency_ms(p[0], m, ds));
+  EXPECT_LT(platform_latency_ms(p[3], m, ds), platform_latency_ms(p[1], m, ds));
+}
+
+TEST(PlatformModelsTest, LatencyScalesWithModelSize) {
+  Dataset ds = co_dataset();
+  Rng rng(9);
+  GnnModel small = build_model(GnnModelKind::kGcn, ds.spec.feature_dim, 16,
+                               ds.spec.num_classes, rng);
+  GnnModel big = build_model(GnnModelKind::kGcn, ds.spec.feature_dim, 256,
+                             ds.spec.num_classes, rng);
+  const PlatformSpec& cpu = framework_platforms()[0];
+  EXPECT_LT(platform_latency_ms(cpu, small, ds), platform_latency_ms(cpu, big, ds));
+}
+
+TEST(AcceleratorModelsTest, SpecsMatchTableV) {
+  PlatformSpec hy = hygcn_spec();
+  EXPECT_DOUBLE_EQ(hy.peak_flops, 4.608e12);
+  EXPECT_DOUBLE_EQ(hy.mem_bandwidth, 256.0e9);
+  PlatformSpec bg = boostgcn_spec();
+  EXPECT_DOUBLE_EQ(bg.peak_flops, 0.64e12);
+  EXPECT_DOUBLE_EQ(bg.mem_bandwidth, 77.0e9);
+  EXPECT_DOUBLE_EQ(bg.per_kernel_overhead_s, 0.0);
+}
+
+TEST(AcceleratorModelsTest, LatenciesPositive) {
+  Dataset ds = co_dataset();
+  GnnModel m = gcn_for(ds);
+  EXPECT_GT(accelerator_latency_ms(hygcn_spec(), m, ds), 0.0);
+  EXPECT_GT(accelerator_latency_ms(boostgcn_spec(), m, ds), 0.0);
+}
+
+TEST(AcceleratorModelsTest, AggregateRespectsGraphSparsity) {
+  // Same |V|, 4x the edges -> strictly more aggregate time on a
+  // graph-sparsity-aware baseline.
+  DatasetSpec spec = dataset_by_tag("CO");
+  Dataset sparse_g = generate_dataset(spec, 1, 3);
+  DatasetSpec dense_spec = spec;
+  dense_spec.edges = spec.edges * 4;
+  Dataset dense_g = generate_dataset(dense_spec, 1, 3);
+  Rng rng(4);
+  GnnModel m = build_model(GnnModelKind::kSgc, spec.feature_dim, spec.hidden_dim,
+                           spec.num_classes, rng);
+  EXPECT_LT(platform_latency_ms(framework_platforms()[0], m, sparse_g),
+            platform_latency_ms(framework_platforms()[0], m, dense_g));
+}
+
+}  // namespace
+}  // namespace dynasparse

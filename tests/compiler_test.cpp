@@ -1,0 +1,256 @@
+// Unit tests: IR, computation graph, Algorithm 9 partition planner,
+// Algorithms 2-4 execution scheme, compile driver.
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hpp"
+#include "graph/generators.hpp"
+#include "util/math_util.hpp"
+
+namespace dynasparse {
+namespace {
+
+Dataset small_dataset(std::uint64_t seed = 1) {
+  DatasetSpec spec;
+  spec.name = "toy";
+  spec.tag = "TOY";
+  spec.vertices = 200;
+  spec.edges = 800;
+  spec.feature_dim = 48;
+  spec.num_classes = 5;
+  spec.h0_density = 0.3;
+  spec.hidden_dim = 16;
+  return generate_dataset(spec, 1, seed);
+}
+
+GnnModel small_model(GnnModelKind kind, const Dataset& ds, std::uint64_t seed = 2) {
+  Rng rng(seed);
+  return build_model(kind, ds.spec.feature_dim, ds.spec.hidden_dim,
+                     ds.spec.num_classes, rng);
+}
+
+TEST(IrTest, DenseMacs) {
+  KernelIR ir;
+  ir.num_vertices = 10;
+  ir.spec.kind = KernelKind::kAggregate;
+  ir.spec.in_dim = 4;
+  ir.spec.out_dim = 4;
+  EXPECT_DOUBLE_EQ(ir.dense_macs(), 10.0 * 10.0 * 4.0);
+  ir.spec.kind = KernelKind::kUpdate;
+  ir.spec.in_dim = 6;
+  EXPECT_DOUBLE_EQ(ir.dense_macs(), 10.0 * 6.0 * 4.0);
+}
+
+TEST(ComputationGraphTest, NodePerKernel) {
+  Dataset ds = small_dataset();
+  GnnModel m = small_model(GnnModelKind::kSage, ds);
+  auto nodes = build_computation_graph(m, ds.graph);
+  EXPECT_EQ(nodes.size(), m.kernels.size());
+  EXPECT_TRUE(validate_computation_graph(nodes));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i].node_id, static_cast<int>(i));
+    EXPECT_EQ(nodes[i].num_vertices, ds.graph.num_vertices());
+  }
+}
+
+TEST(ComputationGraphTest, DetectsForwardReference) {
+  Dataset ds = small_dataset();
+  GnnModel m = small_model(GnnModelKind::kGcn, ds);
+  auto nodes = build_computation_graph(m, ds.graph);
+  nodes[1].spec.input = 5;
+  EXPECT_FALSE(validate_computation_graph(nodes));
+}
+
+TEST(PartitionPlannerTest, SizesAlignedAndBounded) {
+  SimConfig cfg = u250_config();
+  std::vector<KernelWorkload> ks = {
+      {KernelKind::kUpdate, 5000, 64},
+      {KernelKind::kAggregate, 5000, 64},
+  };
+  PartitionPlan plan = plan_partitions(ks, cfg);
+  EXPECT_EQ(plan.n1 % cfg.psys, 0);
+  EXPECT_EQ(plan.n2 % cfg.psys, 0);
+  EXPECT_GE(plan.n1, cfg.psys);
+  EXPECT_GE(plan.n2, cfg.psys);
+  EXPECT_LE(plan.n1, plan.n_max);
+  EXPECT_LE(plan.n2, plan.n_max);
+}
+
+TEST(PartitionPlannerTest, LoadBalanceConstraintHolds) {
+  SimConfig cfg = u250_config();
+  std::int64_t min_tasks = static_cast<std::int64_t>(cfg.load_balance_eta) * cfg.num_cores;
+  std::vector<KernelWorkload> ks = {
+      {KernelKind::kUpdate, 20000, 128},
+      {KernelKind::kAggregate, 20000, 128},
+      {KernelKind::kUpdate, 20000, 16},
+  };
+  PartitionPlan plan = plan_partitions(ks, cfg);
+  for (const KernelWorkload& k : ks) {
+    if (tasks_for(k, cfg.psys, cfg.psys) < min_tasks) continue;  // too small
+    EXPECT_GE(tasks_for(k, plan.n1, plan.n2), min_tasks)
+        << "n1=" << plan.n1 << " n2=" << plan.n2;
+  }
+}
+
+TEST(PartitionPlannerTest, TinyKernelDoesNotConstrain) {
+  SimConfig cfg = u250_config();
+  std::vector<KernelWorkload> ks = {{KernelKind::kUpdate, 8, 4}};
+  PartitionPlan plan = plan_partitions(ks, cfg);
+  // A kernel that can never reach eta*NCC tasks places no constraint, so
+  // locality is maximized (the whole kernel is one task either way).
+  EXPECT_EQ(plan.n2, plan.n_max);
+  EXPECT_EQ(plan.n1, plan.n_max);
+}
+
+TEST(PartitionPlannerTest, SmallKernelShrinksN1) {
+  SimConfig cfg = u250_config();
+  // 5000 x 8 output: reaching 28 tasks requires grid_i >= 28, N1 <= 178.
+  std::vector<KernelWorkload> ks = {{KernelKind::kUpdate, 5000, 8},
+                                    {KernelKind::kAggregate, 5000, 8}};
+  PartitionPlan plan = plan_partitions(ks, cfg);
+  std::int64_t min_tasks = cfg.load_balance_eta * cfg.num_cores;
+  EXPECT_GE(tasks_for(ks[0], plan.n1, plan.n2), min_tasks);
+  EXPECT_LE(plan.n1, 178);
+  EXPECT_GE(plan.n1, cfg.min_partition);
+}
+
+TEST(PartitionPlannerTest, LargeWorkloadMaximizesLocality) {
+  SimConfig cfg = u250_config();
+  // Huge kernels: constraint satisfied even at Nmax, so planner keeps Nmax.
+  std::vector<KernelWorkload> ks = {
+      {KernelKind::kUpdate, 1000000, 1024},
+      {KernelKind::kAggregate, 1000000, 1024},
+  };
+  PartitionPlan plan = plan_partitions(ks, cfg);
+  EXPECT_EQ(plan.n1, plan.n_max);
+  EXPECT_EQ(plan.n2, plan.n_max);
+}
+
+TEST(PartitionPlannerTest, EmptyKernelListThrows) {
+  SimConfig cfg = u250_config();
+  EXPECT_THROW(plan_partitions({}, cfg), std::invalid_argument);
+}
+
+TEST(ExecutionSchemeTest, AggregateLoopBounds) {
+  KernelIR ir;
+  ir.num_vertices = 1000;
+  ir.spec.kind = KernelKind::kAggregate;
+  ir.spec.in_dim = 100;
+  ir.spec.out_dim = 100;
+  attach_scheme(ir, 128, 32);
+  EXPECT_EQ(ir.scheme.grid_i, ceil_div(1000, 128));
+  EXPECT_EQ(ir.scheme.grid_k, ceil_div(100, 32));
+  EXPECT_EQ(ir.scheme.inner_steps, ceil_div(1000, 128));  // A blocks
+  EXPECT_EQ(ir.scheme.num_tasks(), ir.scheme.grid_i * ir.scheme.grid_k);
+}
+
+TEST(ExecutionSchemeTest, UpdateLoopBounds) {
+  KernelIR ir;
+  ir.num_vertices = 1000;
+  ir.spec.kind = KernelKind::kUpdate;
+  ir.spec.in_dim = 300;
+  ir.spec.out_dim = 100;
+  attach_scheme(ir, 128, 32);
+  EXPECT_EQ(ir.scheme.inner_steps, ceil_div(300, 32));  // W blocks
+  EXPECT_EQ(ir.scheme.grid_k, ceil_div(100, 32));
+}
+
+TEST(ExecutionSchemeTest, TaskListCoversGridExactlyOnce) {
+  KernelIR ir;
+  ir.node_id = 3;
+  ir.num_vertices = 100;
+  ir.spec.kind = KernelKind::kUpdate;
+  ir.spec.in_dim = 64;
+  ir.spec.out_dim = 48;
+  attach_scheme(ir, 32, 16);
+  auto tasks = generate_tasks(ir);
+  ASSERT_EQ(static_cast<std::int64_t>(tasks.size()), ir.scheme.num_tasks());
+  std::vector<int> seen(static_cast<std::size_t>(ir.scheme.num_tasks()), 0);
+  for (const Task& t : tasks) {
+    EXPECT_EQ(t.kernel_id, 3);
+    EXPECT_EQ(t.inner_steps, ir.scheme.inner_steps);
+    ++seen[static_cast<std::size_t>(t.out_gi * ir.scheme.grid_k + t.out_gk)];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(CompileTest, ProducesConsistentProgram) {
+  Dataset ds = small_dataset();
+  GnnModel m = small_model(GnnModelKind::kGcn, ds);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  EXPECT_EQ(prog.kernels.size(), m.kernels.size());
+  // Operands partitioned with plan sizes.
+  EXPECT_EQ(prog.h0.tile_rows(), prog.plan.n1);
+  EXPECT_EQ(prog.h0.tile_cols(), prog.plan.n2);
+  ASSERT_EQ(prog.weights.size(), m.weights.size());
+  EXPECT_EQ(prog.weights[0].tile_rows(), prog.plan.n2);
+  // One adjacency operator (GCN uses only sym-norm).
+  EXPECT_EQ(prog.adjacency.size(), 1u);
+  const PartitionedMatrix& adj = prog.adjacency_for(m.kernels[1]);
+  EXPECT_EQ(adj.rows(), ds.graph.num_vertices());
+  EXPECT_EQ(adj.tile_rows(), prog.plan.n1);
+  EXPECT_EQ(adj.tile_cols(), prog.plan.n1);
+}
+
+TEST(CompileTest, SchemesAttachedToAllKernels) {
+  Dataset ds = small_dataset();
+  GnnModel m = small_model(GnnModelKind::kSage, ds);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  for (const KernelIR& k : prog.kernels) {
+    EXPECT_GT(k.scheme.num_tasks(), 0) << k.describe();
+    EXPECT_GT(k.scheme.inner_steps, 0);
+    EXPECT_EQ(k.scheme.n1, prog.plan.n1);
+  }
+}
+
+TEST(CompileTest, SparsityProfilesRecorded) {
+  Dataset ds = small_dataset();
+  GnnModel m = small_model(GnnModelKind::kGcn, ds);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  EXPECT_GT(prog.h0_profile.tiles, 0);
+  EXPECT_NEAR(prog.h0_profile.overall_density, 0.3, 0.05);
+  ASSERT_EQ(prog.weight_profiles.size(), 2u);
+  EXPECT_GT(prog.weight_profiles[0].overall_density, 0.99);  // unpruned
+}
+
+TEST(CompileTest, StatsTimed) {
+  Dataset ds = small_dataset();
+  GnnModel m = small_model(GnnModelKind::kGcn, ds);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  EXPECT_GE(prog.stats.partition_ms, 0.0);
+  EXPECT_GT(prog.stats.total_ms(), 0.0);
+}
+
+TEST(CompileTest, MismatchedFeatureDimThrows) {
+  Dataset ds = small_dataset();
+  Rng rng(9);
+  GnnModel m = build_model(GnnModelKind::kGcn, 17, 8, 4, rng);  // wrong in_dim
+  EXPECT_THROW(compile(m, ds, u250_config()), std::invalid_argument);
+}
+
+TEST(CompileTest, GinUsesEpsilonOperator) {
+  // Hand-built graph with no self loops so the diagonal is exactly 1+eps.
+  Dataset ds;
+  ds.spec.name = "gin";
+  ds.spec.tag = "GN";
+  ds.spec.vertices = 100;
+  ds.spec.feature_dim = 24;
+  ds.spec.num_classes = 4;
+  ds.spec.hidden_dim = 8;
+  std::vector<Edge> edges;
+  for (std::int64_t v = 0; v + 1 < 100; ++v) edges.push_back({v, v + 1});
+  ds.graph = Graph(100, edges);
+  ds.spec.edges = ds.graph.num_edges();
+  Rng rng(3);
+  ds.features = generate_features(100, 24, 0.5, rng);
+  GnnModel m = build_model(GnnModelKind::kGin, 24, 8, 4, rng);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  ASSERT_EQ(prog.adjacency.size(), 1u);
+  const PartitionedMatrix& adj = prog.adjacency_for(m.kernels[0]);
+  DenseMatrix d = adj.to_dense();
+  EXPECT_NEAR(d.at(0, 0), 1.1f, 1e-5f);
+  EXPECT_NEAR(d.at(1, 0), 1.0f, 1e-6f);  // plain edge weight
+}
+
+}  // namespace
+}  // namespace dynasparse

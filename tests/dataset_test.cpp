@@ -1,0 +1,126 @@
+// Unit tests: dataset registry (paper Table VI) and synthetic generation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/dataset.hpp"
+
+namespace dynasparse {
+namespace {
+
+TEST(DatasetRegistryTest, SixPaperDatasetsInOrder) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].tag, "CI");
+  EXPECT_EQ(specs[1].tag, "CO");
+  EXPECT_EQ(specs[2].tag, "PU");
+  EXPECT_EQ(specs[3].tag, "FL");
+  EXPECT_EQ(specs[4].tag, "NE");
+  EXPECT_EQ(specs[5].tag, "RE");
+}
+
+TEST(DatasetRegistryTest, TableVIStatistics) {
+  DatasetSpec ci = dataset_by_tag("CI");
+  EXPECT_EQ(ci.vertices, 3327);
+  EXPECT_EQ(ci.edges, 4732);
+  EXPECT_EQ(ci.feature_dim, 3703);
+  EXPECT_EQ(ci.num_classes, 6);
+  EXPECT_NEAR(ci.h0_density, 0.0085, 1e-9);
+  EXPECT_EQ(ci.hidden_dim, 16);
+
+  DatasetSpec re = dataset_by_tag("RE");
+  EXPECT_EQ(re.vertices, 232965);
+  EXPECT_EQ(re.num_classes, 41);
+  EXPECT_DOUBLE_EQ(re.h0_density, 1.0);
+  EXPECT_EQ(re.hidden_dim, 128);
+}
+
+TEST(DatasetRegistryTest, UnknownTagThrows) {
+  EXPECT_THROW(dataset_by_tag("XX"), std::invalid_argument);
+}
+
+TEST(DatasetRegistryTest, AdjacencyDensityOrderMatchesTableVI) {
+  // |E| / |V|^2 of the registry specs reproduces Table VI's density
+  // ordering (Table VI counts each citation edge in both directions, so
+  // we check order of magnitude and relative ordering, not equality).
+  auto density = [](const char* tag) {
+    DatasetSpec s = dataset_by_tag(tag);
+    return static_cast<double>(s.edges) /
+           (static_cast<double>(s.vertices) * static_cast<double>(s.vertices));
+  };
+  EXPECT_NEAR(density("NE"), 0.000058, 0.00001);  // paper: 0.0058%
+  EXPECT_NEAR(density("RE"), 0.0021, 0.0004);     // paper: 0.21%
+  EXPECT_GT(density("CO"), density("CI"));
+  EXPECT_GT(density("CI"), density("PU"));
+  EXPECT_GT(density("PU"), density("NE"));
+}
+
+TEST(GenerateFeaturesTest, DensityOnTarget) {
+  Rng rng(1);
+  CooMatrix f = generate_features(2000, 100, 0.1, rng);
+  EXPECT_NEAR(f.density(), 0.1, 0.01);
+  EXPECT_TRUE(f.well_formed());
+}
+
+TEST(GenerateFeaturesTest, FullyDense) {
+  Rng rng(2);
+  CooMatrix f = generate_features(50, 20, 1.0, rng);
+  EXPECT_DOUBLE_EQ(f.density(), 1.0);
+}
+
+TEST(GenerateFeaturesTest, ZeroDensity) {
+  Rng rng(3);
+  CooMatrix f = generate_features(50, 20, 0.0, rng);
+  EXPECT_EQ(f.nnz(), 0);
+}
+
+TEST(GenerateFeaturesTest, ValuesPositive) {
+  Rng rng(4);
+  CooMatrix f = generate_features(100, 50, 0.2, rng);
+  for (const CooEntry& e : f.entries()) {
+    EXPECT_GE(e.value, 0.5f);
+    EXPECT_LT(e.value, 1.5f);
+  }
+}
+
+TEST(GenerateDatasetTest, ScaleOnePreservesTableVI) {
+  Dataset ds = generate_dataset(dataset_by_tag("CO"), 1, 99);
+  EXPECT_EQ(ds.spec.vertices, 2708);
+  EXPECT_EQ(ds.graph.num_vertices(), 2708);
+  // Duplicate rejection can undershoot |E| very slightly.
+  EXPECT_NEAR(static_cast<double>(ds.graph.num_edges()), 5429.0, 5429.0 * 0.01);
+  EXPECT_NEAR(ds.features.density(), 0.0127, 0.002);
+}
+
+TEST(GenerateDatasetTest, ScalingPreservesAdjacencyDensity) {
+  DatasetSpec spec = dataset_by_tag("PU");
+  Dataset full = generate_dataset(spec, 1, 7);
+  Dataset half = generate_dataset(spec, 2, 7);
+  EXPECT_NEAR(half.graph.adjacency_density(), full.graph.adjacency_density(),
+              full.graph.adjacency_density() * 0.25);
+  EXPECT_EQ(half.spec.vertices, spec.vertices / 2);
+}
+
+TEST(GenerateDatasetTest, DefaultBenchScaleUsed) {
+  Dataset ne = generate_dataset(dataset_by_tag("NE"), 0, 7);
+  EXPECT_EQ(ne.spec.vertices, 65755 / 8);
+  EXPECT_EQ(ne.spec.feature_dim, 61278);  // feature dim never scaled
+}
+
+TEST(GenerateDatasetTest, Deterministic) {
+  Dataset a = generate_dataset(dataset_by_tag("CO"), 1, 42);
+  Dataset b = generate_dataset(dataset_by_tag("CO"), 1, 42);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.features.nnz(), b.features.nnz());
+  EXPECT_EQ(a.graph.adjacency().col_idx(), b.graph.adjacency().col_idx());
+}
+
+TEST(GenerateDatasetTest, SeedChangesGraph) {
+  Dataset a = generate_dataset(dataset_by_tag("CO"), 1, 1);
+  Dataset b = generate_dataset(dataset_by_tag("CO"), 1, 2);
+  EXPECT_NE(a.graph.adjacency().col_idx(), b.graph.adjacency().col_idx());
+}
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,0 +1,88 @@
+// Randomized end-to-end regression sweep: many seeds x models over
+// randomly-shaped graphs, checking the full pipeline invariants each
+// time — engine output equals the reference bit-for-bit, report
+// accounting is internally consistent, and dynamic mapping never loses
+// to the statics on modelled compute.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "model/reference.hpp"
+
+namespace dynasparse {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  GnnModelKind kind;
+};
+
+class FuzzSweep : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzSweep, PipelineInvariantsHold) {
+  const FuzzCase& fc = GetParam();
+  Rng shape_rng(fc.seed * 7919);
+
+  DatasetSpec spec;
+  spec.name = "fuzz";
+  spec.tag = "FZ";
+  spec.vertices = shape_rng.uniform_int(40, 400);
+  spec.edges = shape_rng.uniform_int(spec.vertices, spec.vertices * 6);
+  spec.feature_dim = shape_rng.uniform_int(4, 96);
+  spec.num_classes = shape_rng.uniform_int(2, 12);
+  spec.h0_density = shape_rng.uniform(0.01, 0.9);
+  spec.hidden_dim = shape_rng.uniform_int(4, 48);
+  spec.degree_skew = shape_rng.uniform(0.0, 0.8);
+  Dataset ds = generate_dataset(spec, 1, fc.seed);
+
+  Rng rng(fc.seed + 1);
+  GnnModel m = build_model(fc.kind, ds.spec.feature_dim, ds.spec.hidden_dim,
+                           ds.spec.num_classes, rng);
+  double sparsity = shape_rng.uniform(0.0, 0.95);
+  prune_model(m, sparsity);
+
+  CompiledProgram prog = compile(m, ds, u250_config());
+  ExecutionResult dyn = execute(prog, {});
+
+  // 1. Functional equality with the naive reference.
+  DenseMatrix expect = reference_output(m, ds.graph, ds.features);
+  ASSERT_EQ(DenseMatrix::max_abs_diff(dyn.output.to_dense(), expect), 0.0f)
+      << model_kind_name(fc.kind) << " seed " << fc.seed;
+
+  // 2. Report self-consistency.
+  double sum = 0.0;
+  for (const KernelExecutionReport& k : dyn.kernels) {
+    EXPECT_EQ(k.pairs, k.pairs_gemm + k.pairs_spdmm + k.pairs_spmm + k.pairs_skipped);
+    EXPECT_GE(k.makespan_cycles, 0.0);
+    sum += k.makespan_cycles;
+  }
+  EXPECT_DOUBLE_EQ(dyn.exec_cycles, sum);
+  EXPECT_GE(dyn.latency_ms, dyn.exec_ms);
+
+  // 3. Dynamic compute never exceeds either static strategy's (up to the
+  // one-cycle mode switches).
+  RuntimeOptions opt;
+  opt.functional = true;
+  opt.strategy = MappingStrategy::kStatic1;
+  double s1 = execute(prog, opt).stats.compute_cycles;
+  opt.strategy = MappingStrategy::kStatic2;
+  double s2 = execute(prog, opt).stats.compute_cycles;
+  double slack = static_cast<double>(dyn.stats.pairs) + 1.0;
+  EXPECT_LE(dyn.stats.compute_cycles, std::min(s1, s2) + slack);
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    for (GnnModelKind kind : paper_models()) cases.push_back({seed, kind});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::ValuesIn(fuzz_cases()),
+                         [](const auto& info) {
+                           return std::string(model_kind_name(info.param.kind)) +
+                                  "_seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,0 +1,167 @@
+// Unit tests: Graph, generators, adjacency-operator normalization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/normalization.hpp"
+
+namespace dynasparse {
+namespace {
+
+TEST(GraphTest, BuildsCsrByDestination) {
+  // edges: 0->1, 0->2, 2->1 ; adjacency A[dst][src]
+  Graph g(3, {{0, 1}, {0, 2}, {2, 1}});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  const CsrMatrix& a = g.adjacency();
+  EXPECT_TRUE(a.well_formed());
+  EXPECT_EQ(g.in_degree(0), 0);
+  EXPECT_EQ(g.in_degree(1), 2);  // from 0 and 2
+  EXPECT_EQ(g.in_degree(2), 1);
+}
+
+TEST(GraphTest, DuplicateEdgesCollapse) {
+  Graph g(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphTest, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(Graph(2, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(Graph(2, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(GraphTest, AdjacencyDensity) {
+  Graph g(10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_DOUBLE_EQ(g.adjacency_density(), 4.0 / 100.0);
+}
+
+TEST(GeneratorsTest, ErdosRenyiEdgeCountAndRange) {
+  Rng rng(1);
+  Graph g = erdos_renyi(200, 1000, rng);
+  EXPECT_EQ(g.num_vertices(), 200);
+  EXPECT_EQ(g.num_edges(), 1000);
+  EXPECT_TRUE(g.adjacency().well_formed());
+}
+
+TEST(GeneratorsTest, ErdosRenyiRejectsImpossible) {
+  Rng rng(1);
+  EXPECT_THROW(erdos_renyi(2, 100, rng), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(0, 0, rng), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  Rng a(7), b(7);
+  Graph ga = erdos_renyi(100, 300, a);
+  Graph gb = erdos_renyi(100, 300, b);
+  EXPECT_EQ(ga.adjacency().col_idx(), gb.adjacency().col_idx());
+}
+
+TEST(GeneratorsTest, PowerLawIsSkewed) {
+  Rng rng(2);
+  std::int64_t n = 500;
+  Graph g = power_law(n, 3000, 0.7, rng);
+  EXPECT_EQ(g.num_edges(), 3000);
+  // Low-rank vertices should hold a disproportionate share of edges:
+  // the top 10% of vertex ids receive well over 10% of in-edges.
+  std::int64_t top_decile_edges = 0;
+  for (std::int64_t v = 0; v < n / 10; ++v) top_decile_edges += g.in_degree(v);
+  EXPECT_GT(top_decile_edges, g.num_edges() / 5);
+}
+
+TEST(GeneratorsTest, PowerLawSkewZeroIsUniformish) {
+  Rng rng(3);
+  std::int64_t n = 500;
+  Graph g = power_law(n, 3000, 0.0, rng);
+  std::int64_t top_decile_edges = 0;
+  for (std::int64_t v = 0; v < n / 10; ++v) top_decile_edges += g.in_degree(v);
+  // ~10% expected; allow wide slack but exclude heavy skew.
+  EXPECT_LT(top_decile_edges, g.num_edges() / 5);
+}
+
+TEST(GeneratorsTest, PowerLawRejectsBadSkew) {
+  Rng rng(4);
+  EXPECT_THROW(power_law(10, 5, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(power_law(10, 5, -0.1, rng), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, RmatProducesRequestedEdges) {
+  Rng rng(5);
+  Graph g = rmat(256, 2000, 0.45, 0.2, 0.2, rng);
+  EXPECT_EQ(g.num_vertices(), 256);
+  EXPECT_EQ(g.num_edges(), 2000);
+  EXPECT_TRUE(g.adjacency().well_formed());
+}
+
+TEST(GeneratorsTest, RmatRejectsBadQuadrants) {
+  Rng rng(6);
+  EXPECT_THROW(rmat(16, 10, 0.6, 0.3, 0.3, rng), std::invalid_argument);
+}
+
+TEST(NormalizationTest, AddSelfLoopsInsertsDiagonal) {
+  Graph g(3, {{0, 1}, {2, 1}});
+  CsrMatrix sl = add_self_loops(g.adjacency(), 1.0f);
+  EXPECT_TRUE(sl.well_formed());
+  EXPECT_EQ(sl.nnz(), 2 + 3);
+  DenseMatrix d = sl.to_dense();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(d.at(i, i), 1.0f);
+}
+
+TEST(NormalizationTest, AddSelfLoopsMergesExistingDiagonal) {
+  // edge 1->1 creates a diagonal entry; adding loops must merge not dup.
+  Graph g(2, {{1, 1}});
+  CsrMatrix sl = add_self_loops(g.adjacency(), 0.5f);
+  EXPECT_TRUE(sl.well_formed());
+  EXPECT_EQ(sl.nnz(), 2);
+  EXPECT_EQ(sl.to_dense().at(1, 1), 1.5f);
+}
+
+TEST(NormalizationTest, RowNormRowsSumToOne) {
+  Graph g(4, {{0, 1}, {2, 1}, {3, 1}, {0, 2}});
+  CsrMatrix rn = build_adjacency_operator(g, AdjKind::kRowNorm);
+  DenseMatrix d = rn.to_dense();
+  float row1 = d.at(1, 0) + d.at(1, 2) + d.at(1, 3);
+  EXPECT_FLOAT_EQ(row1, 1.0f);
+  float row2 = d.at(2, 0);
+  EXPECT_FLOAT_EQ(row2, 1.0f);
+  // Row 0 has no in-edges: stays zero (no NaN).
+  EXPECT_EQ(d.at(0, 0), 0.0f);
+}
+
+TEST(NormalizationTest, SymNormMatchesClosedForm) {
+  // Two vertices with a mutual edge: A+I degrees are 2 and 2, so every
+  // entry of D^-1/2 (A+I) D^-1/2 equals 1/2.
+  Graph g(2, {{0, 1}, {1, 0}});
+  CsrMatrix sn = build_adjacency_operator(g, AdjKind::kSymNorm);
+  DenseMatrix d = sn.to_dense();
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) EXPECT_NEAR(d.at(i, j), 0.5f, 1e-6f);
+}
+
+TEST(NormalizationTest, SymNormSymmetricForSymmetricGraph) {
+  Graph g(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}, {2, 1}});
+  CsrMatrix sn = build_adjacency_operator(g, AdjKind::kSymNorm);
+  DenseMatrix d = sn.to_dense();
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_NEAR(d.at(i, j), d.at(j, i), 1e-6f);
+}
+
+TEST(NormalizationTest, SelfLoopEpsWeight) {
+  Graph g(2, {{0, 1}});
+  CsrMatrix op = build_adjacency_operator(g, AdjKind::kSelfLoopEps, 0.25);
+  DenseMatrix d = op.to_dense();
+  EXPECT_FLOAT_EQ(d.at(0, 0), 1.25f);
+  EXPECT_FLOAT_EQ(d.at(1, 1), 1.25f);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 1.0f);
+}
+
+TEST(NormalizationTest, RawReturnsAdjacencyUnchanged) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  CsrMatrix raw = build_adjacency_operator(g, AdjKind::kRaw);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(raw.to_dense(), g.adjacency().to_dense()), 0.0f);
+}
+
+}  // namespace
+}  // namespace dynasparse

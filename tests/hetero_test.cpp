@@ -1,0 +1,115 @@
+// Unit tests: heterogeneous CPU/GPU/FPGA planner (paper Section IX
+// future-work extension).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "hetero/hetero_planner.hpp"
+
+namespace dynasparse {
+namespace {
+
+struct HeteroSetup {
+  Dataset ds;
+  GnnModel model;
+  CompiledProgram prog;
+  ExecutionResult run;
+};
+
+HeteroSetup make_setup(GnnModelKind kind, double h0_density = 0.02) {
+  DatasetSpec spec;
+  spec.name = "het";
+  spec.tag = "HT";
+  spec.vertices = 2000;
+  spec.edges = 12000;
+  spec.feature_dim = 256;
+  spec.num_classes = 8;
+  spec.h0_density = h0_density;
+  spec.hidden_dim = 64;
+  Dataset ds = generate_dataset(spec, 1, 5);
+  Rng rng(6);
+  GnnModel model = build_model(kind, 256, 64, 8, rng);
+  CompiledProgram prog = compile(model, ds, u250_config());
+  ExecutionResult run = execute(prog, {});
+  return HeteroSetup{std::move(ds), std::move(model), std::move(prog), std::move(run)};
+}
+
+TEST(HeteroPlannerTest, LatencyMatrixShape) {
+  HeteroSetup s = make_setup(GnnModelKind::kGcn);
+  auto lat = hetero_latency_matrix(s.prog, s.run);
+  ASSERT_EQ(lat.size(), s.prog.kernels.size());
+  for (const auto& row : lat)
+    for (double ms : row) EXPECT_GT(ms, 0.0);
+}
+
+TEST(HeteroPlannerTest, PlanCoversAllKernels) {
+  HeteroSetup s = make_setup(GnnModelKind::kSage);
+  HeteroPlan plan = plan_heterogeneous(s.prog, s.run);
+  ASSERT_EQ(plan.assignment.size(), s.prog.kernels.size());
+  ASSERT_EQ(plan.kernel_ms.size(), s.prog.kernels.size());
+  EXPECT_GT(plan.total_ms, 0.0);
+  EXPECT_GT(plan.fpga_only_ms, 0.0);
+}
+
+TEST(HeteroPlannerTest, NeverWorseThanFpgaOnly) {
+  // FPGA-everywhere is a feasible assignment with zero transfers, so the
+  // DP optimum can only match or beat it.
+  for (GnnModelKind kind : paper_models()) {
+    HeteroSetup s = make_setup(kind);
+    HeteroPlan plan = plan_heterogeneous(s.prog, s.run);
+    EXPECT_LE(plan.total_ms, plan.fpga_only_ms + 1e-9) << model_kind_name(kind);
+    EXPECT_GE(plan.speedup_vs_fpga_only(), 1.0 - 1e-9);
+  }
+}
+
+TEST(HeteroPlannerTest, ExpensiveTransfersForceSingleDevice) {
+  HeteroSetup s = make_setup(GnnModelKind::kGcn);
+  HeteroOptions expensive;
+  expensive.pcie_bytes_per_s = 1.0;          // absurdly slow link
+  expensive.transfer_latency_s = 10.0;       // and huge setup cost
+  HeteroPlan plan = plan_heterogeneous(s.prog, s.run, expensive);
+  for (std::size_t i = 1; i < plan.assignment.size(); ++i)
+    EXPECT_EQ(plan.assignment[i], plan.assignment[0]);
+  EXPECT_DOUBLE_EQ(plan.transfer_ms, 0.0);
+}
+
+TEST(HeteroPlannerTest, FreeTransfersPickPerKernelArgmin) {
+  HeteroSetup s = make_setup(GnnModelKind::kGin);
+  HeteroOptions free;
+  free.pcie_bytes_per_s = 1e18;
+  free.transfer_latency_s = 0.0;
+  HeteroPlan plan = plan_heterogeneous(s.prog, s.run, free);
+  auto lat = hetero_latency_matrix(s.prog, s.run);
+  for (std::size_t i = 0; i < plan.assignment.size(); ++i) {
+    int chosen = static_cast<int>(plan.assignment[i]);
+    for (int d = 0; d < kNumDevices; ++d)
+      EXPECT_LE(lat[i][static_cast<std::size_t>(chosen)],
+                lat[i][static_cast<std::size_t>(d)] + 1e-12)
+          << "kernel " << i;
+  }
+}
+
+TEST(HeteroPlannerTest, DescribeListsDevicesAndTotals) {
+  HeteroSetup s = make_setup(GnnModelKind::kGcn);
+  HeteroPlan plan = plan_heterogeneous(s.prog, s.run);
+  std::string d = plan.describe();
+  EXPECT_NE(d.find("hetero plan:"), std::string::npos);
+  EXPECT_NE(d.find("speedup"), std::string::npos);
+}
+
+TEST(HeteroPlannerTest, EmptyProgramYieldsEmptyPlan) {
+  CompiledProgram prog;
+  ExecutionResult run;
+  HeteroPlan plan = plan_heterogeneous(prog, run);
+  EXPECT_TRUE(plan.assignment.empty());
+  EXPECT_DOUBLE_EQ(plan.total_ms, 0.0);
+}
+
+TEST(DeviceNameTest, AllNamed) {
+  EXPECT_STREQ(device_name(DeviceKind::kCpu), "CPU");
+  EXPECT_STREQ(device_name(DeviceKind::kGpu), "GPU");
+  EXPECT_STREQ(device_name(DeviceKind::kFpga), "FPGA");
+}
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,0 +1,148 @@
+// End-to-end integration tests on (scaled) paper datasets: the evaluation
+// claims' *shapes* must hold — Dynamic >= Static per configuration, GCN's
+// big win over Static-1 on sparse-feature graphs, speedup growth with
+// weight sparsity, runtime overhead small and hidden.
+
+#include <gtest/gtest.h>
+
+#include "baselines/accelerator_models.hpp"
+#include "baselines/platform_models.hpp"
+#include "core/engine.hpp"
+#include "model/reference.hpp"
+#include "util/math_util.hpp"
+
+namespace dynasparse {
+namespace {
+
+constexpr std::uint64_t kSeed = 2023;
+
+Dataset scaled(const char* tag, int extra_scale) {
+  DatasetSpec spec = dataset_by_tag(tag);
+  return generate_dataset(spec, std::max(spec.bench_scale, extra_scale), kSeed);
+}
+
+GnnModel model_for(GnnModelKind kind, const Dataset& ds, double weight_sparsity = 0.0) {
+  Rng rng(kSeed + static_cast<std::uint64_t>(kind));
+  GnnModel m = build_model(kind, ds.spec.feature_dim, ds.spec.hidden_dim,
+                           ds.spec.num_classes, rng);
+  if (weight_sparsity > 0.0) prune_model(m, weight_sparsity);
+  return m;
+}
+
+double latency_under(const CompiledProgram& prog, MappingStrategy s) {
+  RuntimeOptions opt;
+  opt.strategy = s;
+  return run_compiled(prog, opt).latency_ms;
+}
+
+TEST(IntegrationTest, CiteSeerGcnStrategyOrdering) {
+  // Paper Table VII row CI/GCN: S1 ~400x slower than Dynamic (H0 is very
+  // sparse and S1 runs Update as dense GEMM); S2 close to Dynamic.
+  Dataset ds = scaled("CI", 2);
+  GnnModel m = model_for(GnnModelKind::kGcn, ds);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  double dyn = latency_under(prog, MappingStrategy::kDynamic);
+  double s1 = latency_under(prog, MappingStrategy::kStatic1);
+  double s2 = latency_under(prog, MappingStrategy::kStatic2);
+  EXPECT_GT(s1 / dyn, 5.0);    // large S1 win (paper: 41x)
+  EXPECT_GE(s2 / dyn, 0.999);  // modest S2 win or tie (paper: 1.15x; on
+                               // this tiny graph the dense Update L2 where
+                               // Dynamic beats S2 is memory-bound)
+  EXPECT_LT(s2 / dyn, 5.0);
+}
+
+TEST(IntegrationTest, DynamicWinsOrTiesEverywhereUnpruned) {
+  // The Table VII property: SO-S1 >= 1 and SO-S2 >= 1 in every cell.
+  for (const char* tag : {"CI", "CO", "PU"}) {
+    Dataset ds = scaled(tag, 2);
+    for (GnnModelKind kind : paper_models()) {
+      GnnModel m = model_for(kind, ds);
+      CompiledProgram prog = compile(m, ds, u250_config());
+      double dyn = latency_under(prog, MappingStrategy::kDynamic);
+      double s1 = latency_under(prog, MappingStrategy::kStatic1);
+      double s2 = latency_under(prog, MappingStrategy::kStatic2);
+      EXPECT_GE(s1 / dyn, 0.999) << tag << " " << model_kind_name(kind);
+      EXPECT_GE(s2 / dyn, 0.999) << tag << " " << model_kind_name(kind);
+    }
+  }
+}
+
+TEST(IntegrationTest, SpeedupGrowsWithWeightSparsity) {
+  // Figs. 11/12: pruning the weights strictly helps Dynamic vs statics.
+  Dataset ds = scaled("PU", 2);
+  double prev_so_s1 = 0.0;
+  for (double sparsity : {0.0, 0.7, 0.95}) {
+    GnnModel m = model_for(GnnModelKind::kGcn, ds, sparsity);
+    CompiledProgram prog = compile(m, ds, u250_config());
+    double dyn = latency_under(prog, MappingStrategy::kDynamic);
+    double s1 = latency_under(prog, MappingStrategy::kStatic1);
+    double so_s1 = s1 / dyn;
+    EXPECT_GE(so_s1, prev_so_s1 * 0.9) << "sparsity " << sparsity;
+    prev_so_s1 = so_s1;
+  }
+  EXPECT_GT(prev_so_s1, 1.5);  // by 95% sparsity the win is clear
+}
+
+TEST(IntegrationTest, RuntimeOverheadSmallAndHidden) {
+  // Fig. 13: the K2P cost is measured as a ratio of execution time and is
+  // hidden by overlap (paper: 6.8% average on its board). On the tiny
+  // citation graphs the simulated execution is so short that the ratio
+  // inflates; the hidden-ness and the big-graph smallness are the claims.
+  Dataset co = scaled("CO", 1);
+  GnnModel m_co = model_for(GnnModelKind::kGcn, co);
+  InferenceReport rep_co = run_compiled(compile(m_co, co, u250_config()), {});
+  EXPECT_DOUBLE_EQ(rep_co.execution.exposed_runtime_ms, 0.0);
+  EXPECT_GT(rep_co.execution.runtime_overhead_ratio, 0.0);
+
+  Dataset fl = scaled("FL", 4);
+  GnnModel m_fl = model_for(GnnModelKind::kGcn, fl);
+  InferenceReport rep_fl = run_compiled(compile(m_fl, fl, u250_config()), {});
+  // Larger graphs amortize the per-pair analysis: ratio drops well under
+  // the small-graph one and lands in the paper's ballpark.
+  EXPECT_LT(rep_fl.execution.runtime_overhead_ratio,
+            rep_co.execution.runtime_overhead_ratio);
+  EXPECT_LT(rep_fl.execution.runtime_overhead_ratio, 0.30);
+}
+
+TEST(IntegrationTest, FunctionalCorrectOnPaperDatasetGcn) {
+  Dataset ds = scaled("CO", 1);
+  GnnModel m = model_for(GnnModelKind::kGcn, ds);
+  InferenceReport rep = run_inference(m, ds, {});
+  DenseMatrix expect = reference_output(m, ds.graph, ds.features);
+  EXPECT_LT(DenseMatrix::max_abs_diff(rep.execution.output.to_dense(), expect), 1e-4f);
+}
+
+TEST(IntegrationTest, FeatureDensityEvolutionTracked) {
+  // Fig. 2's phenomenon: post-Update densities differ from H0's, and the
+  // engine reports one density per kernel for the runtime to consume.
+  Dataset ds = scaled("CI", 2);
+  GnnModel m = model_for(GnnModelKind::kGcn, ds);
+  InferenceReport rep = run_inference(m, ds, {});
+  const auto& dens = rep.execution.node_densities;
+  ASSERT_EQ(dens.size(), 4u);
+  // H0 of CiteSeer is ~0.85% dense; after Update with dense weights the
+  // feature matrix densifies dramatically.
+  EXPECT_GT(dens[0], ds.features.density() * 5);
+}
+
+TEST(IntegrationTest, DynasparseBeatsModeledBaselinesOnSparseGraphs) {
+  // Table X / Fig. 14 shape: despite lower peak FLOPS, sparsity
+  // exploitation wins on feature-sparse graphs.
+  Dataset ds = scaled("CI", 2);
+  GnnModel m = model_for(GnnModelKind::kGcn, ds);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  double dyn = latency_under(prog, MappingStrategy::kDynamic);
+  EXPECT_LT(dyn, platform_latency_ms(framework_platforms()[0], m, ds));  // PyG-CPU
+  EXPECT_LT(dyn, accelerator_latency_ms(boostgcn_spec(), m, ds));
+}
+
+TEST(IntegrationTest, CompileStatsPopulatedOnPaperDataset) {
+  Dataset ds = scaled("PU", 2);
+  GnnModel m = model_for(GnnModelKind::kSgc, ds);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  EXPECT_GT(prog.stats.total_ms(), 0.0);
+  EXPECT_GT(prog.stats.partition_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace dynasparse

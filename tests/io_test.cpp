@@ -1,0 +1,268 @@
+// Unit tests: graph/feature text I/O and report serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "io/graph_io.hpp"
+#include "io/ir_io.hpp"
+#include "io/report_io.hpp"
+#include "model/reference.hpp"
+
+namespace dynasparse {
+namespace {
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  Rng rng(1);
+  Graph g = erdos_renyi(50, 200, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  Graph back = read_edge_list(ss);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.adjacency().col_idx(), g.adjacency().col_idx());
+  EXPECT_EQ(back.adjacency().row_ptr(), g.adjacency().row_ptr());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# header\n\n3\n# edge block\n0 1\n\n2 1\n");
+  Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(GraphIoTest, MalformedInputsThrowWithLineInfo) {
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("abc\n");
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("3\n0 foo\n");
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("3\n0 9\n");  // endpoint out of range
+    try {
+      read_edge_list(ss);
+      FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+  }
+}
+
+TEST(GraphIoTest, FeaturesRoundTrip) {
+  Rng rng(2);
+  CooMatrix f = generate_features(40, 12, 0.2, rng);
+  std::stringstream ss;
+  write_features(f, ss);
+  CooMatrix back = read_features(ss);
+  EXPECT_EQ(back.rows(), 40);
+  EXPECT_EQ(back.cols(), 12);
+  EXPECT_TRUE(back.well_formed());
+  EXPECT_LT(DenseMatrix::max_abs_diff(back.to_dense(), f.to_dense()), 1e-5f);
+}
+
+TEST(GraphIoTest, FeaturesValidation) {
+  {
+    std::stringstream ss("2 2\n5 0 1.0\n");
+    EXPECT_THROW(read_features(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("2 2\n0 0 1.0\n0 0 2.0\n");  // duplicate position
+    EXPECT_THROW(read_features(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("2 2\n0 0 0.0\n");  // explicit zero dropped
+    CooMatrix f = read_features(ss);
+    EXPECT_EQ(f.nnz(), 0);
+  }
+}
+
+TEST(GraphIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"), std::runtime_error);
+  EXPECT_THROW(read_features_file("/nonexistent/path/features.txt"), std::runtime_error);
+}
+
+class ReportIoTest : public ::testing::Test {
+ protected:
+  InferenceReport make_report() {
+    DatasetSpec spec;
+    spec.name = "io";
+    spec.tag = "IO";
+    spec.vertices = 100;
+    spec.edges = 400;
+    spec.feature_dim = 16;
+    spec.num_classes = 4;
+    spec.h0_density = 0.3;
+    spec.hidden_dim = 8;
+    Dataset ds = generate_dataset(spec, 1, 3);
+    Rng rng(4);
+    GnnModel m = build_model(GnnModelKind::kGcn, 16, 8, 4, rng);
+    return run_inference(m, ds, {});
+  }
+};
+
+TEST_F(ReportIoTest, CsvHasHeaderKernelsAndTotal) {
+  InferenceReport rep = make_report();
+  std::string csv = report_to_csv(rep);
+  EXPECT_NE(csv.find("kernel,makespan_cycles"), std::string::npos);
+  EXPECT_NE(csv.find("Update L1"), std::string::npos);
+  EXPECT_NE(csv.find("TOTAL"), std::string::npos);
+  // One line per kernel + header + total.
+  std::size_t lines = static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, rep.execution.kernels.size() + 2);
+}
+
+TEST_F(ReportIoTest, JsonWellFormedFields) {
+  InferenceReport rep = make_report();
+  std::string json = report_to_json(rep);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"model\":\"GCN\""), std::string::npos);
+  EXPECT_NE(json.find("\"strategy\":\"Dynamic\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernels\":["), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ms\":"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+class IrIoTest : public ::testing::Test {
+ protected:
+  CompiledProgram make_program(GnnModelKind kind = GnnModelKind::kSage) {
+    DatasetSpec spec;
+    spec.name = "ir";
+    spec.tag = "IR";
+    spec.vertices = 300;
+    spec.edges = 1200;
+    spec.feature_dim = 48;
+    spec.num_classes = 6;
+    spec.h0_density = 0.2;
+    spec.hidden_dim = 16;
+    Dataset ds = generate_dataset(spec, 1, 11);
+    Rng rng(12);
+    GnnModel m = build_model(kind, 48, 16, 6, rng);
+    return compile(m, ds, u250_config());
+  }
+};
+
+TEST_F(IrIoTest, SnapshotRoundTripsExactly) {
+  for (GnnModelKind kind : paper_models()) {
+    CompiledProgram prog = make_program(kind);
+    IrSnapshot snap = snapshot_of(prog);
+    std::stringstream ss;
+    write_ir(snap, ss);
+    IrSnapshot back = read_ir(ss);
+    EXPECT_TRUE(snap == back) << model_kind_name(kind);
+  }
+}
+
+TEST_F(IrIoTest, SnapshotCapturesPlanAndSchemes) {
+  CompiledProgram prog = make_program();
+  IrSnapshot snap = snapshot_of(prog);
+  EXPECT_EQ(snap.plan.n1, prog.plan.n1);
+  ASSERT_EQ(snap.kernels.size(), prog.kernels.size());
+  EXPECT_EQ(snap.kernels[0].scheme.num_tasks(), prog.kernels[0].scheme.num_tasks());
+}
+
+TEST_F(IrIoTest, DetectsChangedSnapshot) {
+  CompiledProgram prog = make_program();
+  IrSnapshot a = snapshot_of(prog);
+  IrSnapshot b = a;
+  b.kernels[1].scheme.inner_steps += 1;
+  EXPECT_FALSE(a == b);
+  IrSnapshot c = a;
+  c.plan.n2 /= 2;
+  EXPECT_FALSE(a == c);
+}
+
+TEST_F(IrIoTest, SnapshotReuseAcrossSparsityChange) {
+  // The paper's reuse scenario: the plan survives a sparsity change of
+  // the same-shaped model. Prune the weights, recompile with the stored
+  // plan, and verify the program still executes correctly with an
+  // identical tiling and no re-planning.
+  DatasetSpec spec;
+  spec.name = "reuse";
+  spec.tag = "RU";
+  spec.vertices = 300;
+  spec.edges = 1200;
+  spec.feature_dim = 48;
+  spec.num_classes = 6;
+  spec.h0_density = 0.2;
+  spec.hidden_dim = 16;
+  Dataset ds = generate_dataset(spec, 1, 11);
+  Rng rng(12);
+  GnnModel m = build_model(GnnModelKind::kGcn, 48, 16, 6, rng);
+  CompiledProgram first = compile(m, ds, u250_config());
+
+  // Persist + reload the IR artifact.
+  std::stringstream ss;
+  write_ir(snapshot_of(first), ss);
+  IrSnapshot stored = read_ir(ss);
+
+  prune_model(m, 0.9);
+  CompiledProgram again = compile_with_plan(m, ds, u250_config(), stored.plan);
+  EXPECT_EQ(again.plan.n1, first.plan.n1);
+  EXPECT_EQ(again.plan.n2, first.plan.n2);
+  EXPECT_TRUE(snapshot_of(again).plan.n1 == stored.plan.n1);
+
+  ExecutionResult r = execute(again, {});
+  DenseMatrix expect = reference_output(m, ds.graph, ds.features);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(r.output.to_dense(), expect), 0.0f);
+}
+
+TEST_F(IrIoTest, CompileWithPlanValidatesInputs) {
+  CompiledProgram prog = make_program();
+  DatasetSpec spec;
+  spec.name = "bad";
+  spec.tag = "BD";
+  spec.vertices = 50;
+  spec.edges = 100;
+  spec.feature_dim = 48;
+  spec.num_classes = 6;
+  spec.h0_density = 0.2;
+  spec.hidden_dim = 16;
+  Dataset ds = generate_dataset(spec, 1, 3);
+  Rng rng(4);
+  GnnModel m = build_model(GnnModelKind::kSage, 48, 16, 6, rng);
+  PartitionPlan empty;
+  EXPECT_THROW(compile_with_plan(m, ds, u250_config(), empty), std::invalid_argument);
+  PartitionPlan misaligned = prog.plan;
+  misaligned.n1 = 100;  // not a psys multiple
+  EXPECT_THROW(compile_with_plan(m, ds, u250_config(), misaligned),
+               std::invalid_argument);
+}
+
+TEST_F(IrIoTest, MalformedSnapshotsRejected) {
+  {
+    std::stringstream ss("not-an-ir\n");
+    EXPECT_THROW(read_ir(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("dynasparse-ir-v1\nplan 0 64 720\n");
+    EXPECT_THROW(read_ir(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("dynasparse-ir-v1\nplan 64 64 720\nkernels 2\n");
+    EXPECT_THROW(read_ir(ss), std::runtime_error);  // truncated
+  }
+  {
+    // Enum out of range.
+    std::stringstream ss(
+        "dynasparse-ir-v1\nplan 64 64 720\nkernels 1\n"
+        "kernel 0 10 20 9 1 4 4 -1 0 0 0 -1 -1 0\nscheme 64 64 1 1 1\n");
+    EXPECT_THROW(read_ir(ss), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace dynasparse

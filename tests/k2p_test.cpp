@@ -1,0 +1,121 @@
+// Unit tests: the three mapping strategies (paper Section VIII-B) and
+// Algorithm 7's buffer routing.
+
+#include <gtest/gtest.h>
+
+#include "runtime/k2p.hpp"
+
+namespace dynasparse {
+namespace {
+
+constexpr int kPsys = 16;
+
+TEST(K2PTest, Static1MapsAggregateToSpdmmUpdateToGemm) {
+  PairDecision agg =
+      decide_pair(MappingStrategy::kStatic1, MappedKernelKind::kAggregate, 0.001, 0.9, kPsys);
+  EXPECT_EQ(agg.prim, Primitive::kSpdmm);
+  EXPECT_DOUBLE_EQ(agg.alpha_spdmm, 0.001);  // A viewed sparse
+  PairDecision up =
+      decide_pair(MappingStrategy::kStatic1, MappedKernelKind::kUpdate, 0.001, 1.0, kPsys);
+  EXPECT_EQ(up.prim, Primitive::kGemm);  // blind to H sparsity
+}
+
+TEST(K2PTest, Static1IgnoresDensityEntirely) {
+  // Even a fully dense aggregate stays SpDMM, even an empty update stays GEMM.
+  EXPECT_EQ(decide_pair(MappingStrategy::kStatic1, MappedKernelKind::kAggregate, 1.0, 1.0,
+                        kPsys).prim,
+            Primitive::kSpdmm);
+  EXPECT_EQ(decide_pair(MappingStrategy::kStatic1, MappedKernelKind::kUpdate, 0.0, 0.0,
+                        kPsys).prim,
+            Primitive::kGemm);
+}
+
+TEST(K2PTest, Static2MapsBothToSpdmmViewingLeftSparse) {
+  for (MappedKernelKind kind :
+       {MappedKernelKind::kAggregate, MappedKernelKind::kUpdate}) {
+    PairDecision d = decide_pair(MappingStrategy::kStatic2, kind, 0.2, 0.9, kPsys);
+    EXPECT_EQ(d.prim, Primitive::kSpdmm);
+    EXPECT_DOUBLE_EQ(d.alpha_spdmm, 0.2);
+  }
+  // Static-2 charges the *left* operand even when the right is sparser —
+  // that blindness is exactly what Dynamic improves on (Section VIII-B).
+  PairDecision d =
+      decide_pair(MappingStrategy::kStatic2, MappedKernelKind::kUpdate, 0.9, 0.1, kPsys);
+  EXPECT_DOUBLE_EQ(d.alpha_spdmm, 0.9);
+}
+
+TEST(K2PTest, DynamicFollowsAlgorithm7) {
+  // amin = 0 -> skip.
+  EXPECT_EQ(decide_pair(MappingStrategy::kDynamic, MappedKernelKind::kUpdate, 0.0, 0.9,
+                        kPsys).prim,
+            Primitive::kSkip);
+  // amin >= 1/2 -> GEMM.
+  EXPECT_EQ(decide_pair(MappingStrategy::kDynamic, MappedKernelKind::kUpdate, 0.6, 0.7,
+                        kPsys).prim,
+            Primitive::kGemm);
+  // amin < 1/2, amax >= 2/psys -> SpDMM with alpha = amin.
+  PairDecision sd =
+      decide_pair(MappingStrategy::kDynamic, MappedKernelKind::kAggregate, 0.9, 0.05, kPsys);
+  EXPECT_EQ(sd.prim, Primitive::kSpdmm);
+  EXPECT_DOUBLE_EQ(sd.alpha_spdmm, 0.05);
+  // both tiny -> SPMM.
+  EXPECT_EQ(decide_pair(MappingStrategy::kDynamic, MappedKernelKind::kUpdate, 0.01, 0.02,
+                        kPsys).prim,
+            Primitive::kSpmm);
+}
+
+TEST(K2PTest, DynamicRoutesSparserOperandToBufferU) {
+  PairDecision d1 =
+      decide_pair(MappingStrategy::kDynamic, MappedKernelKind::kUpdate, 0.05, 0.9, kPsys);
+  EXPECT_TRUE(d1.x_in_buffer_u);
+  PairDecision d2 =
+      decide_pair(MappingStrategy::kDynamic, MappedKernelKind::kUpdate, 0.9, 0.05, kPsys);
+  EXPECT_FALSE(d2.x_in_buffer_u);
+}
+
+TEST(K2PTest, DynamicIndependentOfKernelKind) {
+  for (double ax : {0.0, 0.1, 0.6})
+    for (double ay : {0.05, 0.9}) {
+      PairDecision a =
+          decide_pair(MappingStrategy::kDynamic, MappedKernelKind::kAggregate, ax, ay, kPsys);
+      PairDecision u =
+          decide_pair(MappingStrategy::kDynamic, MappedKernelKind::kUpdate, ax, ay, kPsys);
+      EXPECT_EQ(a.prim, u.prim);
+    }
+}
+
+TEST(K2PTest, StrategyNames) {
+  EXPECT_STREQ(strategy_name(MappingStrategy::kStatic1), "Static-1");
+  EXPECT_STREQ(strategy_name(MappingStrategy::kStatic2), "Static-2");
+  EXPECT_STREQ(strategy_name(MappingStrategy::kDynamic), "Dynamic");
+}
+
+// Property: per-pair, Dynamic's modelled cycles never exceed either static
+// strategy's (the basis of the paper's speedup claims).
+class DynamicDominance
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DynamicDominance, DynamicNeverSlowerPerPair) {
+  auto [ax, ay] = GetParam();
+  CycleModel cm(kPsys);
+  PairShape s{256, 256, 64, ax, ay};
+  for (MappedKernelKind kind :
+       {MappedKernelKind::kAggregate, MappedKernelKind::kUpdate}) {
+    PairDecision dyn = decide_pair(MappingStrategy::kDynamic, kind, ax, ay, kPsys);
+    double dyn_cost = cm.pair_cycles(dyn.prim, s, dyn.alpha_spdmm);
+    for (MappingStrategy st : {MappingStrategy::kStatic1, MappingStrategy::kStatic2}) {
+      PairDecision sd = decide_pair(st, kind, ax, ay, kPsys);
+      double st_cost = cm.pair_cycles(sd.prim, s, sd.alpha_spdmm);
+      EXPECT_LE(dyn_cost, st_cost + 1e-9)
+          << strategy_name(st) << " ax=" << ax << " ay=" << ay;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityGrid, DynamicDominance,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 0.1, 0.3, 0.5, 0.9, 1.0),
+                       ::testing::Values(0.0, 0.01, 0.1, 0.3, 0.5, 0.9, 1.0)));
+
+}  // namespace
+}  // namespace dynasparse

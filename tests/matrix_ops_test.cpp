@@ -1,0 +1,134 @@
+// Unit + property tests: the three computation primitives are numerically
+// identical (the paper's core premise — primitives differ only in which
+// zeros they skip).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "matrix/format_convert.hpp"
+#include "matrix/matrix_ops.hpp"
+#include "test_helpers.hpp"
+
+namespace dynasparse {
+namespace {
+
+using testing::random_dense;
+
+TEST(MatrixOpsTest, GemmKnownValues) {
+  DenseMatrix x(2, 2), y(2, 2);
+  x.at(0, 0) = 1;
+  x.at(0, 1) = 2;
+  x.at(1, 0) = 3;
+  x.at(1, 1) = 4;
+  y.at(0, 0) = 5;
+  y.at(0, 1) = 6;
+  y.at(1, 0) = 7;
+  y.at(1, 1) = 8;
+  DenseMatrix z = gemm(x, y);
+  EXPECT_EQ(z.at(0, 0), 19);
+  EXPECT_EQ(z.at(0, 1), 22);
+  EXPECT_EQ(z.at(1, 0), 43);
+  EXPECT_EQ(z.at(1, 1), 50);
+}
+
+TEST(MatrixOpsTest, ShapeMismatchThrows) {
+  DenseMatrix x(2, 3), y(2, 2);
+  EXPECT_THROW(gemm(x, y), std::invalid_argument);
+}
+
+TEST(MatrixOpsTest, IdentityIsNeutral) {
+  Rng rng(1);
+  DenseMatrix x = random_dense(5, 5, 0.7, rng);
+  DenseMatrix eye(5, 5);
+  for (int i = 0; i < 5; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_EQ(DenseMatrix::max_abs_diff(gemm(x, eye), x), 0.0f);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(gemm(eye, x), x), 0.0f);
+}
+
+TEST(MatrixOpsTest, EmptyOperandGivesZero) {
+  DenseMatrix x(3, 3), y(3, 4);
+  y.fill(2.0f);
+  DenseMatrix z = gemm(x, y);
+  EXPECT_EQ(z.nnz(), 0);
+  DenseMatrix zs = spdmm(dense_to_coo(x), y);
+  EXPECT_EQ(zs.nnz(), 0);
+}
+
+// ---- Property: GEMM == SpDMM == SpDMM_rhs == SPMM across the density grid
+struct PrimitiveEquivalenceParam {
+  std::int64_t m, n, d;
+  double ax, ay;
+};
+
+class PrimitiveEquivalence : public ::testing::TestWithParam<PrimitiveEquivalenceParam> {};
+
+TEST_P(PrimitiveEquivalence, AllPrimitivesAgreeBitExactly) {
+  const auto& p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p.m * 131 + p.n * 31 + p.d * 7 +
+                                     static_cast<std::uint64_t>(p.ax * 100) * 3 +
+                                     static_cast<std::uint64_t>(p.ay * 100)));
+  DenseMatrix xd = random_dense(p.m, p.n, p.ax, rng);
+  DenseMatrix yd = random_dense(p.n, p.d, p.ay, rng);
+  CooMatrix xs = dense_to_coo(xd);
+  CooMatrix ys = dense_to_coo(yd);
+
+  DenseMatrix z_gemm = gemm(xd, yd);
+  DenseMatrix z_spdmm = spdmm(xs, yd);
+  DenseMatrix z_spdmm_rhs = spdmm_rhs(xd, ys);
+  DenseMatrix z_spmm = spmm(xs, ys);
+  DenseMatrix z_csr = csr_spdmm(coo_to_csr(xs), yd);
+
+  EXPECT_EQ(DenseMatrix::max_abs_diff(z_gemm, z_spdmm), 0.0f);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(z_gemm, z_spdmm_rhs), 0.0f);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(z_gemm, z_spmm), 0.0f);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(z_gemm, z_csr), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityGrid, PrimitiveEquivalence,
+    ::testing::Values(
+        PrimitiveEquivalenceParam{8, 8, 8, 0.05, 0.05},
+        PrimitiveEquivalenceParam{8, 8, 8, 0.05, 0.9},
+        PrimitiveEquivalenceParam{8, 8, 8, 0.9, 0.05},
+        PrimitiveEquivalenceParam{8, 8, 8, 0.9, 0.9},
+        PrimitiveEquivalenceParam{16, 8, 4, 0.3, 0.3},
+        PrimitiveEquivalenceParam{4, 32, 6, 0.5, 0.1},
+        PrimitiveEquivalenceParam{33, 17, 9, 0.2, 0.6},
+        PrimitiveEquivalenceParam{1, 64, 1, 0.5, 0.5},
+        PrimitiveEquivalenceParam{64, 1, 64, 0.4, 0.4},
+        PrimitiveEquivalenceParam{12, 12, 12, 0.0, 0.5},
+        PrimitiveEquivalenceParam{12, 12, 12, 1.0, 1.0}));
+
+// ---- Column-major sparse operand: SpDMM accepts either layout ----------
+TEST(MatrixOpsTest, SpdmmColumnMajorSparseOperand) {
+  Rng rng(12);
+  DenseMatrix xd = random_dense(9, 9, 0.3, rng);
+  DenseMatrix yd = random_dense(9, 5, 0.8, rng);
+  CooMatrix xcol = dense_to_coo(xd).with_layout(Layout::kColMajor);
+  // Column-major entry order changes the floating-point accumulation
+  // order, so compare with a tolerance.
+  DenseMatrix z1 = gemm(xd, yd);
+  DenseMatrix z2 = spdmm(xcol, yd);
+  EXPECT_LT(DenseMatrix::max_abs_diff(z1, z2), 1e-4f);
+}
+
+TEST(MatrixOpsTest, AccumulateAddsOntoExisting) {
+  Rng rng(13);
+  DenseMatrix x = random_dense(4, 4, 0.5, rng);
+  DenseMatrix y = random_dense(4, 4, 0.5, rng);
+  DenseMatrix z(4, 4);
+  z.fill(1.0f);
+  gemm_accumulate(x, y, z);
+  DenseMatrix expect = gemm(x, y);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(z.at(r, c), expect.at(r, c) + 1.0f);
+}
+
+TEST(MatrixOpsTest, AccumulateOutputShapeChecked) {
+  DenseMatrix x(2, 2), y(2, 2), z(3, 2);
+  EXPECT_THROW(gemm_accumulate(x, y, z), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dynasparse

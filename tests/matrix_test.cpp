@@ -1,0 +1,223 @@
+// Unit tests: dense/COO/CSR matrices, format conversion, layout transform,
+// density profiling.
+
+#include <gtest/gtest.h>
+
+#include "matrix/coo_matrix.hpp"
+#include "matrix/csr_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "matrix/density.hpp"
+#include "matrix/format_convert.hpp"
+#include "matrix/layout.hpp"
+#include "test_helpers.hpp"
+
+namespace dynasparse {
+namespace {
+
+using testing::random_coo;
+using testing::random_dense;
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_DOUBLE_EQ(m.density(), 0.0);
+}
+
+TEST(DenseMatrixTest, LayoutIndependentAccess) {
+  DenseMatrix rm(2, 3, Layout::kRowMajor);
+  DenseMatrix cm(2, 3, Layout::kColMajor);
+  rm.at(1, 2) = 5.0f;
+  cm.at(1, 2) = 5.0f;
+  EXPECT_EQ(rm.at(1, 2), 5.0f);
+  EXPECT_EQ(cm.at(1, 2), 5.0f);
+  // Physical placement differs.
+  EXPECT_EQ(rm.data()[1 * 3 + 2], 5.0f);
+  EXPECT_EQ(cm.data()[2 * 2 + 1], 5.0f);
+}
+
+TEST(DenseMatrixTest, WithLayoutPreservesLogicalValues) {
+  Rng rng(3);
+  DenseMatrix m = random_dense(7, 5, 0.6, rng);
+  DenseMatrix c = m.with_layout(Layout::kColMajor);
+  EXPECT_EQ(c.layout(), Layout::kColMajor);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(m, c), 0.0f);
+}
+
+TEST(DenseMatrixTest, TransposedIsInvolution) {
+  Rng rng(4);
+  DenseMatrix m = random_dense(6, 9, 0.5, rng);
+  DenseMatrix tt = m.transposed().transposed();
+  EXPECT_EQ(DenseMatrix::max_abs_diff(m, tt), 0.0f);
+}
+
+TEST(DenseMatrixTest, TransposedSwapsIndices) {
+  DenseMatrix m(2, 3);
+  m.at(0, 2) = 7.0f;
+  DenseMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.at(2, 0), 7.0f);
+}
+
+TEST(DenseMatrixTest, NnzAndDensity) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 1.0f;
+  m.at(1, 1) = -2.0f;
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.density(), 0.5);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiffShapeMismatchThrows) {
+  DenseMatrix a(2, 2), b(2, 3);
+  EXPECT_THROW(DenseMatrix::max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(CooMatrixTest, SortToLayoutRowMajor) {
+  CooMatrix m(3, 3, Layout::kRowMajor);
+  m.push(2, 0, 1.0f);
+  m.push(0, 1, 2.0f);
+  m.push(0, 0, 3.0f);
+  m.sort_to_layout();
+  ASSERT_TRUE(m.well_formed());
+  EXPECT_EQ(m.entries()[0].row, 0);
+  EXPECT_EQ(m.entries()[0].col, 0);
+  EXPECT_EQ(m.entries()[2].row, 2);
+}
+
+TEST(CooMatrixTest, ColMajorOrder) {
+  CooMatrix m(3, 3, Layout::kColMajor);
+  m.push(0, 2, 1.0f);
+  m.push(1, 0, 2.0f);
+  m.push(0, 0, 3.0f);
+  m.sort_to_layout();
+  ASSERT_TRUE(m.well_formed());
+  EXPECT_EQ(m.entries()[0].col, 0);
+  EXPECT_EQ(m.entries()[0].row, 0);
+  EXPECT_EQ(m.entries()[2].col, 2);
+}
+
+TEST(CooMatrixTest, WellFormedRejectsOutOfBounds) {
+  CooMatrix m(2, 2, Layout::kRowMajor);
+  m.push(2, 0, 1.0f);
+  EXPECT_FALSE(m.well_formed());
+}
+
+TEST(CooMatrixTest, WellFormedRejectsDuplicates) {
+  CooMatrix m(2, 2, Layout::kRowMajor);
+  m.push(0, 0, 1.0f);
+  m.push(0, 0, 2.0f);
+  EXPECT_FALSE(m.well_formed());
+}
+
+TEST(CooMatrixTest, TransposedRoundTrip) {
+  Rng rng(5);
+  CooMatrix m = random_coo(8, 6, 0.3, rng);
+  CooMatrix tt = m.transposed().transposed();
+  EXPECT_EQ(DenseMatrix::max_abs_diff(m.to_dense(), tt.to_dense()), 0.0f);
+}
+
+TEST(CooMatrixTest, LayoutToggleKeepsValues) {
+  Rng rng(6);
+  CooMatrix m = random_coo(8, 6, 0.3, rng);
+  CooMatrix c = toggle_layout(m);
+  EXPECT_EQ(c.layout(), Layout::kColMajor);
+  EXPECT_TRUE(c.well_formed());
+  EXPECT_EQ(DenseMatrix::max_abs_diff(m.to_dense(), c.to_dense()), 0.0f);
+}
+
+TEST(CsrMatrixTest, RowAccess) {
+  // [[1 0 2], [0 0 0], [0 3 0]]
+  CsrMatrix m(3, 3, {0, 2, 2, 3}, {0, 2, 1}, {1.0f, 2.0f, 3.0f});
+  EXPECT_TRUE(m.well_formed());
+  EXPECT_EQ(m.row_nnz(0), 2);
+  EXPECT_EQ(m.row_nnz(1), 0);
+  EXPECT_EQ(m.row_nnz(2), 1);
+  EXPECT_EQ(m.nnz(), 3);
+}
+
+TEST(CsrMatrixTest, WellFormedChecks) {
+  CsrMatrix bad_monotone(2, 2, {0, 2, 1}, {0, 1}, {1.0f, 1.0f});
+  EXPECT_FALSE(bad_monotone.well_formed());
+  CsrMatrix bad_col(1, 2, {0, 1}, {5}, {1.0f});
+  EXPECT_FALSE(bad_col.well_formed());
+  CsrMatrix dup_col(1, 3, {0, 2}, {1, 1}, {1.0f, 1.0f});
+  EXPECT_FALSE(dup_col.well_formed());
+}
+
+TEST(CsrMatrixTest, ConstructorValidatesSizes) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0f}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(1, 2, {0, 2}, {0, 1}, {1.0f}), std::invalid_argument);
+}
+
+TEST(FormatConvertTest, DenseCooRoundTrip) {
+  Rng rng(7);
+  for (double density : {0.0, 0.1, 0.5, 1.0}) {
+    DenseMatrix m = random_dense(9, 7, density, rng);
+    DenseMatrix back = coo_to_dense(dense_to_coo(m));
+    EXPECT_EQ(DenseMatrix::max_abs_diff(m, back), 0.0f) << "density " << density;
+  }
+}
+
+TEST(FormatConvertTest, DenseToCooIsWellFormed) {
+  Rng rng(8);
+  DenseMatrix m = random_dense(9, 7, 0.4, rng);
+  EXPECT_TRUE(dense_to_coo(m).well_formed());
+  DenseMatrix cm = random_dense(9, 7, 0.4, rng, Layout::kColMajor);
+  EXPECT_TRUE(dense_to_coo(cm).well_formed());
+}
+
+TEST(FormatConvertTest, DenseCsrRoundTrip) {
+  Rng rng(9);
+  DenseMatrix m = random_dense(11, 5, 0.3, rng);
+  CsrMatrix csr = dense_to_csr(m);
+  EXPECT_TRUE(csr.well_formed());
+  EXPECT_EQ(DenseMatrix::max_abs_diff(m, csr.to_dense()), 0.0f);
+}
+
+TEST(FormatConvertTest, CooCsrRoundTrip) {
+  Rng rng(10);
+  CooMatrix m = random_coo(10, 10, 0.2, rng);
+  CsrMatrix csr = coo_to_csr(m);
+  EXPECT_TRUE(csr.well_formed());
+  EXPECT_EQ(DenseMatrix::max_abs_diff(m.to_dense(), csr.to_dense()), 0.0f);
+}
+
+TEST(FormatConvertTest, CompactChunkMatchesPaperFigure8) {
+  // Paper Fig. 8 input: [7 8 0 6 0 0 1 ...] — survivors keep order and
+  // report their source positions (the column indices of the figure).
+  CompactedChunk c = compact_chunk({7, 8, 0, 6, 0, 0, 1});
+  EXPECT_EQ(c.values, (std::vector<float>{7, 8, 6, 1}));
+  EXPECT_EQ(c.source_index, (std::vector<int>{0, 1, 3, 6}));
+}
+
+TEST(FormatConvertTest, CompactChunkAllZerosAndAllNonzero) {
+  EXPECT_TRUE(compact_chunk({0, 0, 0}).values.empty());
+  CompactedChunk c = compact_chunk({1, 2, 3});
+  EXPECT_EQ(c.values.size(), 3u);
+}
+
+TEST(LayoutTest, MergePartialsAdds) {
+  DenseMatrix a(2, 2), b(2, 2, Layout::kColMajor);
+  a.at(0, 0) = 1.0f;
+  b.at(0, 0) = 2.0f;
+  b.at(1, 1) = 3.0f;
+  DenseMatrix m = merge_partials(a, b);
+  EXPECT_EQ(m.at(0, 0), 3.0f);
+  EXPECT_EQ(m.at(1, 1), 3.0f);
+  EXPECT_EQ(m.layout(), Layout::kRowMajor);
+}
+
+TEST(DensityTest, CountNonzeros) {
+  EXPECT_EQ(count_nonzeros({0.0f, 1.0f, -2.0f, 0.0f}), 2);
+  EXPECT_EQ(count_nonzeros({}), 0);
+}
+
+TEST(DensityTest, DensityFromNnz) {
+  EXPECT_DOUBLE_EQ(density_from_nnz(5, 10, 10), 0.05);
+  EXPECT_DOUBLE_EQ(density_from_nnz(0, 0, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,0 +1,194 @@
+// Unit tests: model construction (GCN/SAGE/GIN/SGC kernel sequences per
+// paper Fig. 10), weights, activations, reference inference.
+
+#include <gtest/gtest.h>
+
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+#include "model/activation.hpp"
+#include "model/model.hpp"
+#include "model/reference.hpp"
+#include "model/weights.hpp"
+
+namespace dynasparse {
+namespace {
+
+GnnModel make(GnnModelKind kind, std::int64_t in = 12, std::int64_t hid = 8,
+              std::int64_t out = 4, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return build_model(kind, in, hid, out, rng);
+}
+
+TEST(ActivationTest, Relu) {
+  EXPECT_EQ(apply_activation(Activation::kRelu, 2.0f), 2.0f);
+  EXPECT_EQ(apply_activation(Activation::kRelu, -2.0f), 0.0f);
+  EXPECT_EQ(apply_activation(Activation::kRelu, 0.0f), 0.0f);
+}
+
+TEST(ActivationTest, PRelu) {
+  EXPECT_EQ(apply_activation(Activation::kPRelu, 2.0f, 0.1f), 2.0f);
+  EXPECT_FLOAT_EQ(apply_activation(Activation::kPRelu, -2.0f, 0.1f), -0.2f);
+}
+
+TEST(ActivationTest, PreservesStructuralZero) {
+  for (Activation a : {Activation::kNone, Activation::kRelu, Activation::kPRelu})
+    EXPECT_EQ(apply_activation(a, 0.0f), 0.0f);
+}
+
+TEST(WeightsTest, XavierBoundsAndShape) {
+  Rng rng(1);
+  DenseMatrix w = xavier_uniform(100, 50, rng);
+  EXPECT_EQ(w.rows(), 100);
+  EXPECT_EQ(w.cols(), 50);
+  double bound = std::sqrt(6.0 / 150.0);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+  EXPECT_GT(w.density(), 0.99);  // continuous draw: zeros measure-null
+}
+
+TEST(ModelStructureTest, GcnKernelSequence) {
+  GnnModel m = make(GnnModelKind::kGcn);
+  // Per layer: Update then Aggregate -> 4 kernels, 2 weights.
+  ASSERT_EQ(m.kernels.size(), 4u);
+  EXPECT_EQ(m.weights.size(), 2u);
+  EXPECT_EQ(m.kernels[0].kind, KernelKind::kUpdate);
+  EXPECT_EQ(m.kernels[1].kind, KernelKind::kAggregate);
+  EXPECT_EQ(m.kernels[1].adj, AdjKind::kSymNorm);
+  EXPECT_EQ(m.kernels[1].act, Activation::kRelu);
+  EXPECT_EQ(m.kernels[3].act, Activation::kNone);  // no ReLU on output
+  EXPECT_EQ(m.kernels[0].input, kFromFeatures);
+  std::string err;
+  EXPECT_TRUE(validate_model(m, &err)) << err;
+}
+
+TEST(ModelStructureTest, SageKernelSequenceBranches) {
+  GnnModel m = make(GnnModelKind::kSage);
+  // Per layer: self-Update, mean-Aggregate, neigh-Update(+combine).
+  ASSERT_EQ(m.kernels.size(), 6u);
+  EXPECT_EQ(m.weights.size(), 4u);
+  EXPECT_EQ(m.kernels[1].adj, AdjKind::kRowNorm);
+  EXPECT_EQ(m.kernels[2].add_input, 0);  // combine with self path
+  EXPECT_EQ(m.kernels[0].input, kFromFeatures);
+  EXPECT_EQ(m.kernels[1].input, kFromFeatures);  // branch: same input
+  std::string err;
+  EXPECT_TRUE(validate_model(m, &err)) << err;
+}
+
+TEST(ModelStructureTest, GinKernelSequenceHasMlp) {
+  GnnModel m = make(GnnModelKind::kGin);
+  // Per layer: Aggregate (A + (1+eps)I) then 2-layer MLP -> 6 kernels.
+  ASSERT_EQ(m.kernels.size(), 6u);
+  EXPECT_EQ(m.weights.size(), 4u);
+  EXPECT_EQ(m.kernels[0].adj, AdjKind::kSelfLoopEps);
+  EXPECT_GT(m.kernels[0].epsilon, 0.0);
+  EXPECT_EQ(m.kernels[1].act, Activation::kRelu);  // MLP inner ReLU
+  std::string err;
+  EXPECT_TRUE(validate_model(m, &err)) << err;
+}
+
+TEST(ModelStructureTest, SgcKernelSequence) {
+  GnnModel m = make(GnnModelKind::kSgc);
+  // K=2 hops then one Update: Aggregate, Aggregate, Update (Fig. 10).
+  ASSERT_EQ(m.kernels.size(), 3u);
+  EXPECT_EQ(m.weights.size(), 1u);
+  EXPECT_EQ(m.kernels[0].kind, KernelKind::kAggregate);
+  EXPECT_EQ(m.kernels[1].kind, KernelKind::kAggregate);
+  EXPECT_EQ(m.kernels[2].kind, KernelKind::kUpdate);
+  EXPECT_EQ(m.kernels[2].in_dim, m.in_dim);  // hops preserve feature dim
+  std::string err;
+  EXPECT_TRUE(validate_model(m, &err)) << err;
+}
+
+TEST(ModelStructureTest, AllModelsValidateAcrossDims) {
+  for (GnnModelKind kind : paper_models())
+    for (std::int64_t in : {3, 16, 100})
+      for (std::int64_t hid : {4, 16}) {
+        GnnModel m = make(kind, in, hid, 5);
+        std::string err;
+        EXPECT_TRUE(validate_model(m, &err))
+            << model_kind_name(kind) << " in=" << in << ": " << err;
+      }
+}
+
+TEST(ModelStructureTest, ValidateCatchesBrokenGraph) {
+  GnnModel m = make(GnnModelKind::kGcn);
+  m.kernels[2].input = 3;  // forward reference
+  EXPECT_FALSE(validate_model(m));
+  m = make(GnnModelKind::kGcn);
+  m.kernels[0].weight_index = 9;
+  EXPECT_FALSE(validate_model(m));
+  m = make(GnnModelKind::kGcn);
+  m.kernels[1].in_dim = 999;
+  EXPECT_FALSE(validate_model(m));
+}
+
+TEST(ModelStructureTest, WeightDensityUnprunedIsFull) {
+  GnnModel m = make(GnnModelKind::kGin);
+  EXPECT_GT(m.weight_density(), 0.99);
+  EXPECT_EQ(m.total_weight_elems(),
+            12 * 8 + 8 * 8 + 8 * 4 + 4 * 4);  // GIN MLP shapes
+}
+
+TEST(ReferenceInferenceTest, GcnShapes) {
+  Rng rng(3);
+  Graph g = erdos_renyi(30, 90, rng);
+  GnnModel m = make(GnnModelKind::kGcn, 12, 8, 4);
+  CooMatrix h0 = generate_features(30, 12, 0.5, rng);
+  auto outs = reference_inference(m, g, h0);
+  ASSERT_EQ(outs.size(), 4u);
+  EXPECT_EQ(outs.back().rows(), 30);
+  EXPECT_EQ(outs.back().cols(), 4);
+}
+
+TEST(ReferenceInferenceTest, ReluLayersAreNonNegative) {
+  Rng rng(4);
+  Graph g = erdos_renyi(30, 90, rng);
+  GnnModel m = make(GnnModelKind::kGcn, 12, 8, 4);
+  CooMatrix h0 = generate_features(30, 12, 0.5, rng);
+  auto outs = reference_inference(m, g, h0);
+  for (std::int64_t r = 0; r < outs[1].rows(); ++r)
+    for (std::int64_t c = 0; c < outs[1].cols(); ++c)
+      EXPECT_GE(outs[1].at(r, c), 0.0f);
+}
+
+TEST(ReferenceInferenceTest, SgcIsLinearBeforeUpdate) {
+  // SGC has no activation between hops: doubling H0 doubles the output.
+  Rng rng(5);
+  Graph g = erdos_renyi(20, 60, rng);
+  GnnModel m = make(GnnModelKind::kSgc, 6, 6, 3);
+  CooMatrix h0 = generate_features(20, 6, 0.5, rng);
+  CooMatrix h0x2 = h0;
+  for (CooEntry& e : h0x2.entries()) e.value *= 2.0f;
+  DenseMatrix y1 = reference_output(m, g, h0);
+  DenseMatrix y2 = reference_output(m, g, h0x2);
+  for (std::int64_t r = 0; r < y1.rows(); ++r)
+    for (std::int64_t c = 0; c < y1.cols(); ++c)
+      EXPECT_NEAR(y2.at(r, c), 2.0f * y1.at(r, c), 1e-4f);
+}
+
+TEST(ReferenceInferenceTest, ShapeMismatchThrows) {
+  Rng rng(6);
+  Graph g = erdos_renyi(10, 20, rng);
+  GnnModel m = make(GnnModelKind::kGcn, 12, 8, 4);
+  CooMatrix wrong = generate_features(10, 99, 0.5, rng);
+  EXPECT_THROW(reference_inference(m, g, wrong), std::invalid_argument);
+}
+
+TEST(ReferenceInferenceTest, IsolatedVertexGetsZeroEmbedding) {
+  // Vertex 3 has no in-edges and (with kRowNorm SAGE aggregation) only
+  // its self path contributes.
+  Rng rng(7);
+  Graph g(4, {{0, 1}, {1, 2}});
+  GnnModel m = make(GnnModelKind::kGcn, 4, 4, 2);
+  CooMatrix h0(4, 4, Layout::kRowMajor);
+  h0.push(0, 0, 1.0f);  // only vertex 0 has features
+  DenseMatrix out = reference_output(m, g, h0);
+  // GCN sym-norm keeps self loops, so vertex 3 sees only its own (zero)
+  // features -> zero embedding.
+  for (std::int64_t c = 0; c < out.cols(); ++c) EXPECT_EQ(out.at(3, c), 0.0f);
+}
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,0 +1,215 @@
+// Unit tests: Tile and PartitionedMatrix — per-partition format choice,
+// density bookkeeping, tiled reconstruction, elementwise ops.
+
+#include <gtest/gtest.h>
+
+#include "matrix/format_convert.hpp"
+#include "matrix/matrix_ops.hpp"
+#include "matrix/partitioned_matrix.hpp"
+#include "test_helpers.hpp"
+
+namespace dynasparse {
+namespace {
+
+using testing::random_dense;
+
+constexpr double kThr = 1.0 / 3.0;
+
+TEST(TileTest, FromDenseChoosesFormatByThreshold) {
+  Rng rng(1);
+  DenseMatrix sparse_block = random_dense(16, 16, 0.1, rng);
+  DenseMatrix dense_block = random_dense(16, 16, 0.9, rng);
+  Tile ts = Tile::from_dense(sparse_block, kThr);
+  Tile td = Tile::from_dense(dense_block, kThr);
+  EXPECT_EQ(ts.format, TileFormat::kCoo);
+  EXPECT_EQ(td.format, TileFormat::kDense);
+}
+
+TEST(TileTest, EmptyBlockBecomesEmptyTile) {
+  Tile t = Tile::from_dense(DenseMatrix(8, 8), kThr);
+  EXPECT_EQ(t.format, TileFormat::kEmpty);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.nnz, 0);
+  EXPECT_EQ(t.ddr_bytes(u250_config()), 0u);
+}
+
+TEST(TileTest, DdrBytesByFormat) {
+  SimConfig cfg = u250_config();
+  Rng rng(2);
+  DenseMatrix block = random_dense(10, 10, 0.9, rng);
+  Tile dense_tile = Tile::from_dense(block, kThr);
+  EXPECT_EQ(dense_tile.ddr_bytes(cfg), 10u * 10u * 4u);
+  Tile coo_tile = Tile::from_coo(dense_to_coo(block), 1.0);  // force COO
+  EXPECT_EQ(coo_tile.ddr_bytes(cfg),
+            static_cast<std::size_t>(coo_tile.nnz) * 12u);
+}
+
+TEST(TileTest, RoundTripConversions) {
+  Rng rng(3);
+  DenseMatrix block = random_dense(12, 9, 0.25, rng);
+  Tile t = Tile::from_dense(block, kThr);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(t.to_dense(), block), 0.0f);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(t.to_coo().to_dense(), block), 0.0f);
+}
+
+TEST(TileTest, FromCooDensifiesWhenDense) {
+  Rng rng(4);
+  DenseMatrix block = random_dense(8, 8, 0.95, rng);
+  Tile t = Tile::from_coo(dense_to_coo(block), kThr);
+  EXPECT_EQ(t.format, TileFormat::kDense);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(t.to_dense(), block), 0.0f);
+}
+
+TEST(AccumulateProductTest, AllFormatCombinationsAgree) {
+  Rng rng(5);
+  DenseMatrix xd = random_dense(8, 8, 0.4, rng);
+  DenseMatrix yd = random_dense(8, 8, 0.4, rng);
+  DenseMatrix expect = gemm(xd, yd);
+  Tile x_dense = Tile::from_dense(xd, 0.0);  // force dense
+  Tile x_coo = Tile::from_coo(dense_to_coo(xd), 1.0);
+  Tile y_dense = Tile::from_dense(yd, 0.0);
+  Tile y_coo = Tile::from_coo(dense_to_coo(yd), 1.0);
+  for (const Tile* x : {&x_dense, &x_coo})
+    for (const Tile* y : {&y_dense, &y_coo}) {
+      DenseMatrix z(8, 8);
+      accumulate_product(*x, *y, z);
+      EXPECT_EQ(DenseMatrix::max_abs_diff(z, expect), 0.0f)
+          << "x fmt " << static_cast<int>(x->format) << " y fmt "
+          << static_cast<int>(y->format);
+    }
+}
+
+TEST(AccumulateProductTest, MaxReduceMatchesScalarDefinition) {
+  Rng rng(6);
+  // Non-negative inputs: accumulator init 0 matches scalar max over
+  // contributions.
+  DenseMatrix xd = random_dense(6, 6, 0.5, rng);
+  DenseMatrix yd = random_dense(6, 6, 0.5, rng);
+  for (float& v : xd.data()) v = std::abs(v);
+  for (float& v : yd.data()) v = std::abs(v);
+  Tile x = Tile::from_dense(xd, 0.0);
+  Tile y = Tile::from_dense(yd, 0.0);
+  DenseMatrix z(6, 6);
+  accumulate_product(x, y, z, AccumOp::kMax);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) {
+      float expect = 0.0f;
+      for (int k = 0; k < 6; ++k) expect = std::max(expect, xd.at(i, k) * yd.at(k, j));
+      EXPECT_FLOAT_EQ(z.at(i, j), expect);
+    }
+}
+
+TEST(AccumulateProductTest, ShapeMismatchThrows) {
+  Tile x = Tile::zero(4, 4), y = Tile::zero(5, 4);
+  DenseMatrix z(4, 4);
+  EXPECT_THROW(accumulate_product(x, y, z), std::invalid_argument);
+}
+
+TEST(PartitionedMatrixTest, GridGeometryWithEdgeTiles) {
+  PartitionedMatrix m(100, 70, 32, 32);
+  EXPECT_EQ(m.grid_rows(), 4);
+  EXPECT_EQ(m.grid_cols(), 3);
+  EXPECT_EQ(m.tile_row_count(0), 32);
+  EXPECT_EQ(m.tile_row_count(3), 4);   // 100 - 3*32
+  EXPECT_EQ(m.tile_col_count(2), 6);   // 70 - 2*32
+  EXPECT_EQ(m.tile(3, 2).rows, 4);
+  EXPECT_EQ(m.tile(3, 2).cols, 6);
+}
+
+TEST(PartitionedMatrixTest, FromDenseRoundTrip) {
+  Rng rng(7);
+  DenseMatrix m = random_dense(50, 33, 0.3, rng);
+  PartitionedMatrix p = PartitionedMatrix::from_dense(m, 16, 8, kThr);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(p.to_dense(), m), 0.0f);
+  EXPECT_EQ(p.total_nnz(), m.nnz());
+}
+
+TEST(PartitionedMatrixTest, FromCooRoundTrip) {
+  Rng rng(8);
+  CooMatrix m = testing::random_coo(41, 29, 0.15, rng);
+  PartitionedMatrix p = PartitionedMatrix::from_coo(m, 16, 16, kThr);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(p.to_dense(), m.to_dense()), 0.0f);
+}
+
+TEST(PartitionedMatrixTest, FromCsrRoundTrip) {
+  Rng rng(9);
+  DenseMatrix m = random_dense(30, 30, 0.2, rng);
+  PartitionedMatrix p = PartitionedMatrix::from_csr(dense_to_csr(m), 8, 8, kThr);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(p.to_dense(), m), 0.0f);
+}
+
+TEST(PartitionedMatrixTest, PerTileDensityVaries) {
+  // Block-diagonal-ish matrix: on-diagonal tiles dense, off empty.
+  DenseMatrix m(32, 32);
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) m.at(i, j) = 1.0f;
+  PartitionedMatrix p = PartitionedMatrix::from_dense(m, 16, 16, kThr);
+  EXPECT_DOUBLE_EQ(p.tile(0, 0).density(), 1.0);
+  EXPECT_TRUE(p.tile(1, 1).empty());
+  auto map = p.tile_density_map();
+  ASSERT_EQ(map.size(), 4u);
+  EXPECT_DOUBLE_EQ(map[0], 1.0);
+  EXPECT_DOUBLE_EQ(map[3], 0.0);
+}
+
+TEST(PartitionedMatrixTest, ApplyElementwiseReluResparsifies) {
+  Rng rng(10);
+  DenseMatrix m = random_dense(32, 32, 1.0, rng);  // dense, mixed signs
+  PartitionedMatrix p = PartitionedMatrix::from_dense(m, 16, 16, kThr);
+  double before = p.density();
+  p.apply_elementwise([](float v) { return v > 0 ? v : 0.0f; }, kThr);
+  double after = p.density();
+  EXPECT_LT(after, before);
+  EXPECT_NEAR(after, 0.5, 0.12);  // N(0,1) is sign-symmetric
+  // Functional check against dense ReLU.
+  for (float& v : m.data()) v = v > 0 ? v : 0.0f;
+  EXPECT_EQ(DenseMatrix::max_abs_diff(p.to_dense(), m), 0.0f);
+}
+
+TEST(PartitionedMatrixTest, ApplyElementwiseOnCooTiles) {
+  Rng rng(11);
+  DenseMatrix m = random_dense(32, 32, 0.05, rng);
+  PartitionedMatrix p = PartitionedMatrix::from_dense(m, 16, 16, kThr);
+  p.apply_elementwise([](float v) { return 2.0f * v; }, kThr);
+  for (float& v : m.data()) v *= 2.0f;
+  EXPECT_EQ(DenseMatrix::max_abs_diff(p.to_dense(), m), 0.0f);
+}
+
+TEST(PartitionedMatrixTest, AddInplaceMatchesDenseAdd) {
+  Rng rng(12);
+  DenseMatrix a = random_dense(40, 24, 0.3, rng);
+  DenseMatrix b = random_dense(40, 24, 0.3, rng);
+  PartitionedMatrix pa = PartitionedMatrix::from_dense(a, 16, 8, kThr);
+  PartitionedMatrix pb = PartitionedMatrix::from_dense(b, 16, 8, kThr);
+  pa.add_inplace(pb, kThr);
+  for (std::int64_t r = 0; r < a.rows(); ++r)
+    for (std::int64_t c = 0; c < a.cols(); ++c) a.at(r, c) += b.at(r, c);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(pa.to_dense(), a), 0.0f);
+}
+
+TEST(PartitionedMatrixTest, AddInplaceTilingMismatchThrows) {
+  PartitionedMatrix a(32, 32, 16, 16), b(32, 32, 8, 8);
+  EXPECT_THROW(a.add_inplace(b, kThr), std::invalid_argument);
+}
+
+TEST(PartitionedMatrixTest, SetTileShapeChecked) {
+  PartitionedMatrix p(32, 32, 16, 16);
+  EXPECT_THROW(p.set_tile_from_dense(0, 0, DenseMatrix(8, 8), kThr),
+               std::invalid_argument);
+}
+
+TEST(PartitionedMatrixTest, DdrBytesSumOverTiles) {
+  SimConfig cfg = u250_config();
+  Rng rng(13);
+  DenseMatrix m = random_dense(32, 32, 0.05, rng);
+  PartitionedMatrix p = PartitionedMatrix::from_dense(m, 16, 16, kThr);
+  std::size_t expect = 0;
+  for (std::int64_t i = 0; i < p.grid_rows(); ++i)
+    for (std::int64_t j = 0; j < p.grid_cols(); ++j)
+      expect += p.tile(i, j).ddr_bytes(cfg);
+  EXPECT_EQ(p.ddr_bytes(cfg), expect);
+  EXPECT_GT(expect, 0u);
+}
+
+}  // namespace
+}  // namespace dynasparse

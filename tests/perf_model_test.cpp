@@ -1,0 +1,94 @@
+// Property tests of the Analyzer's performance model: the closed-form
+// regions of Section VI-A are total, disjoint, and actually optimal
+// against the Table IV cycle formulas.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/perf_model.hpp"
+
+namespace dynasparse {
+namespace {
+
+TEST(PerfModelTest, PaperThresholds) {
+  const int psys = 16;
+  EXPECT_EQ(choose_primitive(0.6, 0.9, psys), Primitive::kGemm);
+  EXPECT_EQ(choose_primitive(0.5, 0.5, psys), Primitive::kGemm);   // boundary
+  EXPECT_EQ(choose_primitive(0.1, 0.9, psys), Primitive::kSpdmm);
+  EXPECT_EQ(choose_primitive(0.1, 2.0 / 16.0, psys), Primitive::kSpdmm);  // boundary
+  EXPECT_EQ(choose_primitive(0.05, 0.1, psys), Primitive::kSpmm);
+  EXPECT_EQ(choose_primitive(0.0, 0.5, psys), Primitive::kSkip);
+  EXPECT_EQ(choose_primitive(0.0, 0.0, psys), Primitive::kSkip);
+}
+
+TEST(PerfModelTest, SymmetricInOperands) {
+  const int psys = 16;
+  for (double ax : {0.01, 0.2, 0.7})
+    for (double ay : {0.05, 0.4, 0.95})
+      EXPECT_EQ(choose_primitive(ax, ay, psys), choose_primitive(ay, ax, psys));
+}
+
+// Density grid sweep: the choice must minimize the modelled cycles.
+class OptimalitySweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(OptimalitySweep, ChosenPrimitiveMinimizesModelCycles) {
+  auto [ax, ay, psys] = GetParam();
+  CycleModel cm(psys);
+  PairShape s{256, 256, 64, ax, ay};
+  double amin = std::min(ax, ay);
+  if (amin <= 0.0) {
+    EXPECT_EQ(choose_primitive(ax, ay, psys), Primitive::kSkip);
+    return;
+  }
+  double g = cm.gemm_cycles(s);
+  double sd = cm.spdmm_cycles(s, amin);
+  double sp = cm.spmm_cycles(s);
+  double best = std::min({g, sd, sp});
+  Primitive chosen = choose_primitive(ax, ay, psys);
+  double chosen_cost = cm.pair_cycles(chosen, s, amin);
+  EXPECT_LE(chosen_cost, best + 1e-9)
+      << "ax=" << ax << " ay=" << ay << " psys=" << psys << " chose "
+      << primitive_name(chosen);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityGrid, OptimalitySweep,
+    ::testing::Combine(
+        ::testing::Values(0.0, 0.01, 0.05, 0.124, 0.125, 0.126, 0.3, 0.5, 0.51, 0.8, 1.0),
+        ::testing::Values(0.0, 0.01, 0.05, 0.124, 0.125, 0.126, 0.3, 0.5, 0.51, 0.8, 1.0),
+        ::testing::Values(8, 16, 32)));
+
+TEST(PerfModelTest, RegionsPartitionTheDomain) {
+  // Fine sweep: exactly one region claims every point (choose_primitive is
+  // a total function returning one of the four labels; degenerate skip
+  // only at amin == 0).
+  for (int i = 0; i <= 100; ++i)
+    for (int j = i; j <= 100; ++j) {
+      double amin = i / 100.0, amax = j / 100.0;
+      Primitive p = choose_primitive(amin, amax, 16);
+      if (amin == 0.0) {
+        EXPECT_EQ(p, Primitive::kSkip);
+      } else if (amin >= 0.5) {
+        EXPECT_EQ(p, Primitive::kGemm);
+      } else if (amax >= 2.0 / 16.0) {
+        EXPECT_EQ(p, Primitive::kSpdmm);
+      } else {
+        EXPECT_EQ(p, Primitive::kSpmm);
+      }
+    }
+}
+
+TEST(PerfModelTest, PredictedCyclesUsesChosenPrimitive) {
+  CycleModel cm(16);
+  PairShape dense{128, 128, 128, 0.9, 0.9};
+  EXPECT_DOUBLE_EQ(predicted_cycles(cm, dense), cm.gemm_cycles(dense));
+  PairShape sparse{128, 128, 128, 0.01, 0.02};
+  EXPECT_DOUBLE_EQ(predicted_cycles(cm, sparse), cm.spmm_cycles(sparse));
+  PairShape empty{128, 128, 128, 0.0, 0.9};
+  EXPECT_DOUBLE_EQ(predicted_cycles(cm, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace dynasparse

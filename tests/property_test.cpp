@@ -1,0 +1,195 @@
+// Cross-module property tests: invariants that must hold over randomized
+// inputs (parameterized sweeps), beyond what the per-module unit tests pin.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compiler/compiler.hpp"
+#include "graph/generators.hpp"
+#include "matrix/format_convert.hpp"
+#include "matrix/matrix_ops.hpp"
+#include "matrix/partitioned_matrix.hpp"
+#include "model/reference.hpp"
+#include "runtime/runtime_system.hpp"
+#include "test_helpers.hpp"
+
+namespace dynasparse {
+namespace {
+
+using testing::random_dense;
+
+// ---- Tiled matmul == untiled matmul over random tilings ----------------
+struct TilingParam {
+  std::int64_t rows, inner, cols, tr, tc;
+  double dx, dy;
+};
+
+class TiledMatmulProperty : public ::testing::TestWithParam<TilingParam> {};
+
+TEST_P(TiledMatmulProperty, TiledAccumulationMatchesGemm) {
+  const TilingParam& p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p.rows * 7 + p.inner * 3 + p.tr));
+  DenseMatrix x = random_dense(p.rows, p.inner, p.dx, rng);
+  DenseMatrix y = random_dense(p.inner, p.cols, p.dy, rng);
+  PartitionedMatrix px = PartitionedMatrix::from_dense(x, p.tr, p.tc, 1.0 / 3.0);
+  PartitionedMatrix py = PartitionedMatrix::from_dense(y, p.tc, p.tc, 1.0 / 3.0);
+  DenseMatrix expect = gemm(x, y);
+
+  // Emulate the execution scheme: per output tile accumulate over the
+  // inner tile dimension.
+  PartitionedMatrix out(p.rows, p.cols, p.tr, p.tc);
+  for (std::int64_t gi = 0; gi < out.grid_rows(); ++gi)
+    for (std::int64_t gk = 0; gk < out.grid_cols(); ++gk) {
+      DenseMatrix acc(out.tile_row_count(gi), out.tile_col_count(gk));
+      for (std::int64_t j = 0; j < px.grid_cols(); ++j)
+        accumulate_product(px.tile(gi, j), py.tile(j, gk), acc);
+      out.set_tile_from_dense(gi, gk, std::move(acc), 1.0 / 3.0);
+    }
+  EXPECT_EQ(DenseMatrix::max_abs_diff(out.to_dense(), expect), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tilings, TiledMatmulProperty,
+    ::testing::Values(TilingParam{40, 40, 40, 16, 16, 0.3, 0.3},
+                      TilingParam{33, 47, 29, 16, 8, 0.1, 0.9},
+                      TilingParam{64, 16, 64, 32, 16, 0.5, 0.05},
+                      TilingParam{17, 90, 5, 8, 8, 0.02, 0.02},
+                      TilingParam{100, 30, 100, 64, 32, 0.9, 0.9},
+                      TilingParam{16, 16, 16, 16, 16, 1.0, 1.0}));
+
+// ---- Engine == reference across models x densities x graph shapes ------
+struct EngineParam {
+  GnnModelKind kind;
+  double h0_density;
+  double skew;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(EngineEquivalence, FunctionalMatchesReference) {
+  const EngineParam& p = GetParam();
+  DatasetSpec spec;
+  spec.name = "prop";
+  spec.tag = "PR";
+  spec.vertices = 173;
+  spec.edges = 700;
+  spec.feature_dim = 37;
+  spec.num_classes = 6;
+  spec.h0_density = p.h0_density;
+  spec.hidden_dim = 10;
+  spec.degree_skew = p.skew;
+  Dataset ds = generate_dataset(spec, 1, 31);
+  Rng rng(32);
+  GnnModel m = build_model(p.kind, spec.feature_dim, spec.hidden_dim,
+                           spec.num_classes, rng);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  ExecutionResult r = execute(prog, {});
+  DenseMatrix expect = reference_output(m, ds.graph, ds.features);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(r.output.to_dense(), expect), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelDensityGrid, EngineEquivalence,
+    ::testing::Values(EngineParam{GnnModelKind::kGcn, 0.01, 0.0},
+                      EngineParam{GnnModelKind::kGcn, 0.5, 0.7},
+                      EngineParam{GnnModelKind::kGcn, 1.0, 0.5},
+                      EngineParam{GnnModelKind::kSage, 0.05, 0.6},
+                      EngineParam{GnnModelKind::kSage, 0.8, 0.0},
+                      EngineParam{GnnModelKind::kGin, 0.1, 0.6},
+                      EngineParam{GnnModelKind::kGin, 0.9, 0.3},
+                      EngineParam{GnnModelKind::kSgc, 0.02, 0.7},
+                      EngineParam{GnnModelKind::kSgc, 0.6, 0.0}));
+
+// ---- Latency monotone in weight sparsity under Dynamic ------------------
+TEST(PruningLatencyProperty, DynamicLatencyNonIncreasingWithSparsity) {
+  DatasetSpec spec;
+  spec.name = "prop";
+  spec.tag = "PR";
+  spec.vertices = 300;
+  spec.edges = 1500;
+  spec.feature_dim = 64;
+  spec.num_classes = 8;
+  spec.h0_density = 0.4;
+  spec.hidden_dim = 32;
+  Dataset ds = generate_dataset(spec, 1, 41);
+  double prev = 1e100;
+  for (double sparsity : {0.0, 0.5, 0.9, 0.99}) {
+    Rng rng(42);
+    GnnModel m = build_model(GnnModelKind::kGcn, spec.feature_dim, spec.hidden_dim,
+                             spec.num_classes, rng);
+    prune_model(m, sparsity);
+    CompiledProgram prog = compile(m, ds, u250_config());
+    double compute = execute(prog, {}).stats.compute_cycles;
+    EXPECT_LE(compute, prev * 1.001) << "sparsity " << sparsity;
+    prev = compute;
+  }
+}
+
+// ---- Density profiling consistency through a whole run ------------------
+TEST(DensityPropagationProperty, ProfiledDensitiesMatchRecount) {
+  DatasetSpec spec;
+  spec.name = "prop";
+  spec.tag = "PR";
+  spec.vertices = 200;
+  spec.edges = 900;
+  spec.feature_dim = 50;
+  spec.num_classes = 5;
+  spec.h0_density = 0.3;
+  spec.hidden_dim = 12;
+  Dataset ds = generate_dataset(spec, 1, 51);
+  Rng rng(52);
+  GnnModel m = build_model(GnnModelKind::kGcn, spec.feature_dim, spec.hidden_dim,
+                           spec.num_classes, rng);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  ExecutionResult r = execute(prog, {});
+  // The reported output density must equal a from-scratch recount of the
+  // reassembled matrix.
+  DenseMatrix out = r.output.to_dense();
+  EXPECT_NEAR(r.node_densities.back(), out.density(), 1e-12);
+}
+
+// ---- Empty-graph / degenerate-shape robustness ---------------------------
+TEST(DegenerateShapes, SingleVertexGraphRuns) {
+  DatasetSpec spec;
+  spec.name = "one";
+  spec.tag = "ONE";
+  spec.vertices = 1;
+  spec.edges = 1;
+  spec.feature_dim = 8;
+  spec.num_classes = 2;
+  spec.h0_density = 1.0;
+  spec.hidden_dim = 4;
+  Dataset ds = generate_dataset(spec, 1, 61);
+  Rng rng(62);
+  GnnModel m = build_model(GnnModelKind::kGcn, 8, 4, 2, rng);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  ExecutionResult r = execute(prog, {});
+  EXPECT_EQ(r.output.rows(), 1);
+  EXPECT_EQ(r.output.cols(), 2);
+  DenseMatrix expect = reference_output(m, ds.graph, ds.features);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(r.output.to_dense(), expect), 0.0f);
+}
+
+TEST(DegenerateShapes, AllZeroFeaturesYieldZeroOutputAndSkips) {
+  DatasetSpec spec;
+  spec.name = "zero";
+  spec.tag = "ZR";
+  spec.vertices = 64;
+  spec.edges = 256;
+  spec.feature_dim = 16;
+  spec.num_classes = 4;
+  spec.h0_density = 0.0;
+  spec.hidden_dim = 8;
+  Dataset ds = generate_dataset(spec, 1, 71);
+  Rng rng(72);
+  GnnModel m = build_model(GnnModelKind::kGcn, 16, 8, 4, rng);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  ExecutionResult r = execute(prog, {});
+  EXPECT_EQ(r.output.total_nnz(), 0);
+  // Dynamic skips every pair that touches the empty feature matrix.
+  EXPECT_GT(r.stats.pairs_skipped, 0);
+}
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,0 +1,111 @@
+// Unit + parameterized tests: magnitude pruning (paper Figs. 11/12 input).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/model.hpp"
+#include "model/pruning.hpp"
+#include "test_helpers.hpp"
+
+namespace dynasparse {
+namespace {
+
+using testing::random_dense;
+
+TEST(PruningTest, ZeroSparsityIsNoop) {
+  Rng rng(1);
+  DenseMatrix w = random_dense(20, 20, 1.0, rng);
+  DenseMatrix before = w;
+  magnitude_prune(w, 0.0);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(w, before), 0.0f);
+}
+
+TEST(PruningTest, FullSparsityEmptiesMatrix) {
+  Rng rng(2);
+  DenseMatrix w = random_dense(10, 10, 1.0, rng);
+  magnitude_prune(w, 1.0);
+  EXPECT_EQ(w.nnz(), 0);
+}
+
+TEST(PruningTest, RemovesSmallestMagnitudes) {
+  DenseMatrix w(1, 4);
+  w.at(0, 0) = 0.1f;
+  w.at(0, 1) = -5.0f;
+  w.at(0, 2) = 0.2f;
+  w.at(0, 3) = 3.0f;
+  magnitude_prune(w, 0.5);
+  EXPECT_EQ(w.at(0, 0), 0.0f);
+  EXPECT_EQ(w.at(0, 2), 0.0f);
+  EXPECT_EQ(w.at(0, 1), -5.0f);
+  EXPECT_EQ(w.at(0, 3), 3.0f);
+}
+
+TEST(PruningTest, CountsExistingZeros) {
+  DenseMatrix w(1, 4);
+  w.at(0, 1) = 1.0f;
+  w.at(0, 3) = 2.0f;  // already 50% sparse
+  magnitude_prune(w, 0.5);
+  EXPECT_EQ(w.nnz(), 2);  // nothing more to remove
+}
+
+TEST(PruningTest, OutOfRangeThrows) {
+  DenseMatrix w(2, 2);
+  EXPECT_THROW(magnitude_prune(w, -0.1), std::invalid_argument);
+  EXPECT_THROW(magnitude_prune(w, 1.1), std::invalid_argument);
+}
+
+class PruningSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PruningSweep, RealizedSparsityOnTarget) {
+  double target = GetParam();
+  Rng rng(42);
+  DenseMatrix w = random_dense(64, 64, 1.0, rng);
+  magnitude_prune(w, target);
+  EXPECT_NEAR(sparsity_of(w), target, 1.0 / (64.0 * 64.0) + 1e-9);
+}
+
+TEST_P(PruningSweep, SurvivorsDominateRemoved) {
+  double target = GetParam();
+  if (target == 0.0 || target == 1.0) GTEST_SKIP();
+  Rng rng(43);
+  DenseMatrix w = random_dense(32, 32, 1.0, rng);
+  DenseMatrix before = w;
+  magnitude_prune(w, target);
+  // Every surviving |w| must be >= every removed |w|.
+  float min_kept = 1e30f, max_removed = 0.0f;
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    float now = w.data()[static_cast<std::size_t>(i)];
+    float orig = before.data()[static_cast<std::size_t>(i)];
+    if (now != 0.0f)
+      min_kept = std::min(min_kept, std::fabs(now));
+    else if (orig != 0.0f)
+      max_removed = std::max(max_removed, std::fabs(orig));
+  }
+  EXPECT_GE(min_kept, max_removed);
+}
+
+INSTANTIATE_TEST_SUITE_P(SparsityGrid, PruningSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0));
+
+TEST(PruneModelTest, AllWeightsPruned) {
+  Rng rng(3);
+  GnnModel m = build_model(GnnModelKind::kGin, 32, 16, 8, rng);
+  prune_model(m, 0.8);
+  for (const DenseMatrix& w : m.weights)
+    EXPECT_NEAR(sparsity_of(w), 0.8, 0.02) << "matrix " << w.rows() << "x" << w.cols();
+  EXPECT_NEAR(m.weight_density(), 0.2, 0.02);
+}
+
+TEST(PruneModelTest, Deterministic) {
+  Rng rng1(4), rng2(4);
+  GnnModel a = build_model(GnnModelKind::kGcn, 32, 16, 8, rng1);
+  GnnModel b = build_model(GnnModelKind::kGcn, 32, 16, 8, rng2);
+  prune_model(a, 0.6);
+  prune_model(b, 0.6);
+  for (std::size_t i = 0; i < a.weights.size(); ++i)
+    EXPECT_EQ(DenseMatrix::max_abs_diff(a.weights[i], b.weights[i]), 0.0f);
+}
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,0 +1,95 @@
+// Unit + property tests: greedy list scheduling (paper Algorithm 8).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/scheduler.hpp"
+#include "util/random.hpp"
+
+namespace dynasparse {
+namespace {
+
+TEST(SchedulerTest, SingleCoreSerializes) {
+  ScheduleResult r = schedule_tasks({1.0, 2.0, 3.0}, 1);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 6.0);
+  EXPECT_DOUBLE_EQ(r.core_busy_cycles[0], 6.0);
+}
+
+TEST(SchedulerTest, PerfectSplit) {
+  ScheduleResult r = schedule_tasks({1.0, 1.0, 1.0, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 2.0);
+  EXPECT_DOUBLE_EQ(r.load_imbalance(), 1.0);
+}
+
+TEST(SchedulerTest, GreedyAssignsToEarliestIdle) {
+  // Tasks 4,3,2,1 on 2 cores: c0 gets 4, c1 gets 3, then c1 (free at 3)
+  // gets 2 -> busy 5, then c0 (free at 4) gets 1 -> busy 5. Makespan 5.
+  ScheduleResult r = schedule_tasks({4.0, 3.0, 2.0, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 5.0);
+  EXPECT_EQ(r.task_core[0], 0);
+  EXPECT_EQ(r.task_core[1], 1);
+  EXPECT_EQ(r.task_core[2], 1);
+  EXPECT_EQ(r.task_core[3], 0);
+}
+
+TEST(SchedulerTest, EmptyTaskList) {
+  ScheduleResult r = schedule_tasks({}, 4);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(r.load_imbalance(), 1.0);
+}
+
+TEST(SchedulerTest, ZeroCoresThrows) {
+  EXPECT_THROW(schedule_tasks({1.0}, 0), std::invalid_argument);
+}
+
+TEST(SchedulerTest, MoreCoresThanTasks) {
+  ScheduleResult r = schedule_tasks({5.0, 1.0}, 7);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 5.0);
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SchedulerProperty, ConservationAndBounds) {
+  auto [num_tasks, num_cores] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(num_tasks * 100 + num_cores));
+  std::vector<double> tasks(static_cast<std::size_t>(num_tasks));
+  for (double& t : tasks) t = rng.uniform(0.1, 10.0);
+  ScheduleResult r = schedule_tasks(tasks, num_cores);
+
+  // Conservation: every task assigned exactly once; busy sums == work sum.
+  double total = std::accumulate(tasks.begin(), tasks.end(), 0.0);
+  double busy = std::accumulate(r.core_busy_cycles.begin(), r.core_busy_cycles.end(), 0.0);
+  EXPECT_NEAR(busy, total, 1e-9);
+  for (int c : r.task_core) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, num_cores);
+  }
+
+  // Classic list-scheduling bounds: LB = max(total/m, max task),
+  // UB = total/m + max task (Graham).
+  double max_task = *std::max_element(tasks.begin(), tasks.end());
+  double lb = std::max(total / num_cores, max_task);
+  EXPECT_GE(r.makespan_cycles, lb - 1e-9);
+  EXPECT_LE(r.makespan_cycles, total / num_cores + max_task + 1e-9);
+
+  // Makespan >= every core's busy time.
+  for (double b : r.core_busy_cycles) EXPECT_LE(b, r.makespan_cycles + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SchedulerProperty,
+                         ::testing::Combine(::testing::Values(1, 7, 28, 100, 500),
+                                            ::testing::Values(1, 2, 7, 16)));
+
+TEST(SchedulerTest, EtaTimesCoresTasksBalanceWell) {
+  // The paper picks eta = 4 so that eta*NCC tasks keep imbalance low even
+  // with heterogeneous task sizes.
+  Rng rng(7);
+  std::vector<double> tasks(28);  // eta=4 * NCC=7
+  for (double& t : tasks) t = rng.uniform(0.5, 1.5);
+  ScheduleResult r = schedule_tasks(tasks, 7);
+  EXPECT_LT(r.load_imbalance(), 1.5);
+}
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,0 +1,173 @@
+// Unit tests: cycle model (Table IV), memory model, AHM timing models,
+// compute-core task pricing.
+
+#include <gtest/gtest.h>
+
+#include "sim/compute_core.hpp"
+#include "sim/cycle_model.hpp"
+#include "sim/format_transform.hpp"
+#include "sim/layout_transform.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/sparsity_profiler.hpp"
+
+namespace dynasparse {
+namespace {
+
+TEST(CycleModelTest, TableIVFormulas) {
+  CycleModel cm(16);
+  PairShape s{512, 512, 128, 0.25, 0.8};
+  double mnd = 512.0 * 512.0 * 128.0;
+  EXPECT_DOUBLE_EQ(cm.gemm_cycles(s), mnd / 256.0);
+  EXPECT_DOUBLE_EQ(cm.spdmm_cycles(s, 0.25), 2.0 * 0.25 * mnd / 256.0);
+  EXPECT_DOUBLE_EQ(cm.spmm_cycles(s), 0.25 * 0.8 * mnd / 16.0);
+}
+
+TEST(CycleModelTest, MacsPerCycle) {
+  CycleModel cm(16);
+  EXPECT_DOUBLE_EQ(cm.macs_per_cycle(Primitive::kGemm), 256.0);
+  EXPECT_DOUBLE_EQ(cm.macs_per_cycle(Primitive::kSpdmm), 128.0);
+  EXPECT_DOUBLE_EQ(cm.macs_per_cycle(Primitive::kSpmm), 16.0);
+  EXPECT_DOUBLE_EQ(cm.macs_per_cycle(Primitive::kSkip), 0.0);
+}
+
+TEST(CycleModelTest, PairCyclesDispatch) {
+  CycleModel cm(8);
+  PairShape s{8, 8, 8, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(cm.pair_cycles(Primitive::kSkip, s, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cm.pair_cycles(Primitive::kGemm, s, 0.5), cm.gemm_cycles(s));
+  EXPECT_DOUBLE_EQ(cm.pair_cycles(Primitive::kSpdmm, s, 0.3), cm.spdmm_cycles(s, 0.3));
+  EXPECT_DOUBLE_EQ(cm.pair_cycles(Primitive::kSpmm, s, 0.5), cm.spmm_cycles(s));
+}
+
+TEST(CycleModelTest, CrossoverAtHalfDensity) {
+  // At amin = 1/2 GEMM and SpDMM cost the same; below, SpDMM wins.
+  CycleModel cm(16);
+  PairShape s{64, 64, 64, 0.5, 1.0};
+  EXPECT_DOUBLE_EQ(cm.gemm_cycles(s), cm.spdmm_cycles(s, 0.5));
+  EXPECT_LT(cm.spdmm_cycles(s, 0.49), cm.gemm_cycles(s));
+}
+
+TEST(CycleModelTest, CrossoverAtTwoOverPsys) {
+  // At amax = 2/psys (with the sparse operand in BufferU at amin), SpDMM
+  // and SPMM tie: 2*amin*mnd/psys^2 == amin*(2/psys)*mnd/psys.
+  CycleModel cm(16);
+  double amin = 0.1, amax = 2.0 / 16.0;
+  PairShape s{64, 64, 64, amin, amax};
+  EXPECT_NEAR(cm.spdmm_cycles(s, amin), cm.spmm_cycles(s), 1e-9);
+}
+
+TEST(CycleModelTest, InvalidPsysThrows) {
+  EXPECT_THROW(CycleModel(0), std::invalid_argument);
+}
+
+TEST(MemoryModelTest, RatesFromConfig) {
+  SimConfig cfg = u250_config();
+  MemoryModel mm(cfg);
+  EXPECT_NEAR(mm.bytes_per_cycle_total(), 308.0, 1e-9);
+  EXPECT_NEAR(mm.bytes_per_cycle_per_core(), 308.0 / 7.0, 1e-9);
+  EXPECT_NEAR(mm.core_transfer_cycles(4400), 4400.0 / (308.0 / 7.0), 1e-6);
+}
+
+TEST(SparsityProfilerTest, StreamCycles) {
+  EXPECT_DOUBLE_EQ(profile_stream_cycles(0, 16), 0.0);
+  EXPECT_DOUBLE_EQ(profile_stream_cycles(160, 16), 10.0 + 4.0);
+  EXPECT_DOUBLE_EQ(profile_stream_cycles(161, 16), 11.0 + 4.0);
+  EXPECT_THROW(profile_stream_cycles(10, 0), std::invalid_argument);
+}
+
+TEST(FormatTransformTest, D2SAndS2DThroughput) {
+  // n elements/cycle + log(n) pipeline stages (paper Fig. 8: a D2S of
+  // n = 16 matches one DDR4 channel).
+  EXPECT_DOUBLE_EQ(d2s_cycles(1600, 16), 100.0 + 4.0);
+  EXPECT_DOUBLE_EQ(s2d_cycles(1600, 16), 100.0 + 4.0);
+  EXPECT_DOUBLE_EQ(d2s_cycles(0, 16), 0.0);
+}
+
+TEST(LayoutTransformTest, StreamingPermutationCost) {
+  double c = layout_transform_cycles(32, 32, 16);
+  EXPECT_DOUBLE_EQ(c, 1024.0 / 16.0 + 8.0);
+  EXPECT_DOUBLE_EQ(layout_transform_cycles(0, 16, 16), 0.0);
+}
+
+TEST(ComputeCoreTest, ComputeBoundTask) {
+  SimConfig cfg = u250_config();
+  ComputeCoreModel core(cfg);
+  // One dense GEMM pair, tiny loads: compute dominates.
+  PairWork w;
+  w.shape = PairShape{512, 512, 512, 1.0, 1.0};
+  w.prim = Primitive::kGemm;
+  w.load_bytes = 100;
+  TaskTiming t = core.time_task({w}, 100, 512 * 512, /*hide_ahm=*/true);
+  EXPECT_DOUBLE_EQ(t.compute_cycles, 512.0 * 512.0 * 512.0 / 256.0);
+  EXPECT_DOUBLE_EQ(t.total_cycles, t.compute_cycles);
+  EXPECT_GT(t.compute_cycles, t.memory_cycles);
+}
+
+TEST(ComputeCoreTest, MemoryBoundTask) {
+  SimConfig cfg = u250_config();
+  ComputeCoreModel core(cfg);
+  // Tiny compute, huge transfer: memory dominates.
+  PairWork w;
+  w.shape = PairShape{16, 16, 16, 0.01, 0.01};
+  w.prim = Primitive::kSpmm;
+  w.load_bytes = 10'000'000;
+  TaskTiming t = core.time_task({w}, 0, 16 * 16, true);
+  EXPECT_GT(t.memory_cycles, t.compute_cycles);
+  EXPECT_DOUBLE_EQ(t.total_cycles, t.memory_cycles);
+}
+
+TEST(ComputeCoreTest, SkippedPairsAreFree) {
+  SimConfig cfg = u250_config();
+  ComputeCoreModel core(cfg);
+  PairWork skip;
+  skip.shape = PairShape{512, 512, 512, 0.0, 1.0};
+  skip.prim = Primitive::kSkip;
+  skip.load_bytes = 999999;  // must not be counted
+  TaskTiming t = core.time_task({skip, skip}, 0, 0, true);
+  EXPECT_DOUBLE_EQ(t.compute_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(t.memory_cycles, 0.0);
+  EXPECT_EQ(t.skipped_pairs, 2);
+}
+
+TEST(ComputeCoreTest, ModeSwitchCharged) {
+  SimConfig cfg = u250_config();
+  ComputeCoreModel core(cfg);
+  PairWork g, s;
+  g.shape = PairShape{16, 16, 16, 1.0, 1.0};
+  g.prim = Primitive::kGemm;
+  s.shape = PairShape{16, 16, 16, 0.1, 1.0};
+  s.prim = Primitive::kSpdmm;
+  s.alpha_spdmm = 0.1;
+  TaskTiming same = core.time_task({g, g, g}, 0, 0, true);
+  EXPECT_EQ(same.mode_switches, 0);
+  TaskTiming alt = core.time_task({g, s, g}, 0, 0, true);
+  EXPECT_EQ(alt.mode_switches, 2);
+  EXPECT_DOUBLE_EQ(alt.compute_cycles,
+                   2 * core.cycles().gemm_cycles(g.shape) +
+                       core.cycles().spdmm_cycles(s.shape, 0.1) + 2.0);
+}
+
+TEST(ComputeCoreTest, AhmHiddenVsExposed) {
+  SimConfig cfg = u250_config();
+  ComputeCoreModel core(cfg);
+  PairWork w;
+  w.shape = PairShape{64, 64, 64, 1.0, 1.0};
+  w.prim = Primitive::kGemm;
+  w.load_bytes = 64 * 64 * 8;
+  w.ahm_cycles = 500.0;
+  TaskTiming hidden = core.time_task({w}, 1000, 64 * 64, true);
+  TaskTiming exposed = core.time_task({w}, 1000, 64 * 64, false);
+  EXPECT_GT(exposed.total_cycles, hidden.total_cycles);
+  EXPECT_DOUBLE_EQ(exposed.total_cycles,
+                   exposed.compute_cycles + exposed.memory_cycles + exposed.ahm_cycles);
+}
+
+TEST(ComputeCoreTest, ProfilerAlwaysAccounted) {
+  SimConfig cfg = u250_config();
+  ComputeCoreModel core(cfg);
+  TaskTiming t = core.time_task({}, 0, 256, true);
+  EXPECT_GT(t.ahm_cycles, 0.0);  // result stream profiling
+}
+
+}  // namespace
+}  // namespace dynasparse

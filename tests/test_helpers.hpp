@@ -1,0 +1,41 @@
+#pragma once
+// Shared fixtures/helpers for the Dynasparse test suite.
+
+#include <cstdint>
+
+#include "matrix/coo_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "util/random.hpp"
+
+namespace dynasparse::testing {
+
+/// Random dense matrix with the given density: each element nonzero with
+/// probability `density`, value ~ N(0, 1).
+inline DenseMatrix random_dense(std::int64_t rows, std::int64_t cols, double density,
+                                Rng& rng, Layout layout = Layout::kRowMajor) {
+  DenseMatrix m(rows, cols, layout);
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      if (rng.bernoulli(density)) {
+        float v = 0.0f;
+        while (v == 0.0f) v = static_cast<float>(rng.normal());
+        m.at(r, c) = v;
+      }
+  return m;
+}
+
+/// Random COO matrix (row-major sorted) with approximately `density`.
+inline CooMatrix random_coo(std::int64_t rows, std::int64_t cols, double density,
+                            Rng& rng) {
+  CooMatrix m(rows, cols, Layout::kRowMajor);
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      if (rng.bernoulli(density)) {
+        float v = 0.0f;
+        while (v == 0.0f) v = static_cast<float>(rng.normal());
+        m.push(r, c, v);
+      }
+  return m;
+}
+
+}  // namespace dynasparse::testing

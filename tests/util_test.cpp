@@ -1,0 +1,183 @@
+// Unit tests: util/ (config, rng, prefix sums, math helpers, logging).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/config.hpp"
+#include "util/logging.hpp"
+#include "util/math_util.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/random.hpp"
+
+namespace dynasparse {
+namespace {
+
+TEST(ConfigTest, DefaultsMatchPaperPlatform) {
+  SimConfig cfg = u250_config();
+  EXPECT_EQ(cfg.psys, 16);
+  EXPECT_EQ(cfg.num_cores, 7);
+  EXPECT_DOUBLE_EQ(cfg.core_clock_hz, 250.0e6);
+  EXPECT_DOUBLE_EQ(cfg.soft_clock_hz, 370.0e6);
+  EXPECT_DOUBLE_EQ(cfg.ddr_bandwidth_bytes_per_s, 77.0e9);
+  EXPECT_TRUE(cfg.valid());
+}
+
+TEST(ConfigTest, DdrBytesPerCycle) {
+  SimConfig cfg = u250_config();
+  EXPECT_NEAR(cfg.ddr_bytes_per_cycle(), 77.0e9 / 250.0e6, 1e-9);
+}
+
+TEST(ConfigTest, MaxPartitionSizeFitsBuffer) {
+  SimConfig cfg = u250_config();
+  int n = cfg.max_partition_size();
+  EXPECT_EQ(n, 720);  // largest psys-aligned square tile in a 2 MB buffer
+  EXPECT_LE(static_cast<std::size_t>(n) * n * cfg.dense_elem_bytes, cfg.onchip_tile_bytes);
+  EXPECT_EQ(n % cfg.psys, 0);
+}
+
+TEST(ConfigTest, MaxPartitionSizeIsMaximal) {
+  SimConfig cfg = u250_config();
+  cfg.onchip_tile_bytes = 300 * 300 * 4;  // not a psys-aligned square
+  int n = cfg.max_partition_size();
+  EXPECT_LE(static_cast<std::size_t>(n) * n * 4, cfg.onchip_tile_bytes);
+  EXPECT_EQ(n % cfg.psys, 0);
+  // The next psys multiple must overflow the buffer.
+  std::size_t next = static_cast<std::size_t>(n + cfg.psys);
+  EXPECT_GT(next * next * 4, cfg.onchip_tile_bytes);
+}
+
+TEST(ConfigTest, InvalidConfigsRejected) {
+  SimConfig cfg;
+  cfg.psys = 12;  // not a power of two
+  EXPECT_FALSE(cfg.valid());
+  cfg = SimConfig{};
+  cfg.num_cores = 0;
+  EXPECT_FALSE(cfg.valid());
+  cfg = SimConfig{};
+  cfg.ddr_bandwidth_bytes_per_s = -1.0;
+  EXPECT_FALSE(cfg.valid());
+  cfg = SimConfig{};
+  cfg.onchip_tile_bytes = 4;  // smaller than one psys x psys tile
+  EXPECT_FALSE(cfg.valid());
+  cfg = SimConfig{};
+  cfg.sparse_storage_threshold = 0.0;
+  EXPECT_FALSE(cfg.valid());
+}
+
+TEST(ConfigTest, CycleConversions) {
+  SimConfig cfg = u250_config();
+  EXPECT_NEAR(cfg.cycles_to_ms(250e6), 1000.0, 1e-6);
+  EXPECT_NEAR(cfg.soft_cycles_to_ms(370e6), 1000.0, 1e-6);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.uniform_int(0, 1 << 30) == b.uniform_int(0, 1 << 30)) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(9);
+  auto sample = rng.sample_without_replacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<std::int64_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (auto v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(9);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::int64_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  auto over = rng.sample_without_replacement(5, 50);
+  EXPECT_EQ(over.size(), 5u);
+}
+
+TEST(RngTest, SampleApproximatelyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(20, 0);
+  for (int trial = 0; trial < 2000; ++trial)
+    for (auto v : rng.sample_without_replacement(20, 5)) ++counts[static_cast<std::size_t>(v)];
+  // Expected 500 per slot; allow generous slack.
+  for (int c : counts) {
+    EXPECT_GT(c, 350);
+    EXPECT_LT(c, 650);
+  }
+}
+
+TEST(PrefixSumTest, ExclusiveBasic) {
+  std::vector<std::int64_t> in = {1, 2, 3, 4};
+  auto out = exclusive_prefix_sum(in);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{0, 1, 3, 6}));
+}
+
+TEST(PrefixSumTest, InclusiveBasic) {
+  std::vector<std::int64_t> in = {1, 2, 3, 4};
+  auto out = inclusive_prefix_sum(in);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{1, 3, 6, 10}));
+}
+
+TEST(PrefixSumTest, EmptyInput) {
+  EXPECT_TRUE(exclusive_prefix_sum({}).empty());
+  EXPECT_TRUE(inclusive_prefix_sum({}).empty());
+}
+
+TEST(PrefixSumTest, NetworkStages) {
+  EXPECT_EQ(prefix_network_stages(1), 0);
+  EXPECT_EQ(prefix_network_stages(2), 1);
+  EXPECT_EQ(prefix_network_stages(16), 4);
+  EXPECT_EQ(prefix_network_stages(17), 5);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 512), 1);
+}
+
+TEST(MathUtilTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({3.0}), 3.0);
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(LoggingTest, LevelGate) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log_info("should be dropped silently");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace dynasparse
