@@ -11,10 +11,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "util/stopwatch.hpp"
 
 namespace dynasparse::bench {
 
@@ -57,5 +60,89 @@ inline double strategy_latency_ms(const CompiledProgram& prog, MappingStrategy s
   opt.strategy = s;
   return run_compiled(prog, opt).latency_ms;
 }
+
+// ---- machine-readable BENCH output ----------------------------------------
+// Perf PRs record their numbers as BENCH_<pr>.json so every future
+// optimization has a trajectory to beat (ISSUE 1 contract). The helpers
+// below keep that output dependency-free.
+
+/// Wall-clock `fn` `reps` times and return the best (minimum) time in ms —
+/// the standard noise-robust microbench estimator.
+inline double time_best_of_ms(int reps, const std::function<void()>& fn) {
+  double best = -1.0;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch sw;
+    fn();
+    double ms = sw.elapsed_ms();
+    if (best < 0.0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Minimal JSON emitter: enough for flat objects and arrays of flat
+/// objects, which is all the BENCH files need.
+class JsonWriter {
+ public:
+  JsonWriter& key(const std::string& k) {
+    sep();
+    out_ << '"' << k << "\":";
+    return *this;
+  }
+  JsonWriter& value(double v) { return raw(num(v)); }
+  JsonWriter& value(std::int64_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(int v) { return raw(std::to_string(v)); }
+  JsonWriter& value(bool v) { return raw(v ? "true" : "false"); }
+  JsonWriter& value(const std::string& v) { return raw('"' + escape(v) + '"'); }
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+  std::string str() const { return out_.str(); }
+
+ private:
+  static std::string num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+  void sep() {
+    if (need_comma_) out_ << ',';
+    need_comma_ = false;
+  }
+  JsonWriter& raw(const std::string& s) {
+    sep();
+    out_ << s;
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& open(char c) {
+    sep();
+    out_ << c;
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ << c;
+    need_comma_ = true;
+    return *this;
+  }
+  std::ostringstream out_;
+  bool need_comma_ = false;
+};
 
 }  // namespace dynasparse::bench

@@ -1,18 +1,65 @@
-// google-benchmark microbenches of the functional primitive kernels and
-// the format-conversion substrates — host-side performance sanity of the
-// building blocks (not paper artifacts; those live in the fig*/table*
-// binaries).
+// Micro-benchmarks of the functional primitive kernels: the optimized
+// row-span/CSR kernels (matrix_ops.hpp) against the frozen seed kernels
+// (matrix_ops_ref.hpp), plus parallel_for thread scaling.
+//
+// Emits a machine-readable BENCH_pr1.json so every future perf PR has a
+// trajectory to beat (and prints the same numbers as text). Every timed
+// kernel's output is verified against the seed kernel before it is timed;
+// a speedup over a wrong result is worthless.
+//
+//   micro_primitives [--n 1024] [--density 0.10] [--reps 3]
+//                    [--max-threads 8] [--out BENCH_pr1.json] [--smoke]
+//
+// --smoke shrinks sizes for CI (seconds, not minutes).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "matrix/format_convert.hpp"
 #include "matrix/matrix_ops.hpp"
-#include "matrix/partitioned_matrix.hpp"
+#include "matrix/matrix_ops_ref.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
 
 namespace {
 
 using namespace dynasparse;
+
+struct Args {
+  std::int64_t n = 1024;
+  double density = 0.10;
+  int reps = 3;
+  int max_threads = 8;
+  std::string out = "BENCH_pr1.json";
+  bool smoke = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
+      a.n = std::atoll(argv[++i]);
+    else if (!std::strcmp(argv[i], "--density") && i + 1 < argc)
+      a.density = std::atof(argv[++i]);
+    else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
+      a.reps = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--max-threads") && i + 1 < argc)
+      a.max_threads = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+      a.out = argv[++i];
+    else if (!std::strcmp(argv[i], "--smoke"))
+      a.smoke = true;
+  }
+  if (a.smoke) {
+    a.n = 128;
+    a.reps = 2;
+  }
+  return a;
+}
 
 DenseMatrix make_dense(std::int64_t n, double density, std::uint64_t seed) {
   Rng rng(seed);
@@ -23,74 +70,148 @@ DenseMatrix make_dense(std::int64_t n, double density, std::uint64_t seed) {
   return m;
 }
 
-void BM_Gemm(benchmark::State& state) {
-  std::int64_t n = state.range(0);
-  DenseMatrix x = make_dense(n, 1.0, 1), y = make_dense(n, 1.0, 2);
-  for (auto _ : state) {
-    DenseMatrix z = gemm(x, y);
-    benchmark::DoNotOptimize(z.data().data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+struct KernelResult {
+  std::string name;
+  double seed_ms = 0.0;
+  double opt_ms = 0.0;
+  bool verified = false;
+  double speedup() const { return opt_ms > 0.0 ? seed_ms / opt_ms : 0.0; }
+};
 
-void BM_Spdmm(benchmark::State& state) {
-  std::int64_t n = state.range(0);
-  double density = static_cast<double>(state.range(1)) / 100.0;
-  CooMatrix x = dense_to_coo(make_dense(n, density, 3));
-  DenseMatrix y = make_dense(n, 1.0, 4);
-  for (auto _ : state) {
-    DenseMatrix z = spdmm(x, y);
-    benchmark::DoNotOptimize(z.data().data());
-  }
-  state.SetItemsProcessed(state.iterations() * x.nnz() * n);
+KernelResult run_kernel(const std::string& name, int reps,
+                        const std::function<DenseMatrix()>& seed_fn,
+                        const std::function<DenseMatrix()>& opt_fn) {
+  KernelResult r;
+  r.name = name;
+  r.verified = DenseMatrix::max_abs_diff(seed_fn(), opt_fn()) == 0.0f;
+  r.seed_ms = dynasparse::bench::time_best_of_ms(reps, [&] { seed_fn(); });
+  r.opt_ms = dynasparse::bench::time_best_of_ms(reps, [&] { opt_fn(); });
+  std::printf("%-12s seed %9.2f ms   opt %9.2f ms   speedup %6.2fx   %s\n",
+              name.c_str(), r.seed_ms, r.opt_ms, r.speedup(),
+              r.verified ? "bit-equal" : "MISMATCH");
+  return r;
 }
-BENCHMARK(BM_Spdmm)->Args({128, 1})->Args({128, 10})->Args({128, 50});
 
-void BM_Spmm(benchmark::State& state) {
-  std::int64_t n = state.range(0);
-  double density = static_cast<double>(state.range(1)) / 100.0;
-  CooMatrix x = dense_to_coo(make_dense(n, density, 5));
-  CooMatrix y = dense_to_coo(make_dense(n, density, 6));
-  for (auto _ : state) {
-    DenseMatrix z = spmm(x, y);
-    benchmark::DoNotOptimize(z.data().data());
-  }
-}
-BENCHMARK(BM_Spmm)->Args({128, 1})->Args({128, 10});
+struct ScalingPoint {
+  int threads = 1;
+  double ms = 0.0;
+  double speedup = 1.0;  // vs threads=1
+};
 
-void BM_DenseToCoo(benchmark::State& state) {
-  DenseMatrix m = make_dense(state.range(0), 0.1, 7);
-  for (auto _ : state) {
-    CooMatrix c = dense_to_coo(m);
-    benchmark::DoNotOptimize(c.entries().data());
+/// parallel_for scaling probe: independent fixed-cost items (a small
+/// dense-tile product each), enough items to load-balance well.
+std::vector<ScalingPoint> run_scaling(const Args& args) {
+  const std::int64_t tile = args.smoke ? 48 : 96;
+  const std::int64_t items = args.smoke ? 16 : 64;
+  DenseMatrix x = make_dense(tile, 1.0, 11), y = make_dense(tile, 1.0, 12);
+  auto workload = [&](int threads) {
+    parallel_for(
+        items,
+        [&](std::int64_t) {
+          DenseMatrix z(tile, tile);
+          gemm_accumulate(x, y, z);
+        },
+        threads, /*grain=*/1);
+  };
+  std::vector<ScalingPoint> points;
+  double base_ms = 0.0;
+  for (int t = 1; t <= args.max_threads; t *= 2) {
+    ScalingPoint p;
+    p.threads = t;
+    p.ms = dynasparse::bench::time_best_of_ms(args.reps, [&] { workload(t); });
+    if (t == 1) base_ms = p.ms;
+    p.speedup = p.ms > 0.0 ? base_ms / p.ms : 0.0;
+    std::printf("parallel_for %2d thread%s %9.2f ms   speedup %5.2fx\n", t,
+                t == 1 ? " " : "s", p.ms, p.speedup);
+    points.push_back(p);
   }
+  return points;
 }
-BENCHMARK(BM_DenseToCoo)->Arg(256)->Arg(512);
-
-void BM_PartitionFromDense(benchmark::State& state) {
-  DenseMatrix m = make_dense(512, 0.05, 8);
-  for (auto _ : state) {
-    PartitionedMatrix p = PartitionedMatrix::from_dense(m, state.range(0),
-                                                        state.range(0), 1.0 / 3.0);
-    benchmark::DoNotOptimize(&p);
-  }
-}
-BENCHMARK(BM_PartitionFromDense)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_TileAccumulate(benchmark::State& state) {
-  double density = static_cast<double>(state.range(0)) / 100.0;
-  DenseMatrix xd = make_dense(256, density, 9), yd = make_dense(256, density, 10);
-  Tile x = Tile::from_dense(xd, 1.0 / 3.0);
-  Tile y = Tile::from_dense(yd, 1.0 / 3.0);
-  for (auto _ : state) {
-    DenseMatrix acc(256, 256);
-    accumulate_product(x, y, acc);
-    benchmark::DoNotOptimize(acc.data().data());
-  }
-}
-BENCHMARK(BM_TileAccumulate)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Args args = parse(argc, argv);
+  std::printf("# micro_primitives: n=%lld density=%.2f reps=%d (hw threads: %d)\n",
+              static_cast<long long>(args.n), args.density, args.reps,
+              parallel_hardware_threads());
+
+  DenseMatrix xd = make_dense(args.n, args.density, 1);
+  DenseMatrix yd = make_dense(args.n, 1.0, 2);
+  CooMatrix xs = dense_to_coo(xd);
+  CsrMatrix xcsr = coo_to_csr(xs);
+  CooMatrix ys = dense_to_coo(make_dense(args.n, args.density, 3));
+  CsrMatrix ycsr = coo_to_csr(ys);
+
+  std::vector<KernelResult> kernels;
+  kernels.push_back(run_kernel(
+      "gemm", args.reps, [&] { return ref::gemm(xd, yd); },
+      [&] { return gemm(xd, yd); }));
+  kernels.push_back(run_kernel(
+      "spdmm", args.reps, [&] { return ref::spdmm(xs, yd); },
+      [&] { return spdmm(xcsr, yd); }));
+  kernels.push_back(run_kernel(
+      "spdmm_rhs", args.reps, [&] { return ref::spdmm_rhs(yd, ys); },
+      [&] { return spdmm_rhs(yd, ys); }));
+  kernels.push_back(run_kernel(
+      "spmm", args.reps,
+      [&] { return ref::spmm(xs, ys); },
+      [&] { return spmm(xcsr, ycsr); }));
+
+  std::vector<ScalingPoint> scaling = run_scaling(args);
+
+  dynasparse::bench::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(std::string("micro_primitives"));
+  w.key("pr").value(1);
+  w.key("config").begin_object();
+  w.key("n").value(static_cast<std::int64_t>(args.n));
+  w.key("density").value(args.density);
+  w.key("reps").value(args.reps);
+  w.key("smoke").value(args.smoke);
+  w.key("hardware_concurrency").value(parallel_hardware_threads());
+  w.end_object();
+  // Measurement contract: the seed kernels are frozen in their own TU
+  // compiled at the baseline ISA a default Release build of the seed repo
+  // (which shipped no build system) would produce; the optimized kernels
+  // use the project's tuned flags (-march=native, contraction off). Both
+  // families produce bit-identical results, verified per run.
+  w.key("notes").begin_array();
+  w.value(std::string("seed kernels: matrix_ops_ref.cpp at baseline -march"));
+  w.value(std::string("optimized kernels: project flags (-march=native, -ffp-contract=off)"));
+  w.value(std::string(
+      "parallel_for scaling is bounded by hardware_concurrency of this host"));
+  w.end_array();
+  w.key("kernels").begin_array();
+  for (const KernelResult& k : kernels) {
+    w.begin_object();
+    w.key("name").value(k.name);
+    w.key("seed_ms").value(k.seed_ms);
+    w.key("opt_ms").value(k.opt_ms);
+    w.key("speedup").value(k.speedup());
+    w.key("verified_bit_equal").value(k.verified);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("parallel_for").begin_array();
+  for (const ScalingPoint& p : scaling) {
+    w.begin_object();
+    w.key("threads").value(p.threads);
+    w.key("ms").value(p.ms);
+    w.key("speedup_vs_1").value(p.speedup);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(args.out);
+  out << w.str() << "\n";
+  std::printf("# wrote %s\n", args.out.c_str());
+
+  for (const KernelResult& k : kernels)
+    if (!k.verified) {
+      std::fprintf(stderr, "kernel %s output differs from seed!\n", k.name.c_str());
+      return 1;
+    }
+  return 0;
+}

@@ -41,10 +41,12 @@ CooMatrix CsrMatrix::to_coo(Layout layout) const {
 
 DenseMatrix CsrMatrix::to_dense() const {
   DenseMatrix out(rows_, cols_, Layout::kRowMajor);
-  for (std::int64_t r = 0; r < rows_; ++r)
-    for (std::int64_t k = row_begin(r); k < row_end(r); ++k)
-      out.at(r, col_idx_[static_cast<std::size_t>(k)]) +=
-          values_[static_cast<std::size_t>(k)];
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    float* row = out.row_ptr(r);
+    const std::int64_t kend = row_end(r);
+    for (std::int64_t k = row_begin(r); k < kend; ++k)
+      row[col_idx_[static_cast<std::size_t>(k)]] += values_[static_cast<std::size_t>(k)];
+  }
   return out;
 }
 

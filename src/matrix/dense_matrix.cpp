@@ -26,15 +26,34 @@ double DenseMatrix::density() const {
 DenseMatrix DenseMatrix::with_layout(Layout layout) const {
   if (layout == layout_) return *this;
   DenseMatrix out(rows_, cols_, layout);
-  for (std::int64_t r = 0; r < rows_; ++r)
-    for (std::int64_t c = 0; c < cols_; ++c) out.at(r, c) = at(r, c);
+  // Physical transpose of the backing array; both sides indexed with the
+  // layout branch hoisted out of the loop.
+  const float* src = data_.data();
+  float* dst = out.data_.data();
+  if (layout == Layout::kRowMajor) {
+    for (std::int64_t r = 0; r < rows_; ++r)
+      for (std::int64_t c = 0; c < cols_; ++c)
+        dst[r * cols_ + c] = src[c * rows_ + r];
+  } else {
+    for (std::int64_t c = 0; c < cols_; ++c)
+      for (std::int64_t r = 0; r < rows_; ++r)
+        dst[c * rows_ + r] = src[r * cols_ + c];
+  }
   return out;
 }
 
 DenseMatrix DenseMatrix::transposed() const {
   DenseMatrix out(cols_, rows_, Layout::kRowMajor);
-  for (std::int64_t r = 0; r < rows_; ++r)
-    for (std::int64_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  float* dst = out.data_.data();
+  const float* src = data_.data();
+  if (layout_ == Layout::kRowMajor) {
+    for (std::int64_t r = 0; r < rows_; ++r)
+      for (std::int64_t c = 0; c < cols_; ++c) dst[c * rows_ + r] = src[r * cols_ + c];
+  } else {
+    // Column-major storage of the source *is* the row-major storage of its
+    // transpose: a straight copy.
+    out.data_ = data_;
+  }
   return out;
 }
 

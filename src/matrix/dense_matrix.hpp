@@ -6,6 +6,7 @@
 // Transformation Unit charges cycles for transposition. The host-side data
 // structure records the layout so the simulator can bill transforms.
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +28,31 @@ class DenseMatrix {
   /// Element access by logical (row, col), independent of layout.
   float at(std::int64_t r, std::int64_t c) const { return data_[index(r, c)]; }
   float& at(std::int64_t r, std::int64_t c) { return data_[index(r, c)]; }
+
+  /// Contiguous span of logical row r. Only valid for row-major storage —
+  /// kernels hoist the layout branch by normalizing an operand to
+  /// row-major once (see require_row_major) and then streaming rows
+  /// through these pointers instead of paying the branch inside `at()` on
+  /// every element.
+  const float* row_ptr(std::int64_t r) const {
+    assert(layout_ == Layout::kRowMajor);
+    return data_.data() + static_cast<std::size_t>(r * cols_);
+  }
+  float* row_ptr(std::int64_t r) {
+    assert(layout_ == Layout::kRowMajor);
+    return data_.data() + static_cast<std::size_t>(r * cols_);
+  }
+
+  /// Hoisted layout normalization: returns *this when already row-major;
+  /// otherwise materializes a row-major copy into `scratch` and returns
+  /// that. Element values are copied verbatim (no arithmetic), so kernels
+  /// reading through the result are bit-identical to layout-branching
+  /// access.
+  const DenseMatrix& require_row_major(DenseMatrix& scratch) const {
+    if (layout_ == Layout::kRowMajor) return *this;
+    scratch = with_layout(Layout::kRowMajor);
+    return scratch;
+  }
 
   const std::vector<float>& data() const { return data_; }
   std::vector<float>& data() { return data_; }

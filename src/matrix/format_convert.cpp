@@ -1,19 +1,59 @@
 #include "matrix/format_convert.hpp"
 
+#include <algorithm>
+
 #include "util/prefix_sum.hpp"
 
 namespace dynasparse {
 
+namespace {
+
+/// Entries already in (row, col) order? Most COO matrices in the system
+/// are (dense_to_coo and Tile storage keep layout order), so coo_to_csr
+/// can usually skip its copy + O(nnz log nnz) sort for one O(nnz) scan.
+bool row_major_sorted(const CooMatrix& m) {
+  if (m.layout() != Layout::kRowMajor) return false;
+  const auto& e = m.entries();
+  for (std::size_t i = 1; i < e.size(); ++i)
+    if (e[i - 1].row > e[i].row ||
+        (e[i - 1].row == e[i].row && e[i - 1].col >= e[i].col))
+      return false;
+  return true;
+}
+
+void fill_csr_from_sorted(const std::vector<CooEntry>& entries, std::int64_t rows,
+                          std::vector<std::int64_t>& row_ptr,
+                          std::vector<std::int64_t>& col_idx,
+                          std::vector<float>& values) {
+  row_ptr.assign(static_cast<std::size_t>(rows) + 1, 0);
+  for (const CooEntry& e : entries) ++row_ptr[static_cast<std::size_t>(e.row) + 1];
+  for (std::size_t r = 1; r < row_ptr.size(); ++r) row_ptr[r] += row_ptr[r - 1];
+  col_idx.reserve(entries.size());
+  values.reserve(entries.size());
+  for (const CooEntry& e : entries) {
+    col_idx.push_back(e.col);
+    values.push_back(e.value);
+  }
+}
+
+}  // namespace
+
 CooMatrix dense_to_coo(const DenseMatrix& m) {
   CooMatrix out(m.rows(), m.cols(), m.layout());
   if (m.layout() == Layout::kRowMajor) {
-    for (std::int64_t r = 0; r < m.rows(); ++r)
+    // Row-span scan: contiguous reads, no per-element layout branch.
+    for (std::int64_t r = 0; r < m.rows(); ++r) {
+      const float* row = m.row_ptr(r);
       for (std::int64_t c = 0; c < m.cols(); ++c)
-        if (m.at(r, c) != 0.0f) out.push(r, c, m.at(r, c));
+        if (row[c] != 0.0f) out.push(r, c, row[c]);
+    }
   } else {
-    for (std::int64_t c = 0; c < m.cols(); ++c)
+    const float* data = m.data().data();
+    for (std::int64_t c = 0; c < m.cols(); ++c) {
+      const float* col = data + c * m.rows();
       for (std::int64_t r = 0; r < m.rows(); ++r)
-        if (m.at(r, c) != 0.0f) out.push(r, c, m.at(r, c));
+        if (col[r] != 0.0f) out.push(r, c, col[r]);
+    }
   }
   return out;
 }
@@ -21,39 +61,35 @@ CooMatrix dense_to_coo(const DenseMatrix& m) {
 DenseMatrix coo_to_dense(const CooMatrix& m) { return m.to_dense(); }
 
 CsrMatrix dense_to_csr(const DenseMatrix& m) {
-  std::vector<std::int64_t> counts(static_cast<std::size_t>(m.rows()), 0);
-  for (std::int64_t r = 0; r < m.rows(); ++r)
-    for (std::int64_t c = 0; c < m.cols(); ++c)
-      if (m.at(r, c) != 0.0f) ++counts[static_cast<std::size_t>(r)];
-  std::vector<std::int64_t> row_ptr = exclusive_prefix_sum(counts);
-  row_ptr.push_back(row_ptr.empty() ? 0 : row_ptr.back() + (counts.empty() ? 0 : counts.back()));
+  DenseMatrix scratch;
+  const DenseMatrix& mr = m.require_row_major(scratch);
+  std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(m.rows()) + 1, 0);
   std::vector<std::int64_t> col_idx;
   std::vector<float> values;
-  col_idx.reserve(static_cast<std::size_t>(row_ptr.back()));
-  values.reserve(static_cast<std::size_t>(row_ptr.back()));
-  for (std::int64_t r = 0; r < m.rows(); ++r)
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    const float* row = mr.row_ptr(r);
     for (std::int64_t c = 0; c < m.cols(); ++c)
-      if (m.at(r, c) != 0.0f) {
+      if (row[c] != 0.0f) {
         col_idx.push_back(c);
-        values.push_back(m.at(r, c));
+        values.push_back(row[c]);
       }
+    row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<std::int64_t>(col_idx.size());
+  }
   return CsrMatrix(m.rows(), m.cols(), std::move(row_ptr), std::move(col_idx),
                    std::move(values));
 }
 
 CsrMatrix coo_to_csr(const CooMatrix& m) {
-  CooMatrix sorted = m.layout() == Layout::kRowMajor ? m : m.with_layout(Layout::kRowMajor);
-  sorted.sort_to_layout();
-  std::vector<std::int64_t> row_ptr(static_cast<std::size_t>(m.rows()) + 1, 0);
-  for (const CooEntry& e : sorted.entries()) ++row_ptr[static_cast<std::size_t>(e.row) + 1];
-  for (std::size_t r = 1; r < row_ptr.size(); ++r) row_ptr[r] += row_ptr[r - 1];
-  std::vector<std::int64_t> col_idx;
+  std::vector<std::int64_t> row_ptr, col_idx;
   std::vector<float> values;
-  col_idx.reserve(sorted.entries().size());
-  values.reserve(sorted.entries().size());
-  for (const CooEntry& e : sorted.entries()) {
-    col_idx.push_back(e.col);
-    values.push_back(e.value);
+  if (row_major_sorted(m)) {
+    fill_csr_from_sorted(m.entries(), m.rows(), row_ptr, col_idx, values);
+  } else {
+    CooMatrix sorted =
+        m.layout() == Layout::kRowMajor ? m : m.with_layout(Layout::kRowMajor);
+    sorted.sort_to_layout();
+    fill_csr_from_sorted(sorted.entries(), m.rows(), row_ptr, col_idx, values);
   }
   return CsrMatrix(m.rows(), m.cols(), std::move(row_ptr), std::move(col_idx),
                    std::move(values));

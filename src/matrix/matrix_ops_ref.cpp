@@ -1,0 +1,110 @@
+#include "matrix/matrix_ops_ref.hpp"
+
+#include <stdexcept>
+
+#include "matrix/format_convert.hpp"
+
+namespace dynasparse::ref {
+
+namespace {
+void check_shapes(std::int64_t xc, std::int64_t yr) {
+  if (xc != yr) throw std::invalid_argument("inner dimension mismatch");
+}
+void check_out(std::int64_t xr, std::int64_t yc, const DenseMatrix& z) {
+  if (z.rows() != xr || z.cols() != yc)
+    throw std::invalid_argument("output shape mismatch");
+}
+}  // namespace
+
+void gemm_accumulate(const DenseMatrix& x, const DenseMatrix& y, DenseMatrix& z) {
+  check_shapes(x.cols(), y.rows());
+  check_out(x.rows(), y.cols(), z);
+  // i-k-j loop keeps the inner accumulation in k-order per output element,
+  // matching the sparse kernels' ordering (entries sorted by (row, col)).
+  for (std::int64_t i = 0; i < x.rows(); ++i)
+    for (std::int64_t k = 0; k < x.cols(); ++k) {
+      float xv = x.at(i, k);
+      if (xv == 0.0f) continue;  // numerically a no-op; keeps bit-equality
+      for (std::int64_t j = 0; j < y.cols(); ++j)
+        z.at(i, j) += xv * y.at(k, j);
+    }
+}
+
+void spdmm_accumulate(const CooMatrix& x, const DenseMatrix& y, DenseMatrix& z) {
+  check_shapes(x.cols(), y.rows());
+  check_out(x.rows(), y.cols(), z);
+  // Scatter-gather paradigm (paper Algorithm 5): each nonzero e of X
+  // fetches row Y[e.col] and updates output row Z[e.row]. Row-major entry
+  // order gives the same k-order accumulation as gemm_accumulate.
+  CooMatrix xs = x.layout() == Layout::kRowMajor ? x : x.with_layout(Layout::kRowMajor);
+  for (const CooEntry& e : xs.entries())
+    for (std::int64_t j = 0; j < y.cols(); ++j)
+      z.at(e.row, j) += e.value * y.at(e.col, j);
+}
+
+void spdmm_rhs_accumulate(const DenseMatrix& x, const CooMatrix& y, DenseMatrix& z) {
+  check_shapes(x.cols(), y.rows());
+  check_out(x.rows(), y.cols(), z);
+  // Mirrors spdmm with roles swapped: each nonzero e of Y pairs with
+  // column e.row of X. Iterating e in row-major order of Y preserves the
+  // k-accumulation order for every output element.
+  CooMatrix ys = y.layout() == Layout::kRowMajor ? y : y.with_layout(Layout::kRowMajor);
+  for (const CooEntry& e : ys.entries())
+    for (std::int64_t i = 0; i < x.rows(); ++i) {
+      float xv = x.at(i, e.row);
+      if (xv != 0.0f) z.at(i, e.col) += xv * e.value;
+    }
+}
+
+void spmm_accumulate(const CooMatrix& x, const CooMatrix& y, DenseMatrix& z) {
+  check_shapes(x.cols(), y.rows());
+  check_out(x.rows(), y.cols(), z);
+  // Row-wise product (paper Algorithm 6): Z[j] = sum_i X[j][i] * Y[i].
+  CsrMatrix ycsr = coo_to_csr(y);
+  CooMatrix xs = x.layout() == Layout::kRowMajor ? x : x.with_layout(Layout::kRowMajor);
+  for (const CooEntry& e : xs.entries()) {
+    for (std::int64_t k = ycsr.row_begin(e.col); k < ycsr.row_end(e.col); ++k) {
+      std::size_t ki = static_cast<std::size_t>(k);
+      z.at(e.row, ycsr.col_idx()[ki]) += e.value * ycsr.values()[ki];
+    }
+  }
+}
+
+DenseMatrix gemm(const DenseMatrix& x, const DenseMatrix& y) {
+  DenseMatrix z(x.rows(), y.cols(), Layout::kRowMajor);
+  gemm_accumulate(x, y, z);
+  return z;
+}
+
+DenseMatrix spdmm(const CooMatrix& x, const DenseMatrix& y) {
+  DenseMatrix z(x.rows(), y.cols(), Layout::kRowMajor);
+  spdmm_accumulate(x, y, z);
+  return z;
+}
+
+DenseMatrix spdmm_rhs(const DenseMatrix& x, const CooMatrix& y) {
+  DenseMatrix z(x.rows(), y.cols(), Layout::kRowMajor);
+  spdmm_rhs_accumulate(x, y, z);
+  return z;
+}
+
+DenseMatrix spmm(const CooMatrix& x, const CooMatrix& y) {
+  DenseMatrix z(x.rows(), y.cols(), Layout::kRowMajor);
+  spmm_accumulate(x, y, z);
+  return z;
+}
+
+DenseMatrix csr_spdmm(const CsrMatrix& x, const DenseMatrix& y) {
+  check_shapes(x.cols(), y.rows());
+  DenseMatrix z(x.rows(), y.cols(), Layout::kRowMajor);
+  for (std::int64_t r = 0; r < x.rows(); ++r)
+    for (std::int64_t k = x.row_begin(r); k < x.row_end(r); ++k) {
+      std::size_t ki = static_cast<std::size_t>(k);
+      float xv = x.values()[ki];
+      std::int64_t col = x.col_idx()[ki];
+      for (std::int64_t j = 0; j < y.cols(); ++j) z.at(r, j) += xv * y.at(col, j);
+    }
+  return z;
+}
+
+}  // namespace dynasparse::ref

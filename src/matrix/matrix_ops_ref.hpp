@@ -1,0 +1,30 @@
+#pragma once
+// Frozen copies of the original (seed) primitive kernels: naive COO scans
+// through layout-branching DenseMatrix::at() accessors.
+//
+// These are deliberately NOT optimized. They serve two purposes:
+//   - ground truth for the kernel-equivalence regression tests — the
+//     rewritten row-span/CSR kernels in matrix_ops.hpp must reproduce
+//     their output bit-for-bit (same k-ordered accumulation, same
+//     floating-point operation sequence per output element);
+//   - the baseline that bench/micro_primitives measures speedups against,
+//     so BENCH_pr1.json records an honest before/after on the same build.
+
+#include "matrix/coo_matrix.hpp"
+#include "matrix/csr_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+
+namespace dynasparse::ref {
+
+DenseMatrix gemm(const DenseMatrix& x, const DenseMatrix& y);
+DenseMatrix spdmm(const CooMatrix& x, const DenseMatrix& y);
+DenseMatrix spdmm_rhs(const DenseMatrix& x, const CooMatrix& y);
+DenseMatrix spmm(const CooMatrix& x, const CooMatrix& y);
+DenseMatrix csr_spdmm(const CsrMatrix& x, const DenseMatrix& y);
+
+void gemm_accumulate(const DenseMatrix& x, const DenseMatrix& y, DenseMatrix& z);
+void spdmm_accumulate(const CooMatrix& x, const DenseMatrix& y, DenseMatrix& z);
+void spdmm_rhs_accumulate(const DenseMatrix& x, const CooMatrix& y, DenseMatrix& z);
+void spmm_accumulate(const CooMatrix& x, const CooMatrix& y, DenseMatrix& z);
+
+}  // namespace dynasparse::ref

@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "matrix/coo_matrix.hpp"
@@ -47,9 +49,25 @@ struct Tile {
   /// Bytes this tile occupies in external memory under its storage format.
   std::size_t ddr_bytes(const SimConfig& cfg) const;
 
-  /// Materialize as dense / COO regardless of current format.
+  /// Materialize as dense / COO regardless of current format (fresh copy).
   DenseMatrix to_dense() const;
   CooMatrix to_coo() const;
+
+  /// Cached materializations. The first call in any format builds the
+  /// representation once (thread-safe); later calls — e.g. the runtime
+  /// system pricing many pairs against the same tile, or the same Y strip
+  /// tile consumed by every task of an output column — return the cached
+  /// copy. Tiles are immutable after factory construction, so the cache
+  /// never goes stale; reassigning a Tile replaces it wholesale. Memory:
+  /// a cached view lives as long as the tile, bounded by ~3x the tile's
+  /// stored footprint (dense of a <=1/3-density COO tile, or COO of a
+  /// dense tile); callers that must not retain that (none today) should
+  /// use to_dense()/to_coo(), which stay transient.
+  const DenseMatrix& dense_view() const;
+  const CooMatrix& coo_view() const;
+  /// CSR of this tile's nonzeros — the first-class operand format of the
+  /// host SPMM kernel (sparse x sparse pairs convert Y once, not per pair).
+  const CsrMatrix& csr_view() const;
 
   /// Build a tile from a computed dense block, profiling its density and
   /// choosing COO storage when density <= sparse_threshold.
@@ -59,6 +77,16 @@ struct Tile {
   static Tile from_coo(CooMatrix block, double sparse_threshold);
   /// All-zero tile of the given shape.
   static Tile zero(std::int64_t rows, std::int64_t cols);
+
+ private:
+  struct ViewCache {
+    std::once_flag dense_once, coo_once, csr_once;
+    DenseMatrix dense;
+    CooMatrix coo;
+    CsrMatrix csr;
+  };
+  // Shared (not per-copy) so copies of a tile reuse one materialization.
+  mutable std::shared_ptr<ViewCache> views_ = std::make_shared<ViewCache>();
 };
 
 /// z (dense accumulator) op= x * y for two tiles. The functional math is

@@ -74,27 +74,26 @@ double detailed_pair_cycles(const PairDecision& d, const Tile& x, const Tile& y,
     case Primitive::kSkip:
       return 0.0;
     case Primitive::kGemm: {
-      DenseMatrix xd = x.to_dense(), yd = y.to_dense();
+      // Cached tile views: the same X row strip / Y column strip tile is
+      // priced by many tasks, so materialization happens once per tile,
+      // not once per pair.
       DenseMatrix z(x.rows, y.cols);
-      return GemmSystolicModel(psys).run(xd, yd, z).cycles;
+      return GemmSystolicModel(psys).run(x.dense_view(), y.dense_view(), z).cycles;
     }
     case Primitive::kSpdmm: {
       SpdmmScatterGatherModel model(psys);
       if (d.x_in_buffer_u) {
-        CooMatrix xs = x.to_coo();
-        DenseMatrix yd = y.to_dense();
         DenseMatrix z(x.rows, y.cols);
-        return model.run(xs, yd, z).cycles;
+        return model.run(x.coo_view(), y.dense_view(), z).cycles;
       }
-      CooMatrix yt = y.to_coo().transposed();
-      DenseMatrix xt = x.to_dense().transposed();
+      CooMatrix yt = y.coo_view().transposed();
+      DenseMatrix xt = x.dense_view().transposed();
       DenseMatrix z(y.cols, x.rows);
       return model.run(yt, xt, z).cycles;
     }
     case Primitive::kSpmm: {
-      CooMatrix xs = x.to_coo(), ys = y.to_coo();
       DenseMatrix z(x.rows, y.cols);
-      return SpmmRowwiseModel(psys).run(xs, ys, z).cycles;
+      return SpmmRowwiseModel(psys).run(x.coo_view(), y.coo_view(), z).cycles;
     }
   }
   return 0.0;
@@ -176,20 +175,26 @@ ExecutionResult execute(const CompiledProgram& prog, const RuntimeOptions& opt) 
         x_reuse = cores / static_cast<double>(ir.scheme.grid_k);
     }
     std::vector<double> durations(tasks.size(), 0.0);
-    std::vector<AcceleratorStats> task_stats(tasks.size());
-    parallel_for(
-        static_cast<std::int64_t>(tasks.size()),
-        [&](std::int64_t ti) {
+    // Price every task and reduce the per-task stats in one pass. The
+    // reduction must precede the soft-processor accounting below (which
+    // charges less for pairs the Analyzer short-circuits as empty);
+    // parallel_reduce combines chunk partials in chunk order, so the
+    // totals are deterministic whatever the host thread count.
+    AcceleratorStats kernel_stats = parallel_reduce<AcceleratorStats>(
+        static_cast<std::int64_t>(tasks.size()), AcceleratorStats{},
+        [&](std::int64_t ti, AcceleratorStats& acc) {
           const Task& t = tasks[static_cast<std::size_t>(ti)];
           std::vector<PairWork> pairs;
           pairs.reserve(static_cast<std::size_t>(t.inner_steps));
           for (std::int64_t j = 0; j < t.inner_steps; ++j) {
             const Tile& x = X.tile(t.out_gi, j);
             const Tile& y = Y.tile(j, t.out_gk);
-            PairDecision d =
-                decide_pair(opt.strategy, mkind, x.density(), y.density(), cfg.psys);
+            // Profile each operand once per pair; the decision and the
+            // shape both consume the same numbers.
+            const double ax = x.density(), ay = y.density();
+            PairDecision d = decide_pair(opt.strategy, mkind, ax, ay, cfg.psys);
             PairWork w;
-            w.shape = PairShape{x.rows, x.cols, y.cols, x.density(), y.density()};
+            w.shape = PairShape{x.rows, x.cols, y.cols, ax, ay};
             w.prim = d.prim;
             w.alpha_spdmm = d.alpha_spdmm;
             if (d.prim != Primitive::kSkip)
@@ -214,6 +219,7 @@ ExecutionResult execute(const CompiledProgram& prog, const RuntimeOptions& opt) 
           TaskTiming tt =
               core.time_task(pairs, wb_bytes, out_tile.rows * out_tile.cols,
                              opt.hide_ahm, active_cores);
+          // Parallel-safe: each task owns its duration slot.
           durations[static_cast<std::size_t>(ti)] = tt.total_cycles;
           // Tally primitive usage for the report.
           AcceleratorStats local;
@@ -231,24 +237,20 @@ ExecutionResult execute(const CompiledProgram& prog, const RuntimeOptions& opt) 
           local.compute_cycles = tt.compute_cycles;
           local.memory_cycles = tt.memory_cycles;
           local.ahm_cycles = tt.ahm_cycles;
-          // Parallel-safe: each task writes its own slot; reduced below.
-          task_stats[static_cast<std::size_t>(ti)] = local;
+          acc.merge(local);
         },
+        [](AcceleratorStats& into, const AcceleratorStats& from) { into.merge(from); },
         opt.host_threads);
 
-    // Reduce per-task stats (must precede the soft-processor accounting,
-    // which charges less for pairs the Analyzer short-circuits as empty).
-    for (const AcceleratorStats& s : task_stats) {
-      rep.pairs += s.pairs;
-      rep.pairs_gemm += s.pairs_gemm;
-      rep.pairs_spdmm += s.pairs_spdmm;
-      rep.pairs_spmm += s.pairs_spmm;
-      rep.pairs_skipped += s.pairs_skipped;
-      rep.compute_cycles += s.compute_cycles;
-      rep.memory_cycles += s.memory_cycles;
-      rep.ahm_cycles += s.ahm_cycles;
-      result.stats.mode_switches += s.mode_switches;
-    }
+    rep.pairs = kernel_stats.pairs;
+    rep.pairs_gemm = kernel_stats.pairs_gemm;
+    rep.pairs_spdmm = kernel_stats.pairs_spdmm;
+    rep.pairs_spmm = kernel_stats.pairs_spmm;
+    rep.pairs_skipped = kernel_stats.pairs_skipped;
+    rep.compute_cycles = kernel_stats.compute_cycles;
+    rep.memory_cycles = kernel_stats.memory_cycles;
+    rep.ahm_cycles = kernel_stats.ahm_cycles;
+    result.stats.mode_switches += kernel_stats.mode_switches;
 
     // ---- Scheduler: greedy list schedule over the Computation Cores ----
     ScheduleResult sched = schedule_tasks(durations, cfg.num_cores);

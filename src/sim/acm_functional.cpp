@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "matrix/format_convert.hpp"
+#include "matrix/matrix_ops.hpp"
 #include "util/math_util.hpp"
 
 namespace dynasparse {
@@ -33,13 +34,9 @@ DetailedTiming GemmSystolicModel::run(const DenseMatrix& x, const DenseMatrix& y
   const std::int64_t m = x.rows(), n = x.cols(), d = y.cols();
 
   // Functional: the systolic schedule accumulates in k order for every
-  // output element, identical to the host reference.
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t k = 0; k < n; ++k) {
-      float xv = x.at(i, k);
-      if (xv == 0.0f) continue;
-      for (std::int64_t j = 0; j < d; ++j) z.at(i, j) += xv * y.at(k, j);
-    }
+  // output element, identical to the host reference — so it *is* the host
+  // reference kernel (row-span fast path).
+  gemm_accumulate(x, y, z);
   t.macs = m * n * d;  // the dense array multiplies zeros too
 
   // Timing: one pass per psys x psys output block; each pass streams the
@@ -72,9 +69,10 @@ DetailedTiming SpdmmScatterGatherModel::run(const CooMatrix& x, const DenseMatri
   CooMatrix xs = x.layout() == Layout::kRowMajor ? x : x.with_layout(Layout::kRowMajor);
 
   // Functional scatter-gather (Algorithm 5): each nonzero e fetches row
-  // Y[e.col] and the Update/Reduce pair accumulates into Z[e.row].
-  for (const CooEntry& e : xs.entries())
-    for (std::int64_t j = 0; j < d; ++j) z.at(e.row, j) += e.value * y.at(e.col, j);
+  // Y[e.col] and the Update/Reduce pair accumulates into Z[e.row] —
+  // exactly the host SpDMM kernel (xs is already row-major, so the
+  // kernel's internal normalization is a no-op).
+  spdmm_accumulate(xs, y, z);
   t.macs = xs.nnz() * d;
 
   // Timing: psys/2 nonzeros issue per cycle; the ISN serializes fetches
@@ -121,13 +119,23 @@ DetailedTiming SpmmRowwiseModel::run(const CooMatrix& x, const CooMatrix& y,
 
   // Per-SCP workload: SCP[j % psys] owns output row j and performs one
   // multiply-merge per (nonzero of X[j]) x (nonzero of Y[col]) product.
+  // The functional math streams through the same row-span scan as the
+  // host SPMM kernel (z is row-major by construction here).
   std::vector<std::int64_t> scp_work(static_cast<std::size_t>(psys_), 0);
+  const std::int64_t* yrp = ycsr.row_ptr().data();
+  const std::int64_t* yci = ycsr.col_idx().data();
+  const float* yval = ycsr.values().data();
+  const bool z_rm = z.layout() == Layout::kRowMajor;
   for (const CooEntry& e : xs.entries()) {
-    std::int64_t products = ycsr.row_nnz(e.col);
-    scp_work[static_cast<std::size_t>(e.row % psys_)] += products;
-    for (std::int64_t k = ycsr.row_begin(e.col); k < ycsr.row_end(e.col); ++k) {
-      std::size_t ki = static_cast<std::size_t>(k);
-      z.at(e.row, ycsr.col_idx()[ki]) += e.value * ycsr.values()[ki];
+    scp_work[static_cast<std::size_t>(e.row % psys_)] += ycsr.row_nnz(e.col);
+    const std::int64_t kend = yrp[e.col + 1];
+    if (z_rm) {
+      float* zrow = z.row_ptr(e.row);
+      for (std::int64_t k = yrp[e.col]; k < kend; ++k)
+        zrow[yci[k]] += e.value * yval[k];
+    } else {
+      for (std::int64_t k = yrp[e.col]; k < kend; ++k)
+        z.at(e.row, yci[k]) += e.value * yval[k];
     }
   }
   for (std::int64_t w : scp_work) t.macs += w;

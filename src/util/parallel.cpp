@@ -1,42 +1,221 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
+#include <limits>
+#include <mutex>
 #include <thread>
-#include <vector>
 
 namespace dynasparse {
 
-void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn,
-                  int threads) {
-  if (n <= 0) return;
+namespace {
+
+/// Set while a thread is executing pool work; nested parallel calls from
+/// inside a work item run inline (serially) instead of deadlocking on the
+/// single shared job slot.
+thread_local bool t_in_pool_work = false;
+
+/// Failure flag of the job this thread is currently executing chunks for
+/// (null outside pool work). parallel_for polls it per item so a worker
+/// that already claimed a chunk stops at the next item once any other
+/// worker has failed.
+thread_local const std::atomic<bool>* t_job_failed = nullptr;
+
+unsigned hardware_threads() {
   unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 4;
-  std::int64_t nthreads = threads > 0 ? threads : static_cast<std::int64_t>(hw);
-  nthreads = std::min<std::int64_t>(nthreads, n);
-  if (nthreads <= 1) {
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
+  return hw == 0 ? 4 : hw;
+}
+
+/// Persistent worker pool executing one chunked job at a time. Workers are
+/// spawned lazily up to the largest concurrency any call has requested
+/// (bounded by kMaxWorkers) and then parked on a condition variable
+/// between jobs, so steady-state dispatch is one notify_all, not N thread
+/// spawns with their attendant page-table and scheduler churn.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  /// Run chunks 0..nchunks-1 of `body` with up to `concurrency` threads
+  /// total (the calling thread participates and counts toward it).
+  void run(std::int64_t nchunks, const std::function<void(std::int64_t)>& body,
+           int concurrency) {
+    // One job at a time; concurrent top-level callers serialize here.
+    std::lock_guard<std::mutex> job_lock(job_mu_);
+    ensure_workers(concurrency - 1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      body_ = &body;
+      next_.store(0, std::memory_order_relaxed);
+      end_ = nchunks;
+      failed_.store(false, std::memory_order_relaxed);
+      error_ = nullptr;
+      error_chunk_ = std::numeric_limits<std::int64_t>::max();
+      joiners_cap_ = concurrency - 1;
+      joiners_ = 0;
+      ++generation_;
+    }
+    cv_.notify_all();
+    // The calling thread participates too; mark it as pool work so a
+    // nested parallel call from inside the body runs inline instead of
+    // re-entering run() and self-deadlocking on job_mu_.
+    const bool prev_in_pool = t_in_pool_work;
+    t_in_pool_work = true;
+    work(body);
+    t_in_pool_work = prev_in_pool;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return active_ == 0; });
+      body_ = nullptr;
+    }
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  Pool() = default;
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  // Hard cap on pool size; explicit thread requests beyond the hardware
+  // width are honored (oversubscription is how the scaling bench probes
+  // contention) but bounded.
+  static constexpr int kMaxWorkers = 64;
+
+  void ensure_workers(int wanted) {
+    wanted = std::min(wanted, kMaxWorkers);
+    std::lock_guard<std::mutex> lk(mu_);
+    while (static_cast<int>(workers_.size()) < wanted)
+      workers_.emplace_back([this] { worker_main(); });
+  }
+
+  void worker_main() {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(std::int64_t)>* body = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] {
+          return stop_ || (body_ != nullptr && generation_ != seen &&
+                           joiners_ < joiners_cap_);
+        });
+        if (stop_) return;
+        seen = generation_;
+        ++joiners_;
+        ++active_;
+        body = body_;
+      }
+      t_in_pool_work = true;
+      work(*body);
+      t_in_pool_work = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--active_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void work(const std::function<void(std::int64_t)>& body) {
+    const std::atomic<bool>* prev_failed = t_job_failed;
+    t_job_failed = &failed_;
+    while (true) {
+      std::int64_t c = next_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= end_) break;
+      // A recorded failure cancels all not-yet-started chunks.
+      if (failed_.load(std::memory_order_acquire)) break;
+      try {
+        body(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(error_mu_);
+        if (c < error_chunk_) {
+          error_chunk_ = c;
+          error_ = std::current_exception();
+        }
+        failed_.store(true, std::memory_order_release);
+      }
+    }
+    t_job_failed = prev_failed;
+  }
+
+  std::mutex job_mu_;  // serializes top-level jobs
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+
+  // Current-job state (guarded by mu_ except the atomics).
+  const std::function<void(std::int64_t)>* body_ = nullptr;
+  std::atomic<std::int64_t> next_{0};
+  std::int64_t end_ = 0;
+  std::uint64_t generation_ = 0;
+  int joiners_ = 0;      // workers that joined this generation
+  int joiners_cap_ = 0;  // max background workers for this job
+  int active_ = 0;       // workers currently inside work()
+
+  std::mutex error_mu_;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  std::int64_t error_chunk_ = 0;
+};
+
+}  // namespace
+
+std::int64_t resolve_grain(std::int64_t n, std::int64_t grain) {
+  if (grain > 0) return grain;
+  // Aim for enough chunks that dynamic claiming load-balances well, while
+  // keeping per-chunk dispatch cost negligible. Depends only on n so that
+  // chunk boundaries (and thus reduction order) are thread-count-invariant.
+  return std::max<std::int64_t>(1, n / 64);
+}
+
+int parallel_hardware_threads() { return static_cast<int>(hardware_threads()); }
+
+void parallel_for_range(std::int64_t n,
+                        const std::function<void(std::int64_t, std::int64_t)>& fn,
+                        int threads, std::int64_t grain) {
+  if (n <= 0) return;
+  const std::int64_t g = resolve_grain(n, grain);
+  const std::int64_t nchunks = (n + g - 1) / g;
+  std::int64_t concurrency =
+      threads > 0 ? threads : static_cast<std::int64_t>(hardware_threads());
+  concurrency = std::min(concurrency, nchunks);
+  if (concurrency <= 1 || t_in_pool_work) {
+    // Serial fallback walks the same chunk boundaries the pool would, so
+    // chunk-order reductions associate identically at any thread count.
+    for (std::int64_t begin = 0; begin < n; begin += g)
+      fn(begin, std::min(n, begin + g));
     return;
   }
-  std::atomic<std::int64_t> next{0};
-  std::exception_ptr error;
-  std::atomic<bool> failed{false};
-  auto worker = [&] {
-    try {
-      while (true) {
-        std::int64_t i = next.fetch_add(1);
-        if (i >= n || failed.load()) break;
-        fn(i);
-      }
-    } catch (...) {
-      if (!failed.exchange(true)) error = std::current_exception();
-    }
+  std::function<void(std::int64_t)> chunk_body = [&](std::int64_t c) {
+    std::int64_t begin = c * g;
+    fn(begin, std::min(n, begin + g));
   };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(nthreads));
-  for (std::int64_t t = 0; t < nthreads; ++t) pool.emplace_back(worker);
-  for (std::thread& th : pool) th.join();
-  if (failed.load() && error) std::rethrow_exception(error);
+  Pool::instance().run(nchunks, chunk_body, static_cast<int>(concurrency));
+}
+
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn,
+                  int threads, std::int64_t grain) {
+  parallel_for_range(
+      n,
+      [&fn](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          // The premature-exit fix: never start fn(i) after a failure has
+          // been recorded, even mid-chunk.
+          if (t_job_failed && t_job_failed->load(std::memory_order_acquire)) return;
+          fn(i);
+        }
+      },
+      threads, grain);
 }
 
 }  // namespace dynasparse

@@ -1,18 +1,68 @@
 #pragma once
-// Host-side thread-pool helper. Used by the simulator's functional path
-// and by the compiler's data partitioning; simulated timing never depends
-// on how many host threads run (determinism is by construction: each
-// parallel work item owns its output slot exclusively).
+// Host-side parallel primitives backed by a lazily-initialized persistent
+// thread pool. Used by the simulator's functional path and the compiler's
+// data partitioning; simulated timing never depends on how many host
+// threads run (determinism is by construction: each parallel work item
+// owns its output slot exclusively, and reductions combine per-chunk
+// partials in chunk order, which depends only on n and the grain — never
+// on the thread count or scheduling).
+//
+// The pool is created on first use and its workers persist for the life of
+// the process, so a kernel invocation costs one condition-variable
+// broadcast instead of nthreads thread spawns. Work is claimed in
+// grain-sized chunks off an atomic cursor (task costs vary wildly with
+// tile density, so dynamic claiming beats static splitting).
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace dynasparse {
 
 /// Run fn(0..n-1) across up to `threads` host threads (0 = all hardware
-/// threads). Work items are claimed dynamically off an atomic counter
-/// (task costs vary wildly with tile density); exceptions propagate.
+/// threads). Work is claimed dynamically in chunks of `grain` indices
+/// (0 = automatic). Exceptions propagate: the exception from the
+/// lowest-indexed failing chunk is rethrown, and once a failure is
+/// recorded no further work items start.
 void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn,
-                  int threads = 0);
+                  int threads = 0, std::int64_t grain = 0);
+
+/// Chunked form: fn(begin, end) is called once per grain-sized chunk, so
+/// per-item dispatch overhead is hoisted out of the inner loop.
+void parallel_for_range(std::int64_t n,
+                        const std::function<void(std::int64_t, std::int64_t)>& fn,
+                        int threads = 0, std::int64_t grain = 0);
+
+/// Chunking used by parallel_for/parallel_reduce for a given n. Depends
+/// only on (n, grain) so results that combine per-chunk partials are
+/// identical whatever the thread count.
+std::int64_t resolve_grain(std::int64_t n, std::int64_t grain);
+
+/// Deterministic parallel reduction. `map(i, acc)` folds item i into a
+/// chunk-local accumulator (initialized to `identity`); `combine(into,
+/// from)` merges chunk partials, applied serially in ascending chunk
+/// order. The result is bit-identical for a fixed n regardless of thread
+/// count.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::int64_t n, T identity, MapFn&& map, CombineFn&& combine,
+                  int threads = 0, std::int64_t grain = 0) {
+  if (n <= 0) return identity;
+  const std::int64_t g = resolve_grain(n, grain);
+  const std::int64_t nchunks = (n + g - 1) / g;
+  std::vector<T> partials(static_cast<std::size_t>(nchunks), identity);
+  parallel_for_range(
+      n,
+      [&](std::int64_t begin, std::int64_t end) {
+        T& acc = partials[static_cast<std::size_t>(begin / g)];
+        for (std::int64_t i = begin; i < end; ++i) map(i, acc);
+      },
+      threads, g);
+  T out = identity;
+  for (T& p : partials) combine(out, p);
+  return out;
+}
+
+/// Number of workers the pool would use for threads=0 (informational).
+int parallel_hardware_threads();
 
 }  // namespace dynasparse

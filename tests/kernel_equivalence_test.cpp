@@ -1,0 +1,173 @@
+// Regression tests: the optimized row-span/CSR kernels (matrix_ops.hpp)
+// must reproduce the frozen seed kernels (matrix_ops_ref.hpp) exactly.
+//
+// The optimized kernels keep the seed's k-ordered accumulation, so for the
+// matrix_ops family the contract is bit-identical output (memcmp). The
+// tile-product fast path (accumulate_product with kSum) additionally drops
+// the generic path's skip of zero-valued *products*; adding exact 0.0f
+// terms can only flip the sign of a zero output, so there the contract is
+// IEEE equality (==), which the engine-level tests (max_abs_diff == 0)
+// also rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "matrix/format_convert.hpp"
+#include "matrix/matrix_ops.hpp"
+#include "matrix/matrix_ops_ref.hpp"
+#include "matrix/partitioned_matrix.hpp"
+#include "test_helpers.hpp"
+
+namespace dynasparse {
+namespace {
+
+using testing::random_coo;
+using testing::random_dense;
+
+struct Shape {
+  std::int64_t m, n, d;
+};
+
+const std::vector<Shape> kShapes = {
+    {1, 1, 1}, {7, 5, 3}, {17, 33, 9}, {64, 64, 64}, {31, 2, 57}};
+const std::vector<double> kDensities = {0.0, 0.01, 0.3, 1.0};
+
+void expect_bitwise_equal(const DenseMatrix& a, const DenseMatrix& b,
+                          const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  ASSERT_EQ(a.layout(), b.layout()) << what;
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.data().size() * sizeof(float)),
+            0)
+      << what << ": output not bit-identical to the seed kernel";
+}
+
+TEST(KernelEquivalence, GemmMatchesSeedBitwise) {
+  Rng rng(101);
+  for (const Shape& s : kShapes)
+    for (double dx : kDensities)
+      for (Layout lx : {Layout::kRowMajor, Layout::kColMajor})
+        for (Layout ly : {Layout::kRowMajor, Layout::kColMajor}) {
+          DenseMatrix x = random_dense(s.m, s.n, dx, rng, lx);
+          DenseMatrix y = random_dense(s.n, s.d, 0.6, rng, ly);
+          expect_bitwise_equal(ref::gemm(x, y), gemm(x, y), "gemm");
+        }
+}
+
+TEST(KernelEquivalence, SpdmmMatchesSeedBitwise) {
+  Rng rng(202);
+  for (const Shape& s : kShapes)
+    for (double dx : kDensities)
+      for (Layout ly : {Layout::kRowMajor, Layout::kColMajor}) {
+        CooMatrix x = random_coo(s.m, s.n, dx, rng);
+        DenseMatrix y = random_dense(s.n, s.d, 0.8, rng, ly);
+        expect_bitwise_equal(ref::spdmm(x, y), spdmm(x, y), "spdmm(coo)");
+        // The CSR-first overload iterates the same nonzeros in the same
+        // order, so it is bit-identical too.
+        expect_bitwise_equal(ref::spdmm(x, y), spdmm(coo_to_csr(x), y),
+                             "spdmm(csr)");
+      }
+}
+
+TEST(KernelEquivalence, SpdmmColMajorOperandMatchesSeed) {
+  Rng rng(2021);
+  CooMatrix x = random_coo(23, 31, 0.2, rng);
+  CooMatrix xc = x.with_layout(Layout::kColMajor);
+  DenseMatrix y = random_dense(31, 13, 0.9, rng);
+  expect_bitwise_equal(ref::spdmm(xc, y), spdmm(xc, y), "spdmm(col-major coo)");
+}
+
+TEST(KernelEquivalence, SpdmmRhsMatchesSeedBitwise) {
+  Rng rng(303);
+  for (const Shape& s : kShapes)
+    for (double dy : kDensities)
+      for (Layout lx : {Layout::kRowMajor, Layout::kColMajor}) {
+        DenseMatrix x = random_dense(s.m, s.n, 0.8, rng, lx);
+        CooMatrix y = random_coo(s.n, s.d, dy, rng);
+        expect_bitwise_equal(ref::spdmm_rhs(x, y), spdmm_rhs(x, y), "spdmm_rhs");
+      }
+}
+
+TEST(KernelEquivalence, SpmmMatchesSeedBitwise) {
+  Rng rng(404);
+  for (const Shape& s : kShapes)
+    for (double dx : kDensities)
+      for (double dy : kDensities) {
+        CooMatrix x = random_coo(s.m, s.n, dx, rng);
+        CooMatrix y = random_coo(s.n, s.d, dy, rng);
+        expect_bitwise_equal(ref::spmm(x, y), spmm(x, y), "spmm(coo)");
+        expect_bitwise_equal(ref::spmm(x, y), spmm(coo_to_csr(x), coo_to_csr(y)),
+                             "spmm(csr)");
+      }
+}
+
+TEST(KernelEquivalence, CsrSpdmmMatchesSeedBitwise) {
+  Rng rng(505);
+  CsrMatrix x = dense_to_csr(random_dense(40, 28, 0.15, rng));
+  DenseMatrix y = random_dense(28, 19, 0.7, rng);
+  expect_bitwise_equal(ref::csr_spdmm(x, y), csr_spdmm(x, y), "csr_spdmm");
+}
+
+TEST(KernelEquivalence, AccumulateIntoNonzeroOutputMatchesSeed) {
+  // z += x*y with a pre-populated accumulator (the runtime's inner-step
+  // accumulation pattern).
+  Rng rng(606);
+  DenseMatrix x = random_dense(12, 20, 0.4, rng);
+  DenseMatrix y = random_dense(20, 8, 0.7, rng);
+  DenseMatrix z_ref = random_dense(12, 8, 0.5, rng);
+  DenseMatrix z_opt = z_ref;
+  ref::gemm_accumulate(x, y, z_ref);
+  gemm_accumulate(x, y, z_opt);
+  expect_bitwise_equal(z_ref, z_opt, "gemm_accumulate");
+
+  CooMatrix xs = dense_to_coo(x);
+  ref::spdmm_accumulate(xs, y, z_ref);
+  spdmm_accumulate(xs, y, z_opt);
+  expect_bitwise_equal(z_ref, z_opt, "spdmm_accumulate");
+}
+
+// ---- tile products (accumulate_product kSum fast path) -------------------
+
+void expect_ieee_equal(const DenseMatrix& a, const DenseMatrix& b, const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  for (std::int64_t r = 0; r < a.rows(); ++r)
+    for (std::int64_t c = 0; c < a.cols(); ++c)
+      ASSERT_EQ(a.at(r, c), b.at(r, c)) << what << " at (" << r << "," << c << ")";
+}
+
+TEST(KernelEquivalence, TileProductMatchesSeedKernels) {
+  Rng rng(707);
+  for (double dx : kDensities)
+    for (double dy : kDensities) {
+      DenseMatrix xd = random_dense(24, 18, dx, rng);
+      DenseMatrix yd = random_dense(18, 10, dy, rng);
+      // Threshold 1.0 forces COO storage, 0.0 forces dense, so the two
+      // tiles per operand hit all four fast paths.
+      for (const Tile& x : {Tile::from_dense(xd, 0.0), Tile::from_dense(xd, 1.0)})
+        for (const Tile& y : {Tile::from_dense(yd, 0.0), Tile::from_dense(yd, 1.0)}) {
+          DenseMatrix z(24, 10);
+          accumulate_product(x, y, z);
+          expect_ieee_equal(ref::gemm(xd, yd), z, "accumulate_product");
+        }
+    }
+}
+
+TEST(KernelEquivalence, TileProductMaxMinUnchanged) {
+  // kMax/kMin keep the generic (zero-product-skipping) semantics.
+  Rng rng(808);
+  DenseMatrix xd = random_dense(9, 7, 0.5, rng);
+  DenseMatrix yd = random_dense(7, 5, 0.5, rng);
+  Tile xs = Tile::from_dense(xd, 0.0), ys_t = Tile::from_dense(yd, 0.0);
+  Tile xden = Tile::from_dense(xd, 1.0), yden = Tile::from_dense(yd, 1.0);
+  for (AccumOp op : {AccumOp::kMax, AccumOp::kMin}) {
+    DenseMatrix za(9, 5), zb(9, 5);
+    accumulate_product(xden, yden, za, op);
+    accumulate_product(xs, ys_t, zb, op);
+    expect_ieee_equal(za, zb, "accumulate_product max/min");
+  }
+}
+
+}  // namespace
+}  // namespace dynasparse

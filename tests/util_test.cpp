@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/config.hpp"
 #include "util/logging.hpp"
 #include "util/math_util.hpp"
+#include "util/parallel.hpp"
 #include "util/prefix_sum.hpp"
 #include "util/random.hpp"
 
@@ -177,6 +181,95 @@ TEST(LoggingTest, LevelGate) {
   EXPECT_EQ(log_level(), LogLevel::kError);
   log_info("should be dropped silently");
   set_log_level(before);
+}
+
+// ---- parallel primitives (persistent pool) --------------------------------
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    parallel_for(257, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; },
+                 threads);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyAndNegativeAreNoops) {
+  parallel_for(0, [](std::int64_t) { FAIL(); });
+  parallel_for(-5, [](std::int64_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(
+          100, [](std::int64_t i) { if (i == 37) throw std::runtime_error("boom"); },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, StopsStartingWorkAfterFailure) {
+  // After the failure is recorded no further item may *start*; items
+  // numbered after the failing one in the same chunk must be skipped.
+  std::atomic<std::int64_t> started{0};
+  try {
+    parallel_for(
+        1 << 20,
+        [&](std::int64_t i) {
+          if (i == 0) throw std::runtime_error("early");
+          ++started;
+        },
+        2);
+    FAIL() << "exception did not propagate";
+  } catch (const std::runtime_error&) {
+  }
+  // Not every remaining index ran: cancellation cut the sweep short.
+  EXPECT_LT(started.load(), (1 << 20) - 1);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  std::atomic<int> total{0};
+  parallel_for(
+      8,
+      [&](std::int64_t) {
+        parallel_for(16, [&](std::int64_t) { ++total; }, 4);
+      },
+      4);
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ParallelReduceTest, SumsDeterministicallyAcrossThreadCounts) {
+  const std::int64_t n = 1000;
+  auto run = [&](int threads) {
+    return parallel_reduce<double>(
+        n, 0.0, [](std::int64_t i, double& acc) { acc += 1.0 / (1.0 + i); },
+        [](double& into, const double& from) { into += from; }, threads);
+  };
+  double serial = run(1);
+  // Bit-identical regardless of thread count: chunking depends only on n.
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelReduceTest, EmptyReturnsIdentity) {
+  double r = parallel_reduce<double>(
+      0, 42.0, [](std::int64_t, double&) {},
+      [](double& into, const double& from) { into += from; });
+  EXPECT_DOUBLE_EQ(r, 42.0);
+}
+
+TEST(ParallelForRangeTest, ChunksPartitionTheRange) {
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h = 0;
+  parallel_for_range(
+      100,
+      [&](std::int64_t begin, std::int64_t end) {
+        EXPECT_LT(begin, end);
+        for (std::int64_t i = begin; i < end; ++i)
+          ++hits[static_cast<std::size_t>(i)];
+      },
+      4, 7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 }  // namespace
