@@ -1,0 +1,169 @@
+// Service throughput bench (ISSUE 2 acceptance): replay a 16-request
+// mixed-dataset stream through the InferenceService with a warm
+// compilation cache and compare against the pre-service pattern — a
+// sequential loop that compiles and executes every request from scratch.
+//
+// The stream is the synthetic serving mix of request_stream.hpp (GCN over
+// CI/CO/PU/FL plus GraphSAGE over CI/CO, cycled). Every service report is
+// checked bit-identical to its sequential counterpart via
+// InferenceReport::deterministic_fingerprint(). Results land in
+// BENCH_pr2.json.
+//
+//   service_throughput [--seed S] [--reps R] [--requests N] [--out PATH]
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/request_stream.hpp"
+#include "util/parallel.hpp"
+
+using namespace dynasparse;
+using bench::JsonWriter;
+
+namespace {
+
+struct RunResult {
+  double wall_ms = 0.0;
+  std::vector<InferenceReport> reports;
+};
+
+/// The baseline: what callers did before the service existed — compile
+/// every request, run it, drop the program.
+RunResult run_sequential_uncached(const std::vector<ServiceRequest>& pool) {
+  RunResult r;
+  Stopwatch sw;
+  for (const ServiceRequest& req : pool) {
+    CompiledProgram prog = compile(*req.model, *req.dataset, req.options.config);
+    InferenceReport rep = run_compiled(prog, req.options.runtime);
+    rep.dataset_tag = req.dataset->spec.tag;
+    r.reports.push_back(std::move(rep));
+  }
+  r.wall_ms = sw.elapsed_ms();
+  return r;
+}
+
+RunResult run_service_warm(const std::vector<ServiceRequest>& pool,
+                           InferenceService& service) {
+  // Warm the compilation cache: every unique request content compiles once
+  // outside the timed region (the steady-state of a serving process).
+  for (const ServiceRequest& req : pool)
+    service.cache().get_or_compile(*req.model, *req.dataset, req.options.config);
+
+  RunResult r;
+  Stopwatch sw;
+  std::vector<RequestId> ids;
+  ids.reserve(pool.size());
+  for (const ServiceRequest& req : pool) ids.push_back(service.submit(req));
+  for (RequestId id : ids) r.reports.push_back(service.wait(id));
+  r.wall_ms = sw.elapsed_ms();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 2023;
+  int reps = 3, requests = 16;
+  const char* out_path = "BENCH_pr2.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+      requests = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  std::vector<StreamRequestSpec> specs = synthetic_stream(requests, seed);
+  std::vector<ServiceRequest> pool;
+  pool.reserve(specs.size());
+  for (const StreamRequestSpec& spec : specs) pool.push_back(materialize_request(spec));
+  std::printf("stream: %zu requests over the synthetic serving mix\n", pool.size());
+
+  // Best-of-reps for both sides; fingerprints checked on every rep.
+  double seq_best = -1.0, svc_best = -1.0;
+  std::vector<InferenceReport> seq_reports, svc_reports;
+  CacheStats cache_stats;
+  bool all_identical = true;
+  for (int rep = 0; rep < reps; ++rep) {
+    RunResult seq = run_sequential_uncached(pool);
+    ServiceOptions opts;
+    opts.cache_capacity = pool.size();
+    InferenceService service(opts);
+    RunResult svc = run_service_warm(pool, service);
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      if (seq.reports[i].deterministic_fingerprint() !=
+          svc.reports[i].deterministic_fingerprint())
+        all_identical = false;
+    if (seq_best < 0.0 || seq.wall_ms < seq_best) seq_best = seq.wall_ms;
+    if (svc_best < 0.0 || svc.wall_ms < svc_best) svc_best = svc.wall_ms;
+    if (rep == 0) {
+      seq_reports = std::move(seq.reports);
+      svc_reports = std::move(svc.reports);
+      cache_stats = service.cache_stats();
+    }
+    std::printf("rep %d: sequential %.1f ms, service (warm cache) %.1f ms\n", rep,
+                seq.wall_ms, svc.wall_ms);
+  }
+
+  double speedup = seq_best / svc_best;
+  double seq_thru = static_cast<double>(pool.size()) / (seq_best / 1e3);
+  double svc_thru = static_cast<double>(pool.size()) / (svc_best / 1e3);
+  std::printf("\nsequential: %.1f ms (%.2f req/s)\nservice:    %.1f ms (%.2f req/s)\n",
+              seq_best, seq_thru, svc_best, svc_thru);
+  std::printf("speedup %.2fx  reports bit-identical: %s\n", speedup,
+              all_identical ? "yes" : "NO");
+  std::printf("cache on timed run: %lld hits, %lld misses (warm-up)\n",
+              static_cast<long long>(cache_stats.hits),
+              static_cast<long long>(cache_stats.misses));
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(std::string("service_throughput"));
+  w.key("pr").value(2);
+  w.key("config").begin_object();
+  w.key("requests").value(static_cast<std::int64_t>(pool.size()));
+  w.key("reps").value(reps);
+  w.key("seed").value(static_cast<std::int64_t>(seed));
+  w.key("hardware_concurrency").value(parallel_hardware_threads());
+  w.end_object();
+  w.key("notes").begin_array();
+  w.value(std::string("sequential = per-request compile + execute (pre-service run_inference loop)"));
+  w.value(std::string("service = warm compilation cache, async submit/wait on service workers"));
+  w.value(std::string("bit-identity via InferenceReport::deterministic_fingerprint on every rep"));
+  w.end_array();
+  w.key("sequential_ms").value(seq_best);
+  w.key("service_ms").value(svc_best);
+  w.key("speedup").value(speedup);
+  w.key("sequential_req_per_s").value(seq_thru);
+  w.key("service_req_per_s").value(svc_thru);
+  w.key("reports_bit_identical").value(all_identical);
+  w.key("cache_hits").value(cache_stats.hits);
+  w.key("cache_misses").value(cache_stats.misses);
+  w.key("requests_detail").begin_array();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    w.begin_object();
+    w.key("spec").value(specs[i].to_line());
+    w.key("sequential_compile_ms").value(seq_reports[i].compile.total_ms());
+    w.key("simulated_latency_ms").value(svc_reports[i].latency_ms);
+    w.key("fingerprint_hex").value([&] {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(
+                        svc_reports[i].deterministic_fingerprint()));
+      return std::string(buf);
+    }());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream f(out_path);
+  f << w.str() << "\n";
+  std::printf("wrote %s\n", out_path);
+  return all_identical && speedup >= 2.0 ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+#include "compiler/signature.hpp"
+
+#include <cstdio>
+
+namespace dynasparse {
+
+namespace {
+
+void hash_spec(HashStream& h, const KernelSpec& s) {
+  h.i64(static_cast<std::int64_t>(s.kind))
+      .i64(s.layer_id)
+      .i64(s.in_dim)
+      .i64(s.out_dim)
+      .i64(s.weight_index)
+      .i64(static_cast<std::int64_t>(s.adj))
+      .f64(s.epsilon)
+      .i64(static_cast<std::int64_t>(s.op))
+      .i64(s.input)
+      .i64(s.add_input)
+      .i64(static_cast<std::int64_t>(s.act));
+}
+
+void hash_dense(HashStream& h, const DenseMatrix& m) {
+  h.i64(m.rows()).i64(m.cols()).i64(static_cast<std::int64_t>(m.layout()));
+  h.f32s(m.data());
+}
+
+}  // namespace
+
+std::uint64_t model_signature(const GnnModel& model) {
+  HashStream h;
+  h.i64(static_cast<std::int64_t>(model.kind))
+      .str(model.name)
+      .i64(model.num_layers)
+      .i64(model.in_dim)
+      .i64(model.hidden_dim)
+      .i64(model.out_dim);
+  h.u64(model.kernels.size());
+  for (const KernelSpec& s : model.kernels) hash_spec(h, s);
+  h.u64(model.weights.size());
+  for (const DenseMatrix& w : model.weights) hash_dense(h, w);
+  return h.digest();
+}
+
+std::uint64_t dataset_signature(const Dataset& ds) {
+  HashStream h;
+  h.str(ds.spec.name)
+      .str(ds.spec.tag)
+      .i64(ds.spec.vertices)
+      .i64(ds.spec.edges)
+      .i64(ds.spec.feature_dim)
+      .i64(ds.spec.num_classes)
+      .f64(ds.spec.h0_density)
+      .i64(ds.spec.hidden_dim)
+      .f64(ds.spec.degree_skew)
+      .i64(ds.spec.bench_scale);
+  const CsrMatrix& a = ds.graph.adjacency();
+  h.i64(ds.graph.num_vertices()).i64(ds.graph.num_edges());
+  h.i64(a.rows()).i64(a.cols());
+  h.i64s(a.row_ptr()).i64s(a.col_idx()).f32s(a.values());
+  h.i64(ds.features.rows())
+      .i64(ds.features.cols())
+      .i64(static_cast<std::int64_t>(ds.features.layout()));
+  h.u64(ds.features.entries().size());
+  for (const CooEntry& e : ds.features.entries()) h.i64(e.row).i64(e.col).f32(e.value);
+  return h.digest();
+}
+
+std::uint64_t config_signature(const SimConfig& cfg) {
+  HashStream h;
+  h.i64(cfg.psys)
+      .i64(cfg.num_cores)
+      .f64(cfg.core_clock_hz)
+      .f64(cfg.soft_clock_hz)
+      .f64(cfg.ddr_bandwidth_bytes_per_s)
+      .i64(cfg.dense_elem_bytes)
+      .i64(cfg.coo_elem_bytes)
+      .u64(cfg.onchip_tile_bytes)
+      .i64(cfg.load_balance_eta)
+      .i64(cfg.min_partition)
+      .i64(cfg.k2p_cycles_per_pair)
+      .i64(cfg.k2p_skip_cycles)
+      .i64(cfg.dispatch_cycles_per_task)
+      .i64(cfg.mode_switch_cycles)
+      .f64(cfg.sparse_storage_threshold);
+  return h.digest();
+}
+
+std::uint64_t ir_signature(const std::vector<KernelIR>& kernels,
+                           const PartitionPlan& plan) {
+  HashStream h;
+  h.i64(plan.n1).i64(plan.n2).i64(plan.n_max);
+  h.u64(kernels.size());
+  for (const KernelIR& k : kernels) {
+    h.i64(k.node_id).i64(k.num_vertices).i64(k.num_edges);
+    hash_spec(h, k.spec);
+    h.i64(k.scheme.n1)
+        .i64(k.scheme.n2)
+        .i64(k.scheme.grid_i)
+        .i64(k.scheme.grid_k)
+        .i64(k.scheme.inner_steps);
+  }
+  return h.digest();
+}
+
+std::string CompileKey::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx-%016llx",
+                static_cast<unsigned long long>(model),
+                static_cast<unsigned long long>(dataset),
+                static_cast<unsigned long long>(config));
+  return buf;
+}
+
+CompileKey make_compile_key(const GnnModel& model, const Dataset& ds,
+                            const SimConfig& cfg) {
+  return CompileKey{model_signature(model), dataset_signature(ds),
+                    config_signature(cfg)};
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,115 @@
+#pragma once
+// Content-hash signatures of compilation inputs and artifacts.
+//
+// The inference service caches CompiledPrograms keyed by *what was
+// compiled*, not by object identity: two independently generated but
+// bit-identical (model, dataset, config) triples must collide, and any
+// change to weight values, graph topology, feature nonzeros, or a single
+// SimConfig field must produce a different key. Signatures therefore hash
+// the full content — every float as its bit pattern, every index array,
+// every config field — with a 64-bit FNV-1a-style word hash. Wall-clock
+// fields (CompileStats) are never part of a signature.
+//
+// ir_signature covers the reusable compiler artifact (partition plan +
+// kernel IRs with scheme metadata), matching what io/ir_io.hpp persists;
+// it lets a cache validate a stored IR snapshot against a live program.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hpp"
+#include "compiler/partition_planner.hpp"
+#include "graph/dataset.hpp"
+#include "model/model.hpp"
+#include "util/config.hpp"
+
+namespace dynasparse {
+
+/// Incremental 64-bit content hash. Word-granular FNV-1a variant with an
+/// extra diffusion shift per step; collision-resistant enough for cache
+/// keying (keys additionally carry three independent component hashes).
+class HashStream {
+ public:
+  HashStream& u64(std::uint64_t v) {
+    h_ ^= v;
+    h_ *= kPrime;
+    h_ ^= h_ >> 32;
+    return *this;
+  }
+  HashStream& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  HashStream& f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+  HashStream& f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+  HashStream& str(const std::string& s) {
+    u64(s.size());
+    for (char c : s) u64(static_cast<unsigned char>(c));
+    return *this;
+  }
+  HashStream& i64s(const std::vector<std::int64_t>& v) {
+    u64(v.size());
+    for (std::int64_t x : v) i64(x);
+    return *this;
+  }
+  HashStream& f32s(const std::vector<float>& v) {
+    u64(v.size());
+    for (float x : v) f32(x);
+    return *this;
+  }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+/// Hash of everything that makes a model what it is: kind, name, layer
+/// structure, every KernelSpec field, weight shapes and weight value bits.
+std::uint64_t model_signature(const GnnModel& model);
+
+/// Hash of the dataset content: the spec (including name/tag, which flow
+/// into reports), the adjacency CSR arrays, and the feature nonzeros.
+std::uint64_t dataset_signature(const Dataset& ds);
+
+/// Hash of every SimConfig field. Keep in sync with the struct — a new
+/// field MUST be added here, or programs compiled under different configs
+/// would collide in the cache.
+std::uint64_t config_signature(const SimConfig& cfg);
+
+/// Hash of the reusable compiler artifact: plan + kernel IRs + schemes.
+std::uint64_t ir_signature(const std::vector<KernelIR>& kernels,
+                           const PartitionPlan& plan);
+
+/// Compilation-cache key: independent content hashes of the three compile
+/// inputs. Equality of all three components is what "same compilation"
+/// means to the service.
+struct CompileKey {
+  std::uint64_t model = 0;
+  std::uint64_t dataset = 0;
+  std::uint64_t config = 0;
+
+  bool operator==(const CompileKey& o) const {
+    return model == o.model && dataset == o.dataset && config == o.config;
+  }
+  bool operator!=(const CompileKey& o) const { return !(*this == o); }
+  bool operator<(const CompileKey& o) const {
+    if (model != o.model) return model < o.model;
+    if (dataset != o.dataset) return dataset < o.dataset;
+    return config < o.config;
+  }
+  /// "mmmmmmmm-dddddddd-cccccccc" hex rendering for logs and tools.
+  std::string to_string() const;
+};
+
+CompileKey make_compile_key(const GnnModel& model, const Dataset& ds,
+                            const SimConfig& cfg);
+
+}  // namespace dynasparse

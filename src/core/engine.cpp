@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include "service/inference_service.hpp"
+
 namespace dynasparse {
 
 InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& runtime) {
@@ -23,10 +25,13 @@ InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& 
 
 InferenceReport run_inference(const GnnModel& model, const Dataset& ds,
                               const EngineOptions& options) {
-  CompiledProgram prog = compile(model, ds, options.config);
-  InferenceReport rep = run_compiled(prog, options.runtime);
-  rep.dataset_tag = ds.spec.tag;
-  return rep;
+  // Routed through the process-default InferenceService: same compile +
+  // execute path as batched serving, plus a small content-keyed
+  // compilation cache so back-to-back calls over identical inputs skip
+  // preprocessing (DYNASPARSE_ENGINE_CACHE=0 restores always-recompile).
+  // Runs synchronously on the calling thread; deterministic report fields
+  // are unchanged from the pre-service behavior.
+  return InferenceService::process_default().run_one(model, ds, options);
 }
 
 }  // namespace dynasparse

@@ -3,7 +3,28 @@
 #include <iomanip>
 #include <sstream>
 
+#include "compiler/signature.hpp"
+
 namespace dynasparse {
+
+namespace {
+
+void hash_tile(HashStream& h, const Tile& t) {
+  h.i64(t.rows).i64(t.cols).i64(static_cast<std::int64_t>(t.format)).i64(t.nnz);
+  if (t.format == TileFormat::kDense) {
+    h.f32s(t.dense.data());
+  } else if (t.format == TileFormat::kCoo) {
+    for (const CooEntry& e : t.coo.entries()) h.i64(e.row).i64(e.col).f32(e.value);
+  }
+}
+
+void hash_partitioned(HashStream& h, const PartitionedMatrix& m) {
+  h.i64(m.rows()).i64(m.cols()).i64(m.tile_rows()).i64(m.tile_cols());
+  for (std::int64_t gi = 0; gi < m.grid_rows(); ++gi)
+    for (std::int64_t gj = 0; gj < m.grid_cols(); ++gj) hash_tile(h, m.tile(gi, gj));
+}
+
+}  // namespace
 
 std::string InferenceReport::summary() const {
   std::ostringstream os;
@@ -30,6 +51,53 @@ std::string InferenceReport::kernel_table() const {
     os.unsetf(std::ios::fixed);
   }
   return os.str();
+}
+
+std::uint64_t InferenceReport::deterministic_fingerprint() const {
+  HashStream h;
+  h.str(model_name).str(dataset_tag).i64(static_cast<std::int64_t>(strategy));
+  h.f64(latency_ms).f64(data_movement_ms);
+
+  const ExecutionResult& e = execution;
+  h.f64(e.exec_cycles)
+      .f64(e.exec_ms)
+      .f64(e.soft_ms)
+      .f64(e.exposed_runtime_ms)
+      .f64(e.latency_ms)
+      .f64(e.runtime_overhead_ratio);
+  h.u64(e.kernels.size());
+  for (const KernelExecutionReport& k : e.kernels) {
+    h.i64(k.node_id)
+        .str(k.name)
+        .f64(k.makespan_cycles)
+        .f64(k.compute_cycles)
+        .f64(k.memory_cycles)
+        .f64(k.ahm_cycles)
+        .f64(k.soft_cycles)
+        .f64(k.k2p_soft_cycles)
+        .i64(k.tasks)
+        .i64(k.pairs)
+        .i64(k.pairs_gemm)
+        .i64(k.pairs_spdmm)
+        .i64(k.pairs_spmm)
+        .i64(k.pairs_skipped)
+        .f64(k.load_imbalance)
+        .f64(k.output_density);
+  }
+  h.i64(e.stats.tasks)
+      .i64(e.stats.pairs)
+      .i64(e.stats.pairs_gemm)
+      .i64(e.stats.pairs_spdmm)
+      .i64(e.stats.pairs_spmm)
+      .i64(e.stats.pairs_skipped)
+      .i64(e.stats.mode_switches)
+      .f64(e.stats.compute_cycles)
+      .f64(e.stats.memory_cycles)
+      .f64(e.stats.ahm_cycles);
+  h.u64(e.node_densities.size());
+  for (double d : e.node_densities) h.f64(d);
+  hash_partitioned(h, e.output);
+  return h.digest();
 }
 
 }  // namespace dynasparse

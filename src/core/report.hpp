@@ -30,6 +30,17 @@ struct InferenceReport {
   std::string summary() const;
   /// Render the per-kernel table.
   std::string kernel_table() const;
+
+  /// 64-bit content hash of every *simulation-deterministic* field:
+  /// metadata, simulated latencies/cycles, per-kernel reports, aggregate
+  /// stats, node densities, and the functional output matrix bits.
+  /// Wall-clock measurements (CompileStats, end_to_end_ms, which folds
+  /// compile wall time in) are excluded, so two runs over identical
+  /// inputs — sequential or batched, any host thread count — produce the
+  /// same fingerprint, and any numeric regression in compiler/runtime/
+  /// simulator changes it. The regression layer (tests/golden_report_test
+  /// and the service bit-identity checks) is built on this.
+  std::uint64_t deterministic_fingerprint() const;
 };
 
 /// Sustained PCIe bandwidth of the U250 host link (paper Section VIII-D:

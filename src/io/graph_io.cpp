@@ -113,8 +113,12 @@ CooMatrix read_features_file(const std::string& path) {
 void write_features(const CooMatrix& m, std::ostream& out) {
   out << "# dynasparse features: <rows> <cols>, then row col value per line\n";
   out << m.rows() << ' ' << m.cols() << '\n';
+  // max_digits10 so every float value round-trips bit-exactly through the
+  // text format (default 6-digit precision silently perturbed values).
+  std::streamsize old_precision = out.precision(9);
   for (const CooEntry& e : m.entries())
     out << e.row << ' ' << e.col << ' ' << e.value << '\n';
+  out.precision(old_precision);
 }
 
 void write_features_file(const CooMatrix& m, const std::string& path) {

@@ -50,6 +50,8 @@ IrSnapshot snapshot_of(const CompiledProgram& prog) {
 }
 
 void write_ir(const IrSnapshot& snap, std::ostream& out) {
+  // max_digits10 for doubles: epsilon must round-trip bit-exactly.
+  std::streamsize old_precision = out.precision(17);
   out << kMagic << '\n';
   out << "plan " << snap.plan.n1 << ' ' << snap.plan.n2 << ' ' << snap.plan.n_max
       << '\n';
@@ -65,6 +67,7 @@ void write_ir(const IrSnapshot& snap, std::ostream& out) {
     out << "scheme " << m.n1 << ' ' << m.n2 << ' ' << m.grid_i << ' ' << m.grid_k << ' '
         << m.inner_steps << '\n';
   }
+  out.precision(old_precision);
 }
 
 IrSnapshot read_ir(std::istream& in) {

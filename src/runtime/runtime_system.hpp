@@ -15,6 +15,16 @@
 //      kernel's mapping will use.
 // The K2P work for kernel l+1 overlaps kernel l's execution (paper
 // Section VI-B); only the non-overlappable portion extends latency.
+//
+// Re-entrancy contract: execute() never mutates the CompiledProgram or
+// any other shared state — all accumulation happens in per-call locals
+// (node outputs, SoftProcessor, stats), and the only mutation reachable
+// through the const program is Tile's lazily materialized view cache,
+// which is std::call_once-guarded. Any number of threads may therefore
+// execute the *same* CompiledProgram concurrently (what the inference
+// service relies on when many requests hit one cached program). Keep it
+// that way: new state belongs in ExecutionResult or a local, never in
+// CompiledProgram.
 
 #include <cstdint>
 #include <string>

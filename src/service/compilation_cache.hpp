@@ -1,0 +1,79 @@
+#pragma once
+// Compilation cache: the DynaSparse amortization idea applied across
+// requests. The paper reuses compile-time work when "the sparsity of the
+// input graph and GNN model changes" (Section VIII-A); a serving layer
+// generalizes that to *any* request stream — two requests that compile the
+// same (model, dataset, config) content share one CompiledProgram.
+//
+// Keys are content hashes (compiler/signature.hpp), so independently
+// constructed but identical inputs hit. Entries hold
+// shared_ptr<const CompiledProgram>; a program stays alive while any
+// in-flight request executes it even after LRU eviction. In-flight
+// compilations deduplicate: the first requester compiles, concurrent
+// requesters for the same key block on a shared_future instead of
+// compiling again. A compilation that throws is erased so later requests
+// retry rather than observing a poisoned entry.
+//
+// Thread-safe. Capacity 0 disables storage (every call compiles) but
+// still counts stats, which keeps the uncached baseline measurable
+// through the same code path.
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "compiler/compiler.hpp"
+#include "compiler/signature.hpp"
+
+namespace dynasparse {
+
+struct CacheStats {
+  std::int64_t hits = 0;        // key found (ready or in-flight)
+  std::int64_t misses = 0;      // key absent; this call compiled
+  std::int64_t evictions = 0;   // entries dropped by LRU
+  std::int64_t inflight_joins = 0;  // hits that waited on a compile in flight
+  std::int64_t entries = 0;     // current resident entries
+};
+
+class CompilationCache {
+ public:
+  explicit CompilationCache(std::size_t capacity = 16) : capacity_(capacity) {}
+
+  /// Return the program for (model, ds, cfg), compiling at most once per
+  /// content key. May block while another thread compiles the same key.
+  /// Throws whatever compile() throws.
+  std::shared_ptr<const CompiledProgram> get_or_compile(const GnnModel& model,
+                                                        const Dataset& ds,
+                                                        const SimConfig& cfg);
+
+  /// Ready entry for `key`, or nullptr (does not wait on in-flight
+  /// compiles and does not touch LRU order or stats).
+  std::shared_ptr<const CompiledProgram> peek(const CompileKey& key) const;
+
+  CacheStats stats() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Drop every ready entry (in-flight compiles complete unobserved).
+  void clear();
+
+ private:
+  using ProgramFuture = std::shared_future<std::shared_ptr<const CompiledProgram>>;
+  struct Entry {
+    ProgramFuture program;
+    bool ready = false;  // set once the compiling thread fulfilled it
+    std::list<CompileKey>::iterator lru_pos;
+  };
+
+  void touch(Entry& e);           // move to MRU end; mu_ held
+  void evict_excess();            // drop ready LRU entries over capacity; mu_ held
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<CompileKey, Entry> entries_;
+  std::list<CompileKey> lru_;     // front = least recently used
+  CacheStats stats_;
+};
+
+}  // namespace dynasparse

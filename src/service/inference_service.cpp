@@ -1,0 +1,215 @@
+#include "service/inference_service.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace dynasparse {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+ServiceOptions default_engine_options() {
+  ServiceOptions opts;
+  opts.cache_capacity = 4;
+  if (const char* env = std::getenv("DYNASPARSE_ENGINE_CACHE")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) opts.cache_capacity = static_cast<std::size_t>(v);
+  }
+  return opts;
+}
+
+}  // namespace
+
+ServiceRequest ServiceRequest::own(GnnModel model, Dataset dataset,
+                                   EngineOptions options) {
+  ServiceRequest req;
+  req.model = std::make_shared<const GnnModel>(std::move(model));
+  req.dataset = std::make_shared<const Dataset>(std::move(dataset));
+  req.options = options;
+  return req;
+}
+
+ServiceRequest ServiceRequest::borrow(const GnnModel& model, const Dataset& dataset,
+                                      const EngineOptions& options) {
+  ServiceRequest req;
+  req.model = std::shared_ptr<const GnnModel>(&model, [](const GnnModel*) {});
+  req.dataset = std::shared_ptr<const Dataset>(&dataset, [](const Dataset*) {});
+  req.options = options;
+  return req;
+}
+
+InferenceService::InferenceService(ServiceOptions options)
+    : options_(options), cache_(options.cache_capacity) {}
+
+InferenceService::~InferenceService() {
+  queue_.close();
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  for (std::thread& t : workers_) t.join();
+}
+
+InferenceReport InferenceService::execute_request(const ServiceRequest& request) {
+  std::shared_ptr<const CompiledProgram> prog = cache_.get_or_compile(
+      *request.model, *request.dataset, request.options.config);
+  InferenceReport rep = run_compiled(*prog, request.options.runtime);
+  rep.dataset_tag = request.dataset->spec.tag;
+  return rep;
+}
+
+void InferenceService::ensure_workers() {
+  int wanted = options_.workers > 0
+                   ? options_.workers
+                   : std::min(parallel_hardware_threads(), 16);
+  wanted = std::max(wanted, 1);
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  while (static_cast<int>(workers_.size()) < wanted)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+void InferenceService::worker_main() {
+  Job job;
+  while (queue_.pop(job)) {
+    {
+      std::lock_guard<std::mutex> lk(slots_mu_);
+      Slot& slot = slots_.at(job.id);
+      slot.state = RequestState::kRunning;
+      slot.started = std::chrono::steady_clock::now();
+    }
+    InferenceReport report;
+    std::exception_ptr error;
+    try {
+      std::optional<ParallelInlineScope> inline_scope;
+      if (options_.inline_intra_op) inline_scope.emplace();
+      report = execute_request(job.request);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(slots_mu_);
+      Slot& slot = slots_.at(job.id);
+      slot.finished = std::chrono::steady_clock::now();
+      if (error) {
+        slot.error = error;
+        slot.state = RequestState::kFailed;
+      } else {
+        slot.report = std::move(report);
+        slot.state = RequestState::kDone;
+      }
+    }
+    slots_cv_.notify_all();
+  }
+}
+
+RequestId InferenceService::submit(ServiceRequest request) {
+  if (!request.model || !request.dataset)
+    throw std::invalid_argument("ServiceRequest needs a model and a dataset");
+  ensure_workers();
+  RequestId id;
+  {
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    id = next_id_++;
+    Slot& slot = slots_[id];
+    slot.state = RequestState::kQueued;
+    slot.submitted = std::chrono::steady_clock::now();
+  }
+  if (!queue_.push(Job{id, std::move(request)})) {
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    slots_.erase(id);
+    throw std::runtime_error("InferenceService is shutting down");
+  }
+  return id;
+}
+
+RequestState InferenceService::state(RequestId id) const {
+  std::lock_guard<std::mutex> lk(slots_mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) throw std::invalid_argument("unknown request id");
+  return it->second.state;
+}
+
+bool InferenceService::done(RequestId id) const {
+  RequestState s = state(id);
+  return s == RequestState::kDone || s == RequestState::kFailed;
+}
+
+InferenceReport InferenceService::wait(RequestId id, RequestTiming* timing) {
+  std::unique_lock<std::mutex> lk(slots_mu_);
+  if (slots_.find(id) == slots_.end())
+    throw std::invalid_argument("unknown request id");
+  // Re-find inside the predicate: concurrent submits may rehash the map
+  // while this thread sleeps, invalidating any held iterator.
+  slots_cv_.wait(lk, [&] {
+    auto it = slots_.find(id);
+    if (it == slots_.end()) return true;  // consumed by a racing waiter
+    RequestState s = it->second.state;
+    return s == RequestState::kDone || s == RequestState::kFailed;
+  });
+  auto it = slots_.find(id);
+  if (it == slots_.end())
+    throw std::invalid_argument("request id already consumed by another waiter");
+  Slot slot = std::move(it->second);
+  slots_.erase(it);
+  lk.unlock();
+  if (timing) {
+    timing->queue_ms = ms_between(slot.submitted, slot.started);
+    timing->exec_ms = ms_between(slot.started, slot.finished);
+    timing->total_ms = ms_between(slot.submitted, slot.finished);
+  }
+  if (slot.error) std::rethrow_exception(slot.error);
+  return std::move(slot.report);
+}
+
+std::vector<InferenceReport> InferenceService::run_batch(
+    std::vector<ServiceRequest> requests) {
+  // Validate the whole batch before enqueueing anything: a mid-batch
+  // submit() throw would otherwise abandon already-submitted requests
+  // (their slots, and eventually their reports, would leak in slots_).
+  for (const ServiceRequest& req : requests)
+    if (!req.model || !req.dataset)
+      throw std::invalid_argument("ServiceRequest needs a model and a dataset");
+  std::vector<RequestId> ids;
+  ids.reserve(requests.size());
+  try {
+    for (ServiceRequest& req : requests) ids.push_back(submit(std::move(req)));
+  } catch (...) {
+    // Shutdown raced the batch: drain what did get in, then propagate.
+    for (RequestId id : ids) {
+      try {
+        (void)wait(id);
+      } catch (...) {
+      }
+    }
+    throw;
+  }
+  std::vector<InferenceReport> reports(ids.size());
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    try {
+      reports[i] = wait(ids[i]);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return reports;
+}
+
+InferenceReport InferenceService::run_one(const GnnModel& model, const Dataset& ds,
+                                          const EngineOptions& options) {
+  return execute_request(ServiceRequest::borrow(model, ds, options));
+}
+
+InferenceService& InferenceService::process_default() {
+  static InferenceService service(default_engine_options());
+  return service;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,158 @@
+#pragma once
+// InferenceService — multi-request serving layer over the DynaSparse
+// pipeline.
+//
+// The engine's run_inference() is one-shot: compile, execute, discard.
+// A serving workload issues many (model, dataset, options) requests, most
+// of which repeat recent compilations; this service amortizes that
+// preprocessing the same way the paper amortizes sparsity profiling —
+// compile once per *content* (compiler/signature.hpp keys), reuse across
+// every request that matches, and execute requests concurrently with
+// per-request isolation (a CompiledProgram is immutable after compile and
+// execute() never mutates shared state, so many requests may share one
+// program; see the re-entrancy note in runtime/runtime_system.hpp).
+//
+// Three usage shapes:
+//   async    : id = svc.submit(req); ... svc.done(id); rep = svc.wait(id);
+//   batch    : reports = svc.run_batch(requests);        // blocking, ordered
+//   inline   : rep = svc.run_one(model, ds, options);    // calling thread;
+//              this is what core/engine.hpp's run_inference routes through
+//
+// Concurrency model: `workers` dedicated threads consume a queue
+// (util/blocking_queue.hpp). Each worker runs its request under
+// ParallelInlineScope, so intra-request parallel_for chunks execute
+// serially on that worker and the PR-1 persistent pool's job slot is
+// never a cross-request bottleneck; throughput comes from inter-request
+// concurrency. Reports are bit-identical to sequential run_inference for
+// the deterministic fields (everything except the wall-clock CompileStats,
+// which a cache hit reuses from the original compile) because every
+// parallel primitive is thread-count-invariant by construction.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "service/compilation_cache.hpp"
+#include "util/blocking_queue.hpp"
+
+namespace dynasparse {
+
+/// One unit of serving work. The model/dataset are shared immutable
+/// inputs; requests are cheap to copy and queue.
+struct ServiceRequest {
+  std::shared_ptr<const GnnModel> model;
+  std::shared_ptr<const Dataset> dataset;
+  EngineOptions options;
+
+  /// Take ownership of the inputs (moves them onto the heap).
+  static ServiceRequest own(GnnModel model, Dataset dataset,
+                            EngineOptions options = {});
+  /// Alias caller-owned inputs without copying. The caller must keep them
+  /// alive and unmodified until the request completes.
+  static ServiceRequest borrow(const GnnModel& model, const Dataset& dataset,
+                               const EngineOptions& options = {});
+};
+
+enum class RequestState { kQueued, kRunning, kDone, kFailed };
+using RequestId = std::uint64_t;
+
+/// Per-request wall-clock breakdown (steady clock, milliseconds).
+struct RequestTiming {
+  double queue_ms = 0.0;  // submit -> worker pickup
+  double exec_ms = 0.0;   // pickup -> completion (includes compile/cache)
+  double total_ms = 0.0;  // submit -> completion
+};
+
+struct ServiceOptions {
+  /// Worker threads for submitted requests. 0 = hardware concurrency
+  /// (capped at 16). Workers spawn lazily on first submit; run_one never
+  /// spawns any.
+  int workers = 0;
+  /// CompilationCache capacity (programs). 0 disables caching.
+  std::size_t cache_capacity = 16;
+  /// Run each request's internal parallel loops inline on its worker
+  /// (recommended; see header comment). false lets requests fan out on
+  /// the shared pool — they then serialize on its job slot.
+  bool inline_intra_op = true;
+};
+
+class InferenceService {
+ public:
+  explicit InferenceService(ServiceOptions options = {});
+  /// Blocks until every submitted request has completed (the queue drains
+  /// before workers exit), then joins the workers.
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Enqueue a request; returns immediately. Throws std::invalid_argument
+  /// on a null model/dataset.
+  RequestId submit(ServiceRequest request);
+
+  /// Poll. Throws std::invalid_argument for an unknown (or already
+  /// consumed) id.
+  RequestState state(RequestId id) const;
+  bool done(RequestId id) const;  // kDone or kFailed
+
+  /// Block until the request completes, then consume its slot: returns the
+  /// report (optionally the timing), or rethrows the request's exception.
+  /// Each id can be waited on exactly once.
+  InferenceReport wait(RequestId id, RequestTiming* timing = nullptr);
+
+  /// Submit all, wait all; reports come back in request order. If any
+  /// request failed, every other request still completes, then the first
+  /// failure (in request order) is rethrown.
+  std::vector<InferenceReport> run_batch(std::vector<ServiceRequest> requests);
+
+  /// Execute one request synchronously on the calling thread through the
+  /// shared cache + execution path (no queue, no workers).
+  InferenceReport run_one(const GnnModel& model, const Dataset& ds,
+                          const EngineOptions& options = {});
+
+  CompilationCache& cache() { return cache_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Process-wide service backing core/engine.hpp's run_inference. Its
+  /// cache capacity defaults to 4 programs; override with the
+  /// DYNASPARSE_ENGINE_CACHE environment variable (0 disables caching and
+  /// restores the pre-service always-recompile behavior).
+  static InferenceService& process_default();
+
+ private:
+  struct Job {
+    RequestId id = 0;
+    ServiceRequest request;
+  };
+  struct Slot {
+    RequestState state = RequestState::kQueued;
+    InferenceReport report;
+    std::exception_ptr error;
+    std::chrono::steady_clock::time_point submitted, started, finished;
+  };
+
+  InferenceReport execute_request(const ServiceRequest& request);
+  void ensure_workers();
+  void worker_main();
+
+  const ServiceOptions options_;
+  CompilationCache cache_;
+  BlockingQueue<Job> queue_;
+
+  mutable std::mutex slots_mu_;
+  std::condition_variable slots_cv_;
+  std::unordered_map<RequestId, Slot> slots_;
+  RequestId next_id_ = 1;
+
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dynasparse

@@ -1,0 +1,205 @@
+#include "service/request_stream.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "model/pruning.hpp"
+
+namespace dynasparse {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("request stream line " + std::to_string(line) + ": " + msg);
+}
+
+const char* strategy_token(MappingStrategy s) {
+  switch (s) {
+    case MappingStrategy::kStatic1: return "static1";
+    case MappingStrategy::kStatic2: return "static2";
+    case MappingStrategy::kDynamic: return "dynamic";
+  }
+  return "dynamic";
+}
+
+/// Strict numeric parsing: the whole token must be consumed (std::stoi
+/// alone would accept "4x2" as 4, silently benchmarking the wrong
+/// configuration).
+template <typename T, typename ParseFn>
+T parse_full(const std::string& value, ParseFn parse) {
+  std::size_t consumed = 0;
+  T result = parse(value, &consumed);
+  if (consumed != value.size()) throw std::invalid_argument("trailing characters");
+  return result;
+}
+
+int strict_stoi(const std::string& v) {
+  return parse_full<int>(v, [](const std::string& s, std::size_t* p) {
+    return std::stoi(s, p);
+  });
+}
+std::int64_t strict_stoll(const std::string& v) {
+  return parse_full<std::int64_t>(v, [](const std::string& s, std::size_t* p) {
+    return std::stoll(s, p);
+  });
+}
+std::uint64_t strict_stoull(const std::string& v) {
+  return parse_full<std::uint64_t>(v, [](const std::string& s, std::size_t* p) {
+    return std::stoull(s, p);
+  });
+}
+double strict_stod(const std::string& v) {
+  return parse_full<double>(v, [](const std::string& s, std::size_t* p) {
+    return std::stod(s, p);
+  });
+}
+
+const char* model_token(GnnModelKind kind) {
+  switch (kind) {
+    case GnnModelKind::kGcn: return "gcn";
+    case GnnModelKind::kSage: return "sage";
+    case GnnModelKind::kGin: return "gin";
+    case GnnModelKind::kSgc: return "sgc";
+  }
+  return "gcn";
+}
+
+}  // namespace
+
+GnnModelKind parse_model_kind(const std::string& s) {
+  if (s == "gcn") return GnnModelKind::kGcn;
+  if (s == "sage") return GnnModelKind::kSage;
+  if (s == "gin") return GnnModelKind::kGin;
+  if (s == "sgc") return GnnModelKind::kSgc;
+  throw std::runtime_error("unknown model kind: " + s);
+}
+
+MappingStrategy parse_strategy_name(const std::string& s) {
+  if (s == "dynamic") return MappingStrategy::kDynamic;
+  if (s == "static1") return MappingStrategy::kStatic1;
+  if (s == "static2") return MappingStrategy::kStatic2;
+  throw std::runtime_error("unknown strategy: " + s);
+}
+
+std::string StreamRequestSpec::to_line() const {
+  std::ostringstream os;
+  os.precision(17);  // prune must round-trip bit-exactly (max_digits10)
+  os << "dataset=" << dataset << " model=" << model_token(model);
+  if (scale != 0) os << " scale=" << scale;
+  if (hidden != 0) os << " hidden=" << hidden;
+  if (prune != 0.0) os << " prune=" << prune;
+  if (strategy != MappingStrategy::kDynamic)
+    os << " strategy=" << strategy_token(strategy);
+  os << " seed=" << seed;
+  if (repeat != 1) os << " repeat=" << repeat;
+  return os.str();
+}
+
+std::vector<StreamRequestSpec> parse_request_stream(std::istream& in) {
+  std::vector<StreamRequestSpec> specs;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream tokens(line);
+    std::string tok;
+    StreamRequestSpec spec;
+    bool any = false;
+    bool comment = false;
+    while (!comment && tokens >> tok) {
+      if (tok[0] == '#') {
+        comment = true;  // rest of the line is a comment
+        break;
+      }
+      auto eq = tok.find('=');
+      if (eq == std::string::npos || eq == 0) fail(lineno, "expected key=value: " + tok);
+      std::string key = tok.substr(0, eq), value = tok.substr(eq + 1);
+      if (value.empty()) fail(lineno, "empty value for " + key);
+      bool known = true;
+      try {
+        if (key == "dataset") spec.dataset = value;
+        else if (key == "model") spec.model = parse_model_kind(value);
+        else if (key == "scale") spec.scale = strict_stoi(value);
+        else if (key == "hidden") spec.hidden = strict_stoll(value);
+        else if (key == "prune") spec.prune = strict_stod(value);
+        else if (key == "strategy") spec.strategy = parse_strategy_name(value);
+        else if (key == "seed") spec.seed = strict_stoull(value);
+        else if (key == "repeat") spec.repeat = strict_stoi(value);
+        else known = false;
+      } catch (const std::runtime_error& e) {
+        fail(lineno, e.what());  // parse_model_kind / parse_strategy_name
+      } catch (const std::exception&) {
+        fail(lineno, "bad value for " + key + ": " + value);
+      }
+      if (!known) fail(lineno, "unknown key: " + key);
+      any = true;
+    }
+    if (!any) continue;  // blank or comment-only line
+    if (spec.prune < 0.0 || spec.prune >= 1.0) fail(lineno, "prune must be in [0, 1)");
+    if (spec.repeat < 1) fail(lineno, "repeat must be >= 1");
+    if (spec.scale < 0) fail(lineno, "scale must be >= 0 (0 = dataset default)");
+    if (spec.hidden < 0) fail(lineno, "hidden must be >= 0 (0 = dataset default)");
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<StreamRequestSpec> read_request_stream_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open request stream: " + path);
+  return parse_request_stream(in);
+}
+
+std::vector<StreamRequestSpec> expand_stream(
+    const std::vector<StreamRequestSpec>& specs) {
+  std::vector<StreamRequestSpec> flat;
+  for (const StreamRequestSpec& spec : specs) {
+    StreamRequestSpec one = spec;
+    one.repeat = 1;
+    for (int i = 0; i < spec.repeat; ++i) flat.push_back(one);
+  }
+  return flat;
+}
+
+ServiceRequest materialize_request(const StreamRequestSpec& spec) {
+  Dataset ds = generate_dataset(dataset_by_tag(spec.dataset), spec.scale, spec.seed);
+  if (spec.hidden > 0) ds.spec.hidden_dim = spec.hidden;
+  Rng rng(spec.seed + 1);  // same convention as dynasparse_cli
+  GnnModel model = build_model(spec.model, ds.spec.feature_dim, ds.spec.hidden_dim,
+                               ds.spec.num_classes, rng);
+  if (spec.prune > 0.0) prune_model(model, spec.prune);
+  EngineOptions options;
+  options.runtime.strategy = spec.strategy;
+  return ServiceRequest::own(std::move(model), std::move(ds), options);
+}
+
+std::vector<StreamRequestSpec> synthetic_stream(int n, std::uint64_t seed) {
+  // A serving-shaped mix over the small/medium registry graphs (the large
+  // FL/NE/RE graphs stay available through --stream files): three datasets
+  // under two models, cycled, so a stream repeatedly revisits each
+  // compilation the way real traffic revisits popular (model, graph)
+  // pairs.
+  struct Pair {
+    const char* dataset;
+    GnnModelKind model;
+  };
+  static const Pair kRoster[] = {
+      {"CI", GnnModelKind::kGcn},  {"CO", GnnModelKind::kGcn},
+      {"PU", GnnModelKind::kGcn},  {"CI", GnnModelKind::kSage},
+      {"CO", GnnModelKind::kSage},
+  };
+  std::vector<StreamRequestSpec> specs;
+  specs.reserve(static_cast<std::size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) {
+    const Pair& p = kRoster[static_cast<std::size_t>(i) % (sizeof(kRoster) / sizeof(kRoster[0]))];
+    StreamRequestSpec spec;
+    spec.dataset = p.dataset;
+    spec.model = p.model;
+    spec.seed = seed;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace dynasparse

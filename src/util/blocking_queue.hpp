@@ -1,0 +1,80 @@
+#pragma once
+// Bounded-unbounded MPMC blocking queue with close semantics — the work
+// feed between InferenceService::submit and its worker threads.
+//
+// push/pop pair a mutex with one condition variable; close() wakes every
+// blocked consumer so workers can drain remaining items and exit. The
+// queue is deliberately minimal: no priorities, no try_push backpressure —
+// the service bounds memory by what callers submit, and requests hold
+// shared_ptrs so queue entries are cheap.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace dynasparse {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Enqueue one item. Returns false (dropping the item) once closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed *and*
+  /// drained. Returns false only in the latter case.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop; false when nothing is queued right now.
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stop accepting pushes and wake all blocked consumers. Queued items
+  /// remain poppable until drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dynasparse

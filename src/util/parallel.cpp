@@ -180,6 +180,12 @@ std::int64_t resolve_grain(std::int64_t n, std::int64_t grain) {
 
 int parallel_hardware_threads() { return static_cast<int>(hardware_threads()); }
 
+ParallelInlineScope::ParallelInlineScope() : prev_(t_in_pool_work) {
+  t_in_pool_work = true;
+}
+
+ParallelInlineScope::~ParallelInlineScope() { t_in_pool_work = prev_; }
+
 void parallel_for_range(std::int64_t n,
                         const std::function<void(std::int64_t, std::int64_t)>& fn,
                         int threads, std::int64_t grain) {

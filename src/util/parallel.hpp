@@ -65,4 +65,27 @@ T parallel_reduce(std::int64_t n, T identity, MapFn&& map, CombineFn&& combine,
 /// Number of workers the pool would use for threads=0 (informational).
 int parallel_hardware_threads();
 
+/// RAII guard: while alive on the current thread, parallel_for /
+/// parallel_for_range / parallel_reduce run their chunks inline (serially
+/// on this thread) instead of dispatching to the shared pool — the same
+/// behavior nested parallel calls already get inside pool work.
+///
+/// This is how the inference service runs many requests concurrently on
+/// its own workers without those requests contending for the pool's single
+/// job slot: each request executes single-threaded, and concurrency comes
+/// from running requests side by side (inter-request beats intra-request
+/// parallelism once there is more than one request in flight). Results are
+/// unaffected — chunk boundaries and reduction order depend only on
+/// (n, grain), never on where the chunks run.
+class ParallelInlineScope {
+ public:
+  ParallelInlineScope();
+  ~ParallelInlineScope();
+  ParallelInlineScope(const ParallelInlineScope&) = delete;
+  ParallelInlineScope& operator=(const ParallelInlineScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
 }  // namespace dynasparse

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/engine.hpp"
+#include "io/graph_io.hpp"
+#include "io/ir_io.hpp"
 #include "model/reference.hpp"
 
 namespace dynasparse {
@@ -83,6 +87,95 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::ValuesIn(fuzz_cases()),
                            return std::string(model_kind_name(info.param.kind)) +
                                   "_seed" + std::to_string(info.param.seed);
                          });
+
+// ---- I/O round-trip fuzzing ---------------------------------------------
+// write -> read -> write must be a fixpoint (the second write emits the
+// same bytes), and the re-read structures must equal the originals. Runs
+// over randomly shaped graphs / features / compiled IR.
+
+Dataset random_io_dataset(std::uint64_t seed) {
+  Rng shape_rng(seed * 104729);
+  DatasetSpec spec;
+  spec.name = "iofuzz";
+  spec.tag = "IO";
+  spec.vertices = shape_rng.uniform_int(1, 300);
+  spec.edges = shape_rng.uniform_int(1, spec.vertices * 5);
+  spec.feature_dim = shape_rng.uniform_int(1, 64);
+  spec.num_classes = shape_rng.uniform_int(2, 9);
+  spec.h0_density = shape_rng.uniform(0.0, 0.9);
+  spec.hidden_dim = shape_rng.uniform_int(2, 24);
+  spec.degree_skew = shape_rng.uniform(0.0, 0.8);
+  return generate_dataset(spec, 1, seed);
+}
+
+class IoRoundTripFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoRoundTripFuzz, EdgeListWriteReadWriteFixpoint) {
+  Dataset ds = random_io_dataset(GetParam());
+  std::ostringstream first;
+  write_edge_list(ds.graph, first);
+  std::istringstream in(first.str());
+  Graph back = read_edge_list(in);
+
+  ASSERT_EQ(back.num_vertices(), ds.graph.num_vertices());
+  ASSERT_EQ(back.num_edges(), ds.graph.num_edges());
+  const CsrMatrix& a = ds.graph.adjacency();
+  const CsrMatrix& b = back.adjacency();
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.values(), b.values());
+
+  std::ostringstream second;
+  write_edge_list(back, second);
+  EXPECT_EQ(first.str(), second.str()) << "seed " << GetParam();
+}
+
+TEST_P(IoRoundTripFuzz, FeaturesWriteReadWriteFixpoint) {
+  Dataset ds = random_io_dataset(GetParam() + 7);
+  std::ostringstream first;
+  write_features(ds.features, first);
+  std::istringstream in(first.str());
+  CooMatrix back = read_features(in);
+
+  ASSERT_EQ(back.rows(), ds.features.rows());
+  ASSERT_EQ(back.cols(), ds.features.cols());
+  ASSERT_EQ(back.nnz(), ds.features.nnz());
+  for (std::int64_t i = 0; i < back.nnz(); ++i) {
+    const CooEntry& x = ds.features.entries()[static_cast<std::size_t>(i)];
+    const CooEntry& y = back.entries()[static_cast<std::size_t>(i)];
+    ASSERT_EQ(x.row, y.row);
+    ASSERT_EQ(x.col, y.col);
+    ASSERT_EQ(x.value, y.value) << "entry " << i;
+  }
+
+  std::ostringstream second;
+  write_features(back, second);
+  EXPECT_EQ(first.str(), second.str()) << "seed " << GetParam();
+}
+
+TEST_P(IoRoundTripFuzz, IrSnapshotWriteReadWriteFixpoint) {
+  std::uint64_t seed = GetParam();
+  Dataset ds = random_io_dataset(seed + 13);
+  Rng rng(seed + 14);
+  GnnModelKind kind = paper_models()[static_cast<std::size_t>(seed) % 4];
+  GnnModel m = build_model(kind, ds.spec.feature_dim, ds.spec.hidden_dim,
+                           ds.spec.num_classes, rng);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  IrSnapshot snap = snapshot_of(prog);
+
+  std::ostringstream first;
+  write_ir(snap, first);
+  std::istringstream in(first.str());
+  IrSnapshot back = read_ir(in);
+  EXPECT_TRUE(snap == back) << "seed " << seed;
+
+  std::ostringstream second;
+  write_ir(back, second);
+  EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTripFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
 }  // namespace
 }  // namespace dynasparse

@@ -1,0 +1,155 @@
+// Golden-report regression layer: frozen InferenceReport values for a
+// small fixed-seed dataset/model sweep. Every number the simulator
+// produces is deterministic (thread-count-invariant reductions, no FMA
+// contraction — see CMakeLists.txt), so regressions in compiler,
+// runtime, or cycle-model numerics change these values and fail loudly.
+//
+// Regenerating after an *intentional* semantics change:
+//
+//   cd build && DYNASPARSE_GOLDEN_REGEN=1 ./golden_report_test \
+//       --gtest_filter='*RegenerateTable*'
+//
+// prints the kGolden table rows; paste them over the array below and
+// explain the semantic change in the commit message. The regeneration
+// test is skipped (not run) in normal CI.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace dynasparse {
+namespace {
+
+struct GoldenCase {
+  const char* dataset;  // "GA" or "GB"
+  GnnModelKind kind;
+  double prune;  // weight sparsity applied after build
+};
+
+Dataset golden_dataset(const char* tag) {
+  DatasetSpec spec;
+  spec.name = "golden";
+  spec.tag = tag;
+  spec.degree_skew = 0.5;
+  if (std::string(tag) == "GA") {
+    spec.vertices = 140;
+    spec.edges = 560;
+    spec.feature_dim = 24;
+    spec.num_classes = 5;
+    spec.h0_density = 0.3;
+    spec.hidden_dim = 8;
+    return generate_dataset(spec, 1, 17);
+  }
+  spec.vertices = 96;
+  spec.edges = 700;
+  spec.feature_dim = 32;
+  spec.num_classes = 6;
+  spec.h0_density = 0.8;
+  spec.hidden_dim = 12;
+  spec.degree_skew = 0.2;
+  return generate_dataset(spec, 1, 18);
+}
+
+const std::vector<GoldenCase>& golden_cases() {
+  static const std::vector<GoldenCase> cases = [] {
+    std::vector<GoldenCase> c;
+    for (const char* tag : {"GA", "GB"})
+      for (GnnModelKind kind : paper_models()) c.push_back({tag, kind, 0.0});
+    // Pruned variants exercise the skip/SpDMM paths.
+    c.push_back({"GA", GnnModelKind::kGcn, 0.9});
+    c.push_back({"GB", GnnModelKind::kSage, 0.9});
+    return c;
+  }();
+  return cases;
+}
+
+InferenceReport run_case(const GoldenCase& gc) {
+  Dataset ds = golden_dataset(gc.dataset);
+  Rng rng(19);
+  GnnModel model = build_model(gc.kind, ds.spec.feature_dim, ds.spec.hidden_dim,
+                               ds.spec.num_classes, rng);
+  if (gc.prune > 0.0) prune_model(model, gc.prune);
+  CompiledProgram prog = compile(model, ds, u250_config());
+  InferenceReport rep = run_compiled(prog, {});
+  rep.dataset_tag = ds.spec.tag;
+  return rep;
+}
+
+/// One frozen row. exec_cycles / output_nnz / the count fields are the
+/// human-readable headline; the fingerprint freezes *every* deterministic
+/// report field (per-kernel stats included — see
+/// InferenceReport::deterministic_fingerprint).
+struct GoldenRow {
+  double exec_cycles;
+  std::int64_t tasks;
+  std::int64_t pairs;
+  std::int64_t pairs_skipped;
+  std::int64_t output_nnz;
+  std::uint64_t fingerprint;
+};
+
+// ---- FROZEN VALUES (regenerate per the header instructions) -------------
+const GoldenRow kGolden[] = {
+    {187.45941558441558, 4, 4, 0, 700, 16800478736757906918ull},
+    {371.09577922077921, 6, 6, 0, 700, 10103832946394064924ull},
+    {368.70616883116878, 6, 6, 0, 700, 16639488805932621039ull},
+    {326.25, 3, 3, 0, 700, 15169635246044369835ull},
+    {287.28713474025972, 4, 4, 0, 576, 13114206613529425919ull},
+    {579.00162337662346, 6, 6, 0, 576, 6302265072700702757ull},
+    {493.37134740259739, 6, 6, 0, 576, 9420044341221884149ull},
+    {467, 3, 3, 0, 576, 5870711459366799160ull},
+    {174.37662337662337, 4, 4, 0, 244, 6641300682132939922ull},
+    {398.72889610389609, 6, 6, 0, 576, 14183135782468712611ull},
+};
+// -------------------------------------------------------------------------
+
+void print_row(const InferenceReport& rep) {
+  std::printf("    {%.17g, %lld, %lld, %lld, %lld, %lluull},\n",
+              rep.execution.exec_cycles,
+              static_cast<long long>(rep.execution.stats.tasks),
+              static_cast<long long>(rep.execution.stats.pairs),
+              static_cast<long long>(rep.execution.stats.pairs_skipped),
+              static_cast<long long>(rep.execution.output.total_nnz()),
+              static_cast<unsigned long long>(rep.deterministic_fingerprint()));
+}
+
+TEST(GoldenReportTest, SweepMatchesFrozenValues) {
+  const auto& cases = golden_cases();
+  ASSERT_EQ(sizeof(kGolden) / sizeof(kGolden[0]), cases.size())
+      << "golden table out of date — regenerate (see file header)";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const GoldenCase& gc = cases[i];
+    InferenceReport rep = run_case(gc);
+    const GoldenRow& want = kGolden[i];
+    std::string label = std::string(model_kind_name(gc.kind)) + " on " + gc.dataset +
+                        " prune=" + std::to_string(gc.prune);
+    EXPECT_EQ(rep.execution.exec_cycles, want.exec_cycles) << label;
+    EXPECT_EQ(rep.execution.stats.tasks, want.tasks) << label;
+    EXPECT_EQ(rep.execution.stats.pairs, want.pairs) << label;
+    EXPECT_EQ(rep.execution.stats.pairs_skipped, want.pairs_skipped) << label;
+    EXPECT_EQ(rep.execution.output.total_nnz(), want.output_nnz) << label;
+    if (rep.deterministic_fingerprint() != want.fingerprint) {
+      ADD_FAILURE() << label
+                    << ": report fingerprint changed — a deterministic field "
+                       "regressed. If intentional, regenerate this row as:\n"
+                    << "  (row " << i << ")";
+      print_row(rep);
+    }
+  }
+}
+
+// Regeneration path: skipped unless DYNASPARSE_GOLDEN_REGEN is set.
+TEST(GoldenReportTest, RegenerateTable) {
+  if (std::getenv("DYNASPARSE_GOLDEN_REGEN") == nullptr)
+    GTEST_SKIP() << "set DYNASPARSE_GOLDEN_REGEN=1 to print the golden table";
+  std::printf("const GoldenRow kGolden[] = {\n");
+  for (const GoldenCase& gc : golden_cases()) print_row(run_case(gc));
+  std::printf("};\n");
+}
+
+}  // namespace
+}  // namespace dynasparse

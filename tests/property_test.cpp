@@ -149,6 +149,95 @@ TEST(DensityPropagationProperty, ProfiledDensitiesMatchRecount) {
   EXPECT_NEAR(r.node_densities.back(), out.density(), 1e-12);
 }
 
+// ---- Scheduler invariants over randomized task sets ----------------------
+// schedule_tasks is greedy list scheduling; whatever the durations, the
+// makespan is bounded below by the longest task and by perfect balance
+// (sum / cores), and the reconstructed timeline must agree with the
+// assignment and never overlap two tasks on one core.
+struct ScheduleParam {
+  std::int64_t n;
+  int cores;
+  std::uint64_t seed;
+};
+
+class ScheduleProperty : public ::testing::TestWithParam<ScheduleParam> {};
+
+TEST_P(ScheduleProperty, GreedyBoundsAndTimelineConsistency) {
+  const ScheduleParam& p = GetParam();
+  Rng rng(p.seed);
+  std::vector<double> durations(static_cast<std::size_t>(p.n));
+  double sum = 0.0, max_task = 0.0;
+  for (double& d : durations) {
+    // Heavy-tailed, like tile tasks: mostly small, a few huge, some zero.
+    double u = rng.uniform(0.0, 1.0);
+    d = u < 0.1 ? 0.0 : (u > 0.9 ? rng.uniform(1e4, 1e6) : rng.uniform(1.0, 100.0));
+    sum += d;
+    max_task = std::max(max_task, d);
+  }
+
+  ScheduleResult sched = schedule_tasks(durations, p.cores);
+  EXPECT_GE(sched.makespan_cycles, max_task);
+  EXPECT_GE(sched.makespan_cycles,
+            sum / static_cast<double>(p.cores) * (1.0 - 1e-12));
+  EXPECT_LE(sched.makespan_cycles, sum * (1.0 + 1e-12));
+  EXPECT_GE(sched.load_imbalance(), 1.0 - 1e-12);
+
+  ASSERT_EQ(sched.task_core.size(), durations.size());
+  ASSERT_EQ(sched.core_busy_cycles.size(), static_cast<std::size_t>(p.cores));
+  double busy_sum = 0.0;
+  for (double b : sched.core_busy_cycles) {
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, sched.makespan_cycles * (1.0 + 1e-12));
+    busy_sum += b;
+  }
+  EXPECT_NEAR(busy_sum, sum, 1e-9 * std::max(1.0, sum));
+
+  std::vector<ScheduledInterval> timeline = schedule_timeline(durations, p.cores);
+  ASSERT_EQ(timeline.size(), durations.size());
+  std::vector<bool> seen(durations.size(), false);
+  double max_end = 0.0;
+  for (const ScheduledInterval& iv : timeline) {
+    ASSERT_GE(iv.task, 0);
+    ASSERT_LT(static_cast<std::size_t>(iv.task), durations.size());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(iv.task)]) << "task scheduled twice";
+    seen[static_cast<std::size_t>(iv.task)] = true;
+    ASSERT_GE(iv.core, 0);
+    ASSERT_LT(iv.core, p.cores);
+    // Both functions run the identical greedy rule, so the assignment and
+    // the arithmetic must match schedule_tasks exactly.
+    EXPECT_EQ(iv.core, sched.task_core[static_cast<std::size_t>(iv.task)]);
+    EXPECT_EQ(iv.end_cycles,
+              iv.start_cycles + durations[static_cast<std::size_t>(iv.task)]);
+    max_end = std::max(max_end, iv.end_cycles);
+  }
+  EXPECT_EQ(max_end, sched.makespan_cycles);
+
+  // Per-core intervals must not overlap.
+  for (int c = 0; c < p.cores; ++c) {
+    std::vector<ScheduledInterval> on_core;
+    for (const ScheduledInterval& iv : timeline)
+      if (iv.core == c) on_core.push_back(iv);
+    // Tie-break equal starts by end so zero-length intervals sitting on a
+    // neighbor's boundary sort before it (they are not overlaps).
+    std::sort(on_core.begin(), on_core.end(),
+              [](const ScheduledInterval& a, const ScheduledInterval& b) {
+                if (a.start_cycles != b.start_cycles)
+                  return a.start_cycles < b.start_cycles;
+                return a.end_cycles < b.end_cycles;
+              });
+    for (std::size_t i = 1; i < on_core.size(); ++i)
+      EXPECT_GE(on_core[i].start_cycles, on_core[i - 1].end_cycles)
+          << "overlap on core " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TaskSets, ScheduleProperty,
+    ::testing::Values(ScheduleParam{1, 1, 101}, ScheduleParam{5, 7, 102},
+                      ScheduleParam{64, 7, 103}, ScheduleParam{333, 7, 104},
+                      ScheduleParam{100, 1, 105}, ScheduleParam{256, 16, 106},
+                      ScheduleParam{29, 3, 107}));
+
 // ---- Empty-graph / degenerate-shape robustness ---------------------------
 TEST(DegenerateShapes, SingleVertexGraphRuns) {
   DatasetSpec spec;

@@ -1,0 +1,315 @@
+// InferenceService tests: batched results bit-identical to sequential
+// runs, compilation-cache accounting (hits, in-flight dedup, LRU
+// eviction), failure isolation, and race-freedom under concurrent
+// submitters. The concurrency tests force >1 worker regardless of the
+// host's core count and are part of the CI ThreadSanitizer job.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "core/engine.hpp"
+#include "service/inference_service.hpp"
+#include "service/request_stream.hpp"
+
+namespace dynasparse {
+namespace {
+
+/// Small synthetic dataset so each request costs milliseconds.
+Dataset small_dataset(std::uint64_t seed, std::int64_t vertices = 150,
+                      double h0_density = 0.3) {
+  DatasetSpec spec;
+  spec.name = "svc";
+  spec.tag = "SV" + std::to_string(seed % 100);
+  spec.vertices = vertices;
+  spec.edges = vertices * 4;
+  spec.feature_dim = 24;
+  spec.num_classes = 5;
+  spec.h0_density = h0_density;
+  spec.hidden_dim = 8;
+  spec.degree_skew = 0.5;
+  return generate_dataset(spec, 1, seed);
+}
+
+ServiceRequest make_request(std::uint64_t seed, GnnModelKind kind,
+                            MappingStrategy strategy = MappingStrategy::kDynamic) {
+  Dataset ds = small_dataset(seed);
+  Rng rng(seed + 1);
+  GnnModel model = build_model(kind, ds.spec.feature_dim, ds.spec.hidden_dim,
+                               ds.spec.num_classes, rng);
+  EngineOptions options;
+  options.runtime.strategy = strategy;
+  return ServiceRequest::own(std::move(model), std::move(ds), options);
+}
+
+/// The pre-service reference: compile + execute on the calling thread.
+InferenceReport sequential_reference(const ServiceRequest& req) {
+  CompiledProgram prog = compile(*req.model, *req.dataset, req.options.config);
+  InferenceReport rep = run_compiled(prog, req.options.runtime);
+  rep.dataset_tag = req.dataset->spec.tag;
+  return rep;
+}
+
+TEST(ServiceTest, BatchBitIdenticalToSequential) {
+  std::vector<ServiceRequest> requests;
+  for (std::uint64_t seed : {11, 12, 13}) {
+    requests.push_back(make_request(seed, GnnModelKind::kGcn));
+    requests.push_back(make_request(seed, GnnModelKind::kSage));
+    requests.push_back(make_request(seed, GnnModelKind::kGin, MappingStrategy::kStatic1));
+  }
+
+  std::vector<InferenceReport> expected;
+  for (const ServiceRequest& req : requests) expected.push_back(sequential_reference(req));
+
+  ServiceOptions opts;
+  opts.workers = 4;  // force multi-worker even on a 1-core host
+  opts.cache_capacity = 16;
+  InferenceService service(opts);
+  std::vector<InferenceReport> got = service.run_batch(requests);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].deterministic_fingerprint(), expected[i].deterministic_fingerprint())
+        << "request " << i;
+    // Spot-check the headline fields behind the fingerprint.
+    EXPECT_EQ(got[i].latency_ms, expected[i].latency_ms) << "request " << i;
+    EXPECT_EQ(got[i].execution.exec_cycles, expected[i].execution.exec_cycles);
+    EXPECT_EQ(got[i].execution.stats.pairs, expected[i].execution.stats.pairs);
+    EXPECT_EQ(DenseMatrix::max_abs_diff(got[i].execution.output.to_dense(),
+                                        expected[i].execution.output.to_dense()),
+              0.0f);
+  }
+}
+
+TEST(ServiceTest, CacheCountsHitsAcrossContentIdenticalRequests) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.cache_capacity = 8;
+  InferenceService service(opts);
+
+  // Three unique contents, each materialized independently three times:
+  // content hashing must collapse them to three compilations.
+  std::vector<ServiceRequest> requests;
+  for (int repeat = 0; repeat < 3; ++repeat)
+    for (std::uint64_t seed : {21, 22, 23})
+      requests.push_back(make_request(seed, GnnModelKind::kGcn));
+  service.run_batch(requests);
+
+  CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.hits, 6);
+  EXPECT_EQ(stats.entries, 3);
+  EXPECT_EQ(stats.evictions, 0);
+
+  // A second batch of the same contents is all hits.
+  std::vector<ServiceRequest> again;
+  for (std::uint64_t seed : {21, 22, 23})
+    again.push_back(make_request(seed, GnnModelKind::kGcn));
+  service.run_batch(again);
+  stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.hits, 9);
+}
+
+TEST(ServiceTest, InFlightCompilationsDeduplicate) {
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.cache_capacity = 8;
+  InferenceService service(opts);
+
+  // Four identical requests hit a cold cache at once: exactly one compile.
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 4; ++i) requests.push_back(make_request(31, GnnModelKind::kSage));
+  std::vector<InferenceReport> reports = service.run_batch(requests);
+
+  CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 3);
+  for (const InferenceReport& rep : reports)
+    EXPECT_EQ(rep.deterministic_fingerprint(), reports[0].deterministic_fingerprint());
+}
+
+TEST(ServiceTest, LruEvictsLeastRecentlyUsed) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.cache_capacity = 2;
+  InferenceService service(opts);
+
+  auto run_seed = [&](std::uint64_t seed) {
+    std::vector<ServiceRequest> one;
+    one.push_back(make_request(seed, GnnModelKind::kGcn));
+    service.run_batch(std::move(one));
+  };
+  run_seed(41);  // cache: {41}
+  run_seed(42);  // cache: {41, 42}
+  run_seed(43);  // evicts 41 -> {42, 43}
+  CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2);
+
+  run_seed(41);  // miss again: 41 was evicted
+  EXPECT_EQ(service.cache_stats().misses, 4);
+  run_seed(43);  // still resident: hit
+  EXPECT_EQ(service.cache_stats().hits, 1);
+}
+
+TEST(ServiceTest, ConcurrentSubmittersAreRaceFree) {
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.cache_capacity = 4;
+  InferenceService service(opts);
+
+  // Expected fingerprints for the two request contents.
+  ServiceRequest a = make_request(51, GnnModelKind::kGcn);
+  ServiceRequest b = make_request(52, GnnModelKind::kGin);
+  const std::uint64_t fp_a = sequential_reference(a).deterministic_fingerprint();
+  const std::uint64_t fp_b = sequential_reference(b).deterministic_fingerprint();
+
+  constexpr int kSubmitters = 4, kPerThread = 4;
+  std::vector<std::thread> submitters;
+  std::vector<std::uint64_t> fingerprints(kSubmitters * kPerThread, 0);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        bool use_a = (t + i) % 2 == 0;
+        RequestId id = service.submit(use_a ? a : b);
+        while (!service.done(id)) std::this_thread::yield();
+        InferenceReport rep = service.wait(id);
+        fingerprints[static_cast<std::size_t>(t * kPerThread + i)] =
+            rep.deterministic_fingerprint();
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  for (int t = 0; t < kSubmitters; ++t)
+    for (int i = 0; i < kPerThread; ++i) {
+      bool use_a = (t + i) % 2 == 0;
+      EXPECT_EQ(fingerprints[static_cast<std::size_t>(t * kPerThread + i)],
+                use_a ? fp_a : fp_b)
+          << "submitter " << t << " request " << i;
+    }
+  // Two unique contents -> exactly two compilations, whatever the
+  // interleaving.
+  EXPECT_EQ(service.cache_stats().misses, 2);
+}
+
+TEST(ServiceTest, FailedRequestPropagatesAndServiceKeepsServing) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  InferenceService service(opts);
+
+  // Model whose in_dim disagrees with the dataset: compile() throws.
+  Dataset ds = small_dataset(61);
+  Rng rng(62);
+  GnnModel bad = build_model(GnnModelKind::kGcn, ds.spec.feature_dim + 1,
+                             ds.spec.hidden_dim, ds.spec.num_classes, rng);
+  RequestId bad_id = service.submit(ServiceRequest::own(std::move(bad), ds));
+  EXPECT_THROW(service.wait(bad_id), std::invalid_argument);
+
+  // The failure is isolated: the next request succeeds.
+  RequestId good_id = service.submit(make_request(61, GnnModelKind::kGcn));
+  EXPECT_NO_THROW(service.wait(good_id));
+
+  // run_batch surfaces the failure after completing the good requests.
+  std::vector<ServiceRequest> mixed;
+  mixed.push_back(make_request(63, GnnModelKind::kGcn));
+  Rng rng2(64);
+  GnnModel bad2 = build_model(GnnModelKind::kGcn, ds.spec.feature_dim + 2,
+                              ds.spec.hidden_dim, ds.spec.num_classes, rng2);
+  mixed.push_back(ServiceRequest::own(std::move(bad2), small_dataset(61)));
+  EXPECT_THROW(service.run_batch(std::move(mixed)), std::invalid_argument);
+}
+
+TEST(ServiceTest, RequestLifecycleAndValidation) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  InferenceService service(opts);
+
+  EXPECT_THROW(service.submit(ServiceRequest{}), std::invalid_argument);
+  EXPECT_THROW(service.state(999), std::invalid_argument);
+
+  RequestId id = service.submit(make_request(71, GnnModelKind::kSgc));
+  (void)service.wait(id);
+  // A consumed id is unknown afterwards.
+  EXPECT_THROW(service.state(id), std::invalid_argument);
+  EXPECT_THROW(service.wait(id), std::invalid_argument);
+}
+
+TEST(ServiceTest, RunInferenceRoutesThroughProcessCache) {
+  Dataset ds = small_dataset(81);
+  Rng rng(82);
+  GnnModel model = build_model(GnnModelKind::kGcn, ds.spec.feature_dim,
+                               ds.spec.hidden_dim, ds.spec.num_classes, rng);
+  CacheStats before = InferenceService::process_default().cache_stats();
+  InferenceReport first = run_inference(model, ds, {});
+  InferenceReport second = run_inference(model, ds, {});
+  CacheStats after = InferenceService::process_default().cache_stats();
+
+  EXPECT_EQ(first.deterministic_fingerprint(), second.deterministic_fingerprint());
+  if (InferenceService::process_default().cache().capacity() > 0) {
+    EXPECT_EQ(after.misses - before.misses, 1);
+    EXPECT_GE(after.hits - before.hits, 1);
+  }
+}
+
+TEST(ServiceTest, SignatureSensitivity) {
+  ServiceRequest base = make_request(91, GnnModelKind::kGcn);
+  CompileKey key = make_compile_key(*base.model, *base.dataset,
+                                    base.options.config);
+
+  // Same content rebuilt from scratch: identical key.
+  ServiceRequest rebuilt = make_request(91, GnnModelKind::kGcn);
+  EXPECT_EQ(key, make_compile_key(*rebuilt.model, *rebuilt.dataset,
+                                  rebuilt.options.config));
+
+  // One weight bit changes the model signature.
+  GnnModel tweaked = *base.model;
+  tweaked.weights[0].at(0, 0) += 1.0f;
+  EXPECT_NE(key.model, model_signature(tweaked));
+
+  // One feature nonzero changes the dataset signature.
+  Dataset ds2 = *base.dataset;
+  ds2.features.entries()[0].value += 1.0f;
+  EXPECT_NE(key.dataset, dataset_signature(ds2));
+
+  // Any config field change changes the config signature.
+  SimConfig cfg = base.options.config;
+  cfg.psys *= 2;
+  EXPECT_NE(key.config, config_signature(cfg));
+}
+
+TEST(ServiceTest, RequestStreamRoundTrip) {
+  std::string text =
+      "# serving workload\n"
+      "dataset=CI model=gcn seed=5\n"
+      "dataset=CO model=sage prune=0.5 repeat=3  # popular\n"
+      "\n"
+      "dataset=PU model=sgc strategy=static2 hidden=32 scale=2\n";
+  std::istringstream in(text);
+  std::vector<StreamRequestSpec> specs = parse_request_stream(in);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[1].repeat, 3);
+  EXPECT_EQ(specs[2].strategy, MappingStrategy::kStatic2);
+  EXPECT_EQ(expand_stream(specs).size(), 5u);
+
+  // to_line -> parse is a fixpoint.
+  std::ostringstream out;
+  for (const StreamRequestSpec& s : specs) out << s.to_line() << "\n";
+  std::istringstream in2(out.str());
+  std::vector<StreamRequestSpec> reparsed = parse_request_stream(in2);
+  ASSERT_EQ(reparsed.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(reparsed[i].to_line(), specs[i].to_line());
+
+  std::istringstream bad("dataset=CI model=nope\n");
+  EXPECT_THROW(parse_request_stream(bad), std::runtime_error);
+  // Numeric values must be fully consumed ("4x2" is not scale 4).
+  std::istringstream bad_num("dataset=CI scale=4x2\n");
+  EXPECT_THROW(parse_request_stream(bad_num), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dynasparse

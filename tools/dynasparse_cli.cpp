@@ -29,6 +29,7 @@
 #include "io/graph_io.hpp"
 #include "io/report_io.hpp"
 #include "io/trace_io.hpp"
+#include "service/request_stream.hpp"
 
 using namespace dynasparse;
 
@@ -40,18 +41,19 @@ namespace {
 }
 
 GnnModelKind parse_model(const std::string& s) {
-  if (s == "gcn") return GnnModelKind::kGcn;
-  if (s == "sage") return GnnModelKind::kSage;
-  if (s == "gin") return GnnModelKind::kGin;
-  if (s == "sgc") return GnnModelKind::kSgc;
-  usage("unknown --model");
+  try {
+    return parse_model_kind(s);
+  } catch (const std::runtime_error&) {
+    usage("unknown --model");
+  }
 }
 
 MappingStrategy parse_strategy(const std::string& s) {
-  if (s == "dynamic") return MappingStrategy::kDynamic;
-  if (s == "static1") return MappingStrategy::kStatic1;
-  if (s == "static2") return MappingStrategy::kStatic2;
-  usage("unknown --strategy");
+  try {
+    return parse_strategy_name(s);
+  } catch (const std::runtime_error&) {
+    usage("unknown --strategy");
+  }
 }
 
 }  // namespace
