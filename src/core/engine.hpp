@@ -23,6 +23,10 @@ namespace dynasparse {
 
 struct EngineOptions {
   SimConfig config = u250_config();
+  /// runtime.host_threads doubles as the per-request intra-op parallelism
+  /// knob: it bounds how many work-stealing pool threads this request's
+  /// execution may fan out on (the service additionally clamps it by
+  /// ServiceOptions::intra_op_threads). 0 = share the pool freely.
   RuntimeOptions runtime;
 };
 

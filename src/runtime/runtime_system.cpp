@@ -119,8 +119,10 @@ ExecutionResult execute(const CompiledProgram& prog, const RuntimeOptions& opt) 
 
     PartitionedMatrix out(ir.num_vertices, ir.spec.out_dim, prog.plan.n1, prog.plan.n2);
 
-    // ---- Functional execution (host thread pool; each task owns its
-    // output tile, so parallel writes never alias). -----------------------
+    // ---- Functional execution (work-stealing host pool; each task owns
+    // its output tile, so parallel writes never alias, and the chunks of
+    // this one loop fan out across every idle worker — concurrent
+    // requests share the same pool without serializing). ------------------
     if (opt.functional) {
       parallel_for(
           static_cast<std::int64_t>(tasks.size()),

@@ -46,7 +46,12 @@ struct RuntimeOptions {
   /// Overlap the Analyzer's K2P mapping for kernel l+1 with kernel l's
   /// execution (paper Section VI-B). false = ablation: fully exposed.
   bool hide_runtime = true;
-  /// Host threads for the functional math (0 = hardware concurrency).
+  /// Max host threads for the functional math and per-task pricing
+  /// (0 = the work-stealing pool's default: all hardware threads, or
+  /// DYNASPARSE_FORCE_THREADS). This is the per-request intra-op knob:
+  /// the inference service combines it with ServiceOptions::
+  /// intra_op_threads (tighter bound wins) before executing a request.
+  /// Results are thread-count-invariant; only wall-clock changes.
   int host_threads = 0;
   /// Price every pair with the detailed dataflow models (systolic
   /// fill/drain, ISN bank conflicts, SCP imbalance; sim/acm_functional)

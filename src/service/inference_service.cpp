@@ -1,8 +1,8 @@
 #include "service/inference_service.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
-#include <optional>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
@@ -27,6 +27,26 @@ ServiceOptions default_engine_options() {
   return opts;
 }
 
+/// Reject nonsense, resolve defaults: options().workers always reports
+/// the count the service will actually run — the old silent
+/// min(hardware, 16) cap is now visible to callers.
+ServiceOptions validate_and_resolve(ServiceOptions o) {
+  if (o.workers < 0)
+    throw std::invalid_argument("ServiceOptions::workers must be >= 0");
+  if (o.intra_op_threads < 0)
+    throw std::invalid_argument("ServiceOptions::intra_op_threads must be >= 0");
+  if (o.workers == 0) o.workers = std::min(parallel_hardware_threads(), 16);
+  o.workers = std::max(o.workers, 1);
+  return o;
+}
+
+/// Tighter of two caps where 0 means "uncapped".
+int combine_caps(int a, int b) {
+  if (a <= 0) return b;
+  if (b <= 0) return a;
+  return std::min(a, b);
+}
+
 }  // namespace
 
 ServiceRequest ServiceRequest::own(GnnModel model, Dataset dataset,
@@ -48,15 +68,68 @@ ServiceRequest ServiceRequest::borrow(const GnnModel& model, const Dataset& data
 }
 
 InferenceService::InferenceService(ServiceOptions options)
-    : options_(options), cache_(options.cache_capacity) {}
+    : options_(validate_and_resolve(options)), cache_(options_.cache_capacity) {
+  // Requests executed (or joined) by this service's destructor use the
+  // shared pool; constructing the pool first pins its static lifetime
+  // beyond this object's.
+  parallel_ensure_pool();
+}
 
-InferenceService::~InferenceService() {
+InferenceService::~InferenceService() { shutdown(); }
+
+void InferenceService::shutdown() {
+  // Phase 1: stop accepting. A submit() past this point throws and leaves
+  // no slot behind, so every slot in the map belongs to a request that is
+  // queued (still poppable — close() keeps queued items drainable) or
+  // already running.
+  {
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    accepting_ = false;
+  }
   queue_.close();
-  std::lock_guard<std::mutex> lk(workers_mu_);
-  for (std::thread& t : workers_) t.join();
+  // Phase 2: drain. Workers pop every remaining item before exiting, and
+  // each popped job always reaches kDone/kFailed.
+  {
+    std::lock_guard<std::mutex> lk(workers_mu_);
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+  // Phase 3: no waiter outlives the service. After the join every slot
+  // must be terminal (that is the invariant the phases above establish);
+  // if one ever is not, fail it rather than strand its waiter, then hold
+  // the destructor until every in-flight wait() has consumed its slot.
+  {
+    std::unique_lock<std::mutex> lk(slots_mu_);
+    for (auto& [id, slot] : slots_) {
+      (void)id;
+      assert(slot.state != RequestState::kRunning &&
+             "worker exited mid-request");
+      if (slot.state == RequestState::kQueued ||
+          slot.state == RequestState::kRunning) {
+        slot.state = RequestState::kFailed;
+        slot.error = std::make_exception_ptr(std::runtime_error(
+            "InferenceService destroyed before the request ran"));
+        slot.finished = std::chrono::steady_clock::now();
+        // Never picked up by a worker: pin started so a wait(id, &timing)
+        // on this failed slot reports queue_ms = the full lifetime and
+        // exec_ms = 0 instead of deltas against an epoch timestamp.
+        slot.started = slot.finished;
+      }
+    }
+    slots_cv_.notify_all();
+    slots_cv_.wait(lk, [&] { return waiters_ == 0 && inflight_submits_ == 0; });
+  }
 }
 
 InferenceReport InferenceService::execute_request(const ServiceRequest& request) {
+  // Per-request intra-op budget: the service-wide knob and the request's
+  // own host_threads compose (tighter wins; 0 = uncapped). The scope
+  // covers compilation too — the partition planner's parallel loops take
+  // no thread argument — and clamps the runtime hot loops without turning
+  // the cap into an explicit thread request (which would oversubscribe
+  // the pool whenever the cap exceeds the hardware width).
+  ParallelMaxThreadsScope budget(
+      combine_caps(options_.intra_op_threads, request.options.runtime.host_threads));
   std::shared_ptr<const CompiledProgram> prog = cache_.get_or_compile(
       *request.model, *request.dataset, request.options.config);
   InferenceReport rep = run_compiled(*prog, request.options.runtime);
@@ -65,12 +138,12 @@ InferenceReport InferenceService::execute_request(const ServiceRequest& request)
 }
 
 void InferenceService::ensure_workers() {
-  int wanted = options_.workers > 0
-                   ? options_.workers
-                   : std::min(parallel_hardware_threads(), 16);
-  wanted = std::max(wanted, 1);
   std::lock_guard<std::mutex> lk(workers_mu_);
-  while (static_cast<int>(workers_.size()) < wanted)
+  {
+    std::lock_guard<std::mutex> slk(slots_mu_);
+    if (!accepting_) return;  // submit() will throw at slot creation
+  }
+  while (static_cast<int>(workers_.size()) < options_.workers)
     workers_.emplace_back([this] { worker_main(); });
 }
 
@@ -86,8 +159,6 @@ void InferenceService::worker_main() {
     InferenceReport report;
     std::exception_ptr error;
     try {
-      std::optional<ParallelInlineScope> inline_scope;
-      if (options_.inline_intra_op) inline_scope.emplace();
       report = execute_request(job.request);
     } catch (...) {
       error = std::current_exception();
@@ -111,20 +182,34 @@ void InferenceService::worker_main() {
 RequestId InferenceService::submit(ServiceRequest request) {
   if (!request.model || !request.dataset)
     throw std::invalid_argument("ServiceRequest needs a model and a dataset");
-  ensure_workers();
   RequestId id;
   {
     std::lock_guard<std::mutex> lk(slots_mu_);
+    if (!accepting_)
+      throw std::runtime_error("InferenceService is shutting down");
     id = next_id_++;
     Slot& slot = slots_[id];
     slot.state = RequestState::kQueued;
     slot.submitted = std::chrono::steady_clock::now();
+    // From here until the push resolves, shutdown() must not complete:
+    // it drains inflight_submits_ to zero in its final phase, so the
+    // queue/mutexes this call still touches outlive it.
+    ++inflight_submits_;
   }
-  if (!queue_.push(Job{id, std::move(request)})) {
+  ensure_workers();
+  // The queue can still close between slot creation and this push
+  // (shutdown closes it right after flipping accepting_). push() then
+  // refuses the item; erase the slot and report shutdown instead of
+  // returning an id whose request will never run — the bug this guards
+  // against left the slot kQueued forever and deadlocked wait().
+  const bool pushed = queue_.push(Job{id, std::move(request)});
+  {
     std::lock_guard<std::mutex> lk(slots_mu_);
-    slots_.erase(id);
-    throw std::runtime_error("InferenceService is shutting down");
+    --inflight_submits_;
+    if (!pushed) slots_.erase(id);
   }
+  slots_cv_.notify_all();  // shutdown may be waiting on the inflight drain
+  if (!pushed) throw std::runtime_error("InferenceService is shutting down");
   return id;
 }
 
@@ -144,6 +229,7 @@ InferenceReport InferenceService::wait(RequestId id, RequestTiming* timing) {
   std::unique_lock<std::mutex> lk(slots_mu_);
   if (slots_.find(id) == slots_.end())
     throw std::invalid_argument("unknown request id");
+  ++waiters_;
   // Re-find inside the predicate: concurrent submits may rehash the map
   // while this thread sleeps, invalidating any held iterator.
   slots_cv_.wait(lk, [&] {
@@ -152,11 +238,17 @@ InferenceReport InferenceService::wait(RequestId id, RequestTiming* timing) {
     RequestState s = it->second.state;
     return s == RequestState::kDone || s == RequestState::kFailed;
   });
+  --waiters_;
   auto it = slots_.find(id);
-  if (it == slots_.end())
+  if (it == slots_.end()) {
+    // The destructor may be blocked on waiters_ == 0.
+    slots_cv_.notify_all();
+    lk.unlock();
     throw std::invalid_argument("request id already consumed by another waiter");
+  }
   Slot slot = std::move(it->second);
   slots_.erase(it);
+  slots_cv_.notify_all();
   lk.unlock();
   if (timing) {
     timing->queue_ms = ms_between(slot.submitted, slot.started);

@@ -19,14 +19,32 @@
 //              this is what core/engine.hpp's run_inference routes through
 //
 // Concurrency model: `workers` dedicated threads consume a queue
-// (util/blocking_queue.hpp). Each worker runs its request under
-// ParallelInlineScope, so intra-request parallel_for chunks execute
-// serially on that worker and the PR-1 persistent pool's job slot is
-// never a cross-request bottleneck; throughput comes from inter-request
-// concurrency. Reports are bit-identical to sequential run_inference for
-// the deterministic fields (everything except the wall-clock CompileStats,
-// which a cache hit reuses from the original compile) because every
-// parallel primitive is thread-count-invariant by construction.
+// (util/blocking_queue.hpp), and each request's internal parallel loops
+// fan out on the shared work-stealing pool (util/parallel.hpp). The pool
+// runs any number of jobs concurrently, so inter-request and intra-request
+// parallelism compose: a lone big request spreads across every idle core
+// while small requests overlap on the same worker set, instead of each
+// request being pinned to one thread. ServiceOptions::intra_op_threads
+// bounds one request's fan-out: execute_request installs a
+// ParallelMaxThreadsScope (combining it with the request's own
+// RuntimeOptions::host_threads, tighter bound wins) that covers compile +
+// execute, clamping what every parallel call under it — including
+// runtime_system.cpp's hot loops — resolves its thread count to; 1
+// restores the serial-per-worker behavior this service shipped with. Reports are bit-identical to
+// sequential run_inference for the deterministic fields (everything except
+// the wall-clock CompileStats, which a cache hit reuses from the original
+// compile) because every parallel primitive is thread-count-invariant by
+// construction.
+//
+// Shutdown contract: shutdown() (also run by the destructor) stops
+// accepting submits (a racing submit() throws std::runtime_error and
+// leaves no slot behind), drains the queue, joins the workers, fails any
+// slot that never reached a terminal state, wakes every waiter, and then
+// blocks until every in-flight wait() and submit() has finished — no
+// caller is left inside the object once shutdown() returns. Racing
+// submit()/wait() against shutdown() is therefore fully safe; racing
+// them against the *destructor* additionally requires the usual C++
+// lifetime rule that no call starts after destruction has begun.
 
 #include <chrono>
 #include <condition_variable>
@@ -70,30 +88,54 @@ struct RequestTiming {
 };
 
 struct ServiceOptions {
-  /// Worker threads for submitted requests. 0 = hardware concurrency
-  /// (capped at 16). Workers spawn lazily on first submit; run_one never
-  /// spawns any.
+  /// Worker threads for submitted requests. 0 = auto: hardware
+  /// concurrency capped at 16 (beyond that, intra-op parallelism is the
+  /// better use of cores). Explicit positive values are honored as given;
+  /// negative values are rejected (std::invalid_argument). The
+  /// constructor resolves this field, so options().workers always reports
+  /// the effective count — there is no hidden cap. Workers spawn lazily
+  /// on first submit; run_one never spawns any.
   int workers = 0;
   /// CompilationCache capacity (programs). 0 disables caching.
   std::size_t cache_capacity = 16;
-  /// Run each request's internal parallel loops inline on its worker
-  /// (recommended; see header comment). false lets requests fan out on
-  /// the shared pool — they then serialize on its job slot.
-  bool inline_intra_op = true;
+  /// Per-request intra-op parallelism cap: the most pool threads one
+  /// request's compile + execute may fan out on, *in total* (nested
+  /// parallel calls inside a capped request run inline rather than
+  /// multiplying the budget; see ParallelMaxThreadsScope). 0 = uncapped
+  /// (share the pool; a lone big request uses every idle core), 1 =
+  /// fully serial on its worker (the pre-work-stealing behavior), N = at
+  /// most N threads. Negative values are rejected. A request's own
+  /// EngineOptions::runtime.host_threads composes with this: the tighter
+  /// of the two bounds wins.
+  int intra_op_threads = 0;
 };
 
 class InferenceService {
  public:
+  /// Validates and resolves `options` (see ServiceOptions field docs);
+  /// throws std::invalid_argument on negative workers/intra_op_threads.
   explicit InferenceService(ServiceOptions options = {});
-  /// Blocks until every submitted request has completed (the queue drains
-  /// before workers exit), then joins the workers.
+  /// Equivalent to shutdown(): blocks until every submitted request has
+  /// completed and every in-flight wait() has returned, then joins the
+  /// workers. Concurrent submit() calls fail cleanly instead of enqueueing
+  /// work that would never run.
   ~InferenceService();
+
+  /// Graceful drain: stop accepting submits (racing ones throw
+  /// std::runtime_error), let workers finish everything already queued,
+  /// join them, fail any slot that never reached a terminal state, wake
+  /// all waiters, and hold until each in-flight wait() has consumed its
+  /// slot. Idempotent and safe to call concurrently with submit()/wait();
+  /// after it returns the service only serves run_one().
+  void shutdown();
 
   InferenceService(const InferenceService&) = delete;
   InferenceService& operator=(const InferenceService&) = delete;
 
   /// Enqueue a request; returns immediately. Throws std::invalid_argument
-  /// on a null model/dataset.
+  /// on a null model/dataset, std::runtime_error if the service is
+  /// shutting down (the request is not enqueued and no slot leaks — a
+  /// returned id is always eventually resolved by wait()).
   RequestId submit(ServiceRequest request);
 
   /// Poll. Throws std::invalid_argument for an unknown (or already
@@ -118,6 +160,7 @@ class InferenceService {
 
   CompilationCache& cache() { return cache_; }
   CacheStats cache_stats() const { return cache_.stats(); }
+  /// Resolved options: workers is the effective worker count (never 0).
   const ServiceOptions& options() const { return options_; }
 
   /// Process-wide service backing core/engine.hpp's run_inference. Its
@@ -150,6 +193,10 @@ class InferenceService {
   std::condition_variable slots_cv_;
   std::unordered_map<RequestId, Slot> slots_;
   RequestId next_id_ = 1;
+  int waiters_ = 0;          // threads inside wait(); shutdown drains to 0
+  int inflight_submits_ = 0; // submits past the accepting_ check but not
+                             // yet resolved; shutdown drains to 0
+  bool accepting_ = true;    // cleared first thing in shutdown()
 
   std::mutex workers_mu_;
   std::vector<std::thread> workers_;

@@ -1,17 +1,38 @@
 #pragma once
 // Host-side parallel primitives backed by a lazily-initialized persistent
-// thread pool. Used by the simulator's functional path and the compiler's
-// data partitioning; simulated timing never depends on how many host
-// threads run (determinism is by construction: each parallel work item
-// owns its output slot exclusively, and reductions combine per-chunk
-// partials in chunk order, which depends only on n and the grain — never
-// on the thread count or scheduling).
+// work-stealing thread pool. Used by the simulator's functional path and
+// the compiler's data partitioning; simulated timing never depends on how
+// many host threads run (determinism is by construction: each parallel
+// work item owns its output slot exclusively, and reductions combine
+// per-chunk partials in chunk order, which depends only on n and the
+// grain — never on the thread count or scheduling).
 //
-// The pool is created on first use and its workers persist for the life of
-// the process, so a kernel invocation costs one condition-variable
-// broadcast instead of nthreads thread spawns. Work is claimed in
-// grain-sized chunks off an atomic cursor (task costs vary wildly with
-// tile density, so dynamic claiming beats static splitting).
+// Concurrency model (multi-job, work-stealing):
+//   - Every parallel_for / parallel_for_range / parallel_reduce call is a
+//     *job*: its index range is cut into grain-sized chunks (resolve_grain,
+//     a pure function of (n, grain)), and chunk-range tasks are split
+//     recursively onto per-worker deques. Owners pop LIFO (cache-warm,
+//     ascending chunk order); idle workers steal FIFO (the biggest,
+//     oldest ranges), so one large job fans out across every idle worker.
+//   - Any number of jobs run concurrently: top-level calls from different
+//     threads share the worker set instead of serializing on a single job
+//     slot, so many small jobs overlap and none blocks behind a big one.
+//   - Nested calls are jobs too: a parallel_for issued from inside pool
+//     work pushes stealable tasks like any other job (no forced inline
+//     execution), and the issuing thread helps run them until the nested
+//     job completes. Idle workers steal nested work exactly like
+//     top-level work.
+//   - A job's `threads` argument caps how many threads may execute its
+//     chunks concurrently (executor slots); the submitting thread always
+//     participates and counts toward the cap.
+// Workers spawn lazily up to the largest concurrency any call has
+// requested and then park between jobs, so steady-state dispatch is a
+// few deque pushes plus one wake, not thread spawns.
+//
+// Chunk *placement* is dynamic (stealing load-balances tasks whose cost
+// varies wildly with tile density), but chunk *boundaries* and reduction
+// order are (n, grain)-pure, so results are bit-identical whatever the
+// thread count or steal schedule.
 
 #include <cstdint>
 #include <functional>
@@ -19,11 +40,12 @@
 
 namespace dynasparse {
 
-/// Run fn(0..n-1) across up to `threads` host threads (0 = all hardware
-/// threads). Work is claimed dynamically in chunks of `grain` indices
-/// (0 = automatic). Exceptions propagate: the exception from the
-/// lowest-indexed failing chunk is rethrown, and once a failure is
-/// recorded no further work items start.
+/// Run fn(0..n-1) across up to `threads` host threads (0 = pool default:
+/// all hardware threads, or DYNASPARSE_FORCE_THREADS when set). Work is
+/// claimed dynamically in chunks of `grain` indices (0 = automatic).
+/// Exceptions propagate: the exception from the lowest-indexed failing
+/// chunk is rethrown, and once a failure is recorded no further work
+/// items start.
 void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn,
                   int threads = 0, std::int64_t grain = 0);
 
@@ -63,29 +85,72 @@ T parallel_reduce(std::int64_t n, T identity, MapFn&& map, CombineFn&& combine,
 }
 
 /// Number of workers the pool would use for threads=0 (informational).
+/// Honors the DYNASPARSE_FORCE_THREADS environment variable (read once at
+/// first use), which overrides the hardware count so CI can exercise real
+/// multi-thread pool behavior on 1-vCPU runners.
 int parallel_hardware_threads();
+
+/// Construct the pool's process-lifetime state now (workers still spawn
+/// lazily). Long-lived objects whose destructors may run parallel work —
+/// the inference service joins request workers in its destructor — call
+/// this in their constructor so the pool outlives them under static
+/// destruction ordering.
+void parallel_ensure_pool();
+
+/// Cumulative pool counters since process start (informational; used by
+/// bench/pool_scaling to demonstrate multi-thread participation and by
+/// tests). Counter updates are relaxed atomics: totals are exact once the
+/// jobs being measured have completed.
+struct PoolStats {
+  std::int64_t jobs = 0;            // pool-dispatched jobs (serial calls excluded)
+  std::int64_t chunks = 0;          // chunks executed through the pool
+  std::int64_t chunks_stolen = 0;   // cumulative size (in chunks) of task
+                                    // ranges taken from another thread's
+                                    // deque; a re-stolen range counts again
+
+  int threads = 0;                  // worker threads spawned so far
+};
+PoolStats parallel_pool_stats();
+
+/// RAII guard: while alive on the current thread, parallel primitives
+/// issued from this thread cap their effective concurrency at `max_threads`
+/// (both the threads=0 default and explicit larger requests are clamped;
+/// 1 means fully inline/serial on this thread; 0 or less = uncapped, the
+/// scope is a no-op — matching the 0-means-default convention of every
+/// other knob here). Scopes nest; the tightest enclosing cap wins. Results are unaffected — chunk boundaries and
+/// reduction order depend only on (n, grain), never on where chunks run.
+///
+/// The cap bounds the scope's *concurrent* fan-out as a whole, not each
+/// job separately: chunks of a capped job run their nested parallel
+/// calls inline (the capped job itself may already occupy max_threads
+/// executors), so nesting cannot compound the budget. (Executor slots
+/// are claimed per chunk, so the set of distinct threads that touch the
+/// work over its lifetime may be larger; at most max_threads run at any
+/// instant.)
+///
+/// This is how the inference service bounds a request's intra-op fan-out
+/// (ServiceOptions::intra_op_threads): the scope covers compilation and
+/// execution alike without threading a parameter through every call.
+class ParallelMaxThreadsScope {
+ public:
+  explicit ParallelMaxThreadsScope(int max_threads);
+  ~ParallelMaxThreadsScope();
+  ParallelMaxThreadsScope(const ParallelMaxThreadsScope&) = delete;
+  ParallelMaxThreadsScope& operator=(const ParallelMaxThreadsScope&) = delete;
+
+ private:
+  int prev_;
+};
 
 /// RAII guard: while alive on the current thread, parallel_for /
 /// parallel_for_range / parallel_reduce run their chunks inline (serially
-/// on this thread) instead of dispatching to the shared pool — the same
-/// behavior nested parallel calls already get inside pool work.
-///
-/// This is how the inference service runs many requests concurrently on
-/// its own workers without those requests contending for the pool's single
-/// job slot: each request executes single-threaded, and concurrency comes
-/// from running requests side by side (inter-request beats intra-request
-/// parallelism once there is more than one request in flight). Results are
-/// unaffected — chunk boundaries and reduction order depend only on
-/// (n, grain), never on where the chunks run.
-class ParallelInlineScope {
+/// on this thread) instead of dispatching to the shared pool. Equivalent
+/// to ParallelMaxThreadsScope(1); kept as its own name because "run this
+/// serially" is a common intent (tests, single-threaded baselines,
+/// ServiceOptions::intra_op_threads == 1).
+class ParallelInlineScope : public ParallelMaxThreadsScope {
  public:
-  ParallelInlineScope();
-  ~ParallelInlineScope();
-  ParallelInlineScope(const ParallelInlineScope&) = delete;
-  ParallelInlineScope& operator=(const ParallelInlineScope&) = delete;
-
- private:
-  bool prev_;
+  ParallelInlineScope() : ParallelMaxThreadsScope(1) {}
 };
 
 }  // namespace dynasparse

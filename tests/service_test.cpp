@@ -6,12 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <sstream>
 #include <thread>
 
 #include "core/engine.hpp"
 #include "service/inference_service.hpp"
 #include "service/request_stream.hpp"
+#include "util/parallel.hpp"
 
 namespace dynasparse {
 namespace {
@@ -279,6 +283,95 @@ TEST(ServiceTest, SignatureSensitivity) {
   SimConfig cfg = base.options.config;
   cfg.psys *= 2;
   EXPECT_NE(key.config, config_signature(cfg));
+}
+
+TEST(ServiceTest, OptionsValidatedAndEffectiveWorkersSurfaced) {
+  ServiceOptions bad;
+  bad.workers = -1;
+  EXPECT_THROW(InferenceService{bad}, std::invalid_argument);
+  bad.workers = 0;
+  bad.intra_op_threads = -3;
+  EXPECT_THROW(InferenceService{bad}, std::invalid_argument);
+
+  // workers = 0 resolves to a visible effective count instead of a
+  // hidden cap applied at spawn time.
+  InferenceService auto_sized{ServiceOptions{}};
+  EXPECT_GE(auto_sized.options().workers, 1);
+  EXPECT_EQ(auto_sized.options().workers,
+            std::min(parallel_hardware_threads(), 16));
+
+  ServiceOptions explicit_opts;
+  explicit_opts.workers = 5;
+  explicit_opts.intra_op_threads = 2;
+  InferenceService sized(explicit_opts);
+  EXPECT_EQ(sized.options().workers, 5);
+  EXPECT_EQ(sized.options().intra_op_threads, 2);
+}
+
+TEST(ServiceTest, IntraOpParallelismIsBitIdenticalToSerial) {
+  // The same request executed serially per worker (intra_op_threads = 1,
+  // the pre-work-stealing behavior) and fanned out on the shared pool
+  // must produce identical reports: every parallel primitive is
+  // thread-count-invariant.
+  ServiceRequest req = make_request(95, GnnModelKind::kGcn);
+  const std::uint64_t expected = sequential_reference(req).deterministic_fingerprint();
+  for (int intra : {1, 0, 3}) {
+    ServiceOptions opts;
+    opts.workers = 2;
+    opts.intra_op_threads = intra;
+    InferenceService service(opts);
+    RequestId id = service.submit(req);
+    EXPECT_EQ(service.wait(id).deterministic_fingerprint(), expected)
+        << "intra_op_threads=" << intra;
+  }
+}
+
+// Regression for the shutdown race: submit() used to be able to return a
+// valid RequestId after shutdown had closed the queue — the job was
+// silently dropped (BlockingQueue::push returns false once closed), the
+// slot stayed kQueued forever, and wait(id) deadlocked. Now a racing
+// submit either throws std::runtime_error or returns an id that wait()
+// always resolves; this test hangs (and trips the ctest timeout) if the
+// bug comes back.
+TEST(ServiceTest, SubmitRacingShutdownNeverHangsAWaiter) {
+  for (int round = 0; round < 12; ++round) {
+    ServiceOptions opts;
+    opts.workers = 2;
+    opts.cache_capacity = 2;
+    InferenceService service(opts);
+
+    // Both submitters share one cheap request content (compiles once).
+    ServiceRequest req = make_request(97, GnnModelKind::kSgc);
+    std::atomic<int> resolved{0}, rejected{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 2; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          RequestId id;
+          try {
+            id = service.submit(req);
+          } catch (const std::runtime_error&) {
+            ++rejected;  // shutdown won the race before enqueue
+            return;
+          }
+          // A returned id must always resolve: either a report, or
+          // shutdown failing the slot — never a hang.
+          try {
+            (void)service.wait(id);
+          } catch (const std::runtime_error&) {
+          }
+          ++resolved;
+        }
+      });
+    }
+    // Let the submitters get going, then shut the service down under
+    // them (the object stays alive; the destructor's teardown runs
+    // concurrently with live submit/wait calls).
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 + round % 5));
+    service.shutdown();
+    for (std::thread& t : submitters) t.join();
+    EXPECT_GT(resolved.load() + rejected.load(), 0);
+  }
 }
 
 TEST(ServiceTest, RequestStreamRoundTrip) {

@@ -183,7 +183,9 @@ TEST(LoggingTest, LevelGate) {
   set_log_level(before);
 }
 
-// ---- parallel primitives (persistent pool) --------------------------------
+// ---- parallel primitives (work-stealing pool) -----------------------------
+// Pool-specific behavior (concurrent jobs, stealing, caps, shutdown) is
+// covered by tests/parallel_pool_test.cpp; these are the API contracts.
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   for (int threads : {1, 2, 8}) {
@@ -227,7 +229,9 @@ TEST(ParallelForTest, StopsStartingWorkAfterFailure) {
   EXPECT_LT(started.load(), (1 << 20) - 1);
 }
 
-TEST(ParallelForTest, NestedCallsRunInline) {
+TEST(ParallelForTest, NestedCallsAreExact) {
+  // Nested calls become stealable pool jobs (work-stealing pool, PR 3);
+  // every index must still run exactly once whatever thread executes it.
   std::atomic<int> total{0};
   parallel_for(
       8,

@@ -10,6 +10,9 @@
 //   --requests N      synthetic mixed workload of N requests (default 16;
 //                     ignored when --stream is given)
 //   --workers W       service worker threads (0 = hardware, default 0)
+//   --intra-op N      per-request intra-op thread cap: 0 = share the
+//                     work-stealing pool freely (default), 1 = serial per
+//                     worker, N = at most N pool threads per request
 //   --cache N         compilation-cache capacity in programs (default 16)
 //   --warm            pre-compile every unique request before timing
 //   --seed S          seed for the synthetic workload     (default 2023)
@@ -54,7 +57,7 @@ double percentile(const std::vector<double>& sorted_ms, double p) {
 
 int main(int argc, char** argv) {
   std::string stream_path, json_path;
-  int requests = 16, workers = 0;
+  int requests = 16, workers = 0, intra_op = 0;
   std::size_t cache_capacity = 16;
   std::uint64_t seed = 2023;
   bool warm = false, baseline = false;
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
       if (key == "--stream") stream_path = need_value();
       else if (key == "--requests") requests = std::stoi(need_value());
       else if (key == "--workers") workers = std::stoi(need_value());
+      else if (key == "--intra-op") intra_op = std::stoi(need_value());
       else if (key == "--cache") cache_capacity = static_cast<std::size_t>(std::stoul(need_value()));
       else if (key == "--seed") seed = std::stoull(need_value());
       else if (key == "--json") json_path = need_value();
@@ -102,7 +106,12 @@ int main(int argc, char** argv) {
   ServiceOptions opts;
   opts.workers = workers;
   opts.cache_capacity = cache_capacity;
+  opts.intra_op_threads = intra_op;
+  // Options are validated/resolved by the service; report the effective
+  // worker count (no hidden cap).
   InferenceService service(opts);
+  std::printf("service: %d workers, intra-op cap %d (0 = shared pool)\n",
+              service.options().workers, service.options().intra_op_threads);
 
   if (warm) {
     for (const ServiceRequest& req : pool)
@@ -159,7 +168,8 @@ int main(int argc, char** argv) {
     if (!f) usage("cannot write --json file");
     f << "{\n"
       << "  \"requests\": " << ids.size() << ",\n"
-      << "  \"workers\": " << workers << ",\n"
+      << "  \"workers\": " << service.options().workers << ",\n"
+      << "  \"intra_op_threads\": " << service.options().intra_op_threads << ",\n"
       << "  \"cache_capacity\": " << cache_capacity << ",\n"
       << "  \"wall_ms\": " << service_wall_ms << ",\n"
       << "  \"throughput_req_per_s\": " << throughput << ",\n"
