@@ -1,13 +1,25 @@
-// Service throughput bench (ISSUE 2 acceptance): replay a 16-request
-// mixed-dataset stream through the InferenceService with a warm
-// compilation cache and compare against the pre-service pattern — a
+// Service throughput bench: replay request streams through the
+// InferenceService and compare against the pre-service pattern — a
 // sequential loop that compiles and executes every request from scratch.
+// Scenarios:
+//   1. 16-request mixed stream, warm compilation cache vs sequential
+//      uncached (ISSUE 2 acceptance: >=2x, bit-identical reports).
+//   2. Lone big request, serial-per-worker vs shared work-stealing pool
+//      (ISSUE 3).
+//   3. Repeat-heavy 32-request stream (75% repeats of 8 unique contents)
+//      with result memoization on vs off (ISSUE 4 acceptance: >=2x, every
+//      memoized report bit-identical to the cold-path report).
+//   4. Admission-control saturation: a 16-request burst against a
+//      2-worker service with queue depth 3 under each policy
+//      (block/reject/shed) — every submit must resolve (report or
+//      admission rejection), and accepted + refused must account for the
+//      whole burst.
 //
-// The stream is the synthetic serving mix of request_stream.hpp (GCN over
-// CI/CO/PU/FL plus GraphSAGE over CI/CO, cycled). Every service report is
-// checked bit-identical to its sequential counterpart via
+// The mixed stream is the synthetic serving mix of request_stream.hpp
+// (GCN over CI/CO/PU/FL plus GraphSAGE over CI/CO, cycled). Every service
+// report is checked bit-identical to its reference via
 // InferenceReport::deterministic_fingerprint(). Results land in
-// BENCH_pr2.json.
+// BENCH_pr2.json; the exit code asserts every scenario's acceptance.
 //
 //   service_throughput [--seed S] [--reps R] [--requests N] [--out PATH]
 
@@ -151,6 +163,137 @@ int main(int argc, char** argv) {
     if (!lone_identical) all_identical = false;
   }
 
+  // ---- Repeat-heavy memoization scenario (ISSUE 4): 32 requests over 8
+  // unique contents (75% repeats), round-robin order, compilation cache
+  // warm on both sides so the delta isolates result memoization. The
+  // memoized side executes each unique content once and answers the other
+  // 24 requests from the ResultCache; every memoized report must be
+  // bit-identical (deterministic_fingerprint) to the cold-path report.
+  double memo_off_best = -1.0, memo_on_best = -1.0;
+  bool memo_identical = true;
+  std::int64_t memo_hits = 0, memo_misses = 0;
+  std::size_t memo_requests = 0;
+  {
+    std::vector<StreamRequestSpec> uniq = synthetic_stream(8, seed + 1);
+    std::vector<ServiceRequest> uniq_pool;
+    for (const StreamRequestSpec& spec : uniq)
+      uniq_pool.push_back(materialize_request(spec));
+    std::vector<const ServiceRequest*> stream;
+    for (int round = 0; round < 4; ++round)
+      for (const ServiceRequest& req : uniq_pool) stream.push_back(&req);
+    memo_requests = stream.size();
+
+    struct MemoRun {
+      double wall_ms = 0.0;
+      std::vector<InferenceReport> reports;
+      ResultCacheStats rcs;
+    };
+    auto run_stream = [&](std::size_t memo_capacity) {
+      ServiceOptions opts;
+      opts.workers = 4;
+      opts.cache_capacity = uniq_pool.size();
+      opts.result_cache_capacity = memo_capacity;
+      InferenceService service(opts);
+      for (const ServiceRequest& req : uniq_pool)
+        service.cache().get_or_compile(*req.model, *req.dataset,
+                                       req.options.config);
+      MemoRun r;
+      Stopwatch sw;
+      std::vector<RequestId> ids;
+      for (const ServiceRequest* req : stream) ids.push_back(service.submit(*req));
+      for (RequestId id : ids) r.reports.push_back(service.wait(id));
+      r.wall_ms = sw.elapsed_ms();
+      r.rcs = service.result_cache_stats();
+      return r;
+    };
+
+    for (int rep = 0; rep < reps; ++rep) {
+      MemoRun off = run_stream(0);
+      MemoRun on = run_stream(stream.size());
+      for (std::size_t i = 0; i < stream.size(); ++i)
+        if (off.reports[i].deterministic_fingerprint() !=
+            on.reports[i].deterministic_fingerprint())
+          memo_identical = false;
+      if (memo_off_best < 0.0 || off.wall_ms < memo_off_best)
+        memo_off_best = off.wall_ms;
+      if (memo_on_best < 0.0 || on.wall_ms < memo_on_best)
+        memo_on_best = on.wall_ms;
+      if (rep == 0) {
+        memo_hits = on.rcs.hits;
+        memo_misses = on.rcs.misses;
+      }
+    }
+    // The synthetic roster can repeat contents within the 8 specs, so the
+    // true unique count is what the result cache missed on.
+    std::printf(
+        "repeat-heavy stream (%zu requests, %lld unique contents): memoize "
+        "off %.1f ms, on %.1f ms (%.2fx), result cache %lld hits / %lld "
+        "misses, bit-identical: %s\n",
+        memo_requests, static_cast<long long>(memo_misses), memo_off_best,
+        memo_on_best, memo_off_best / memo_on_best,
+        static_cast<long long>(memo_hits), static_cast<long long>(memo_misses),
+        memo_identical ? "yes" : "NO");
+  }
+  double memo_speedup = memo_off_best / memo_on_best;
+  bool memo_ok = memo_identical && memo_speedup >= 2.0 && memo_hits > 0;
+  if (!memo_identical) all_identical = false;
+
+  // ---- Admission-control saturation scenario (ISSUE 4): burst-submit 16
+  // cheap requests against 2 workers and queue depth 3 under each policy.
+  // Every submit must resolve — a report, or a clean admission rejection —
+  // and the counts must cover the whole burst.
+  bool admission_ok = true;
+  struct AdmissionRun {
+    const char* policy;
+    std::size_t completed = 0, refused = 0;
+    std::int64_t shed = 0, rejected = 0;
+  };
+  std::vector<AdmissionRun> admission_runs;
+  {
+    StreamRequestSpec cheap_spec;
+    cheap_spec.dataset = "CI";
+    cheap_spec.seed = seed + 2;
+    ServiceRequest cheap = materialize_request(cheap_spec);
+    constexpr std::size_t kBurst = 16;
+    for (AdmissionPolicy policy :
+         {AdmissionPolicy::kBlock, AdmissionPolicy::kReject,
+          AdmissionPolicy::kShedOldest}) {
+      ServiceOptions opts;
+      opts.workers = 2;
+      opts.cache_capacity = 1;
+      opts.max_queue_depth = 3;
+      opts.admission = policy;
+      InferenceService service(opts);
+      service.cache().get_or_compile(*cheap.model, *cheap.dataset,
+                                     cheap.options.config);
+      AdmissionRun run;
+      run.policy = admission_policy_name(policy);
+      std::vector<RequestId> ids;
+      for (std::size_t i = 0; i < kBurst; ++i) ids.push_back(service.submit(cheap));
+      for (RequestId id : ids) {
+        try {
+          (void)service.wait(id);
+          ++run.completed;
+        } catch (const AdmissionRejectedError&) {
+          ++run.refused;
+        }
+      }
+      AdmissionStats as = service.admission_stats();
+      run.shed = as.shed;
+      run.rejected = as.rejected;
+      if (run.completed + run.refused != kBurst) admission_ok = false;
+      if (policy == AdmissionPolicy::kBlock &&
+          (run.refused != 0 || run.completed != kBurst))
+        admission_ok = false;
+      std::printf(
+          "admission policy %-6s: %zu completed, %zu refused "
+          "(stats: %lld rejected, %lld shed)\n",
+          run.policy, run.completed, run.refused,
+          static_cast<long long>(run.rejected), static_cast<long long>(run.shed));
+      admission_runs.push_back(run);
+    }
+  }
+
   double speedup = seq_best / svc_best;
   double seq_thru = static_cast<double>(pool.size()) / (seq_best / 1e3);
   double svc_thru = static_cast<double>(pool.size()) / (svc_best / 1e3);
@@ -189,6 +332,30 @@ int main(int argc, char** argv) {
   w.key("speedup").value(lone_serial_ms / lone_shared_ms);
   w.key("bit_identical").value(lone_identical);
   w.end_object();
+  w.key("repeat_heavy_memoization").begin_object();
+  w.key("requests").value(static_cast<std::int64_t>(memo_requests));
+  w.key("unique_contents").value(memo_misses);  // = result-key misses
+  w.key("memoize_off_ms").value(memo_off_best);
+  w.key("memoize_on_ms").value(memo_on_best);
+  w.key("speedup").value(memo_speedup);
+  w.key("result_cache_hits").value(memo_hits);
+  w.key("result_cache_misses").value(memo_misses);
+  w.key("bit_identical").value(memo_identical);
+  w.end_object();
+  w.key("admission_saturation").begin_array();
+  for (const AdmissionRun& run : admission_runs) {
+    w.begin_object();
+    w.key("policy").value(std::string(run.policy));
+    w.key("burst").value(16);
+    w.key("workers").value(2);
+    w.key("max_queue_depth").value(3);
+    w.key("completed").value(static_cast<std::int64_t>(run.completed));
+    w.key("refused").value(static_cast<std::int64_t>(run.refused));
+    w.key("stats_rejected").value(run.rejected);
+    w.key("stats_shed").value(run.shed);
+    w.end_object();
+  }
+  w.end_array();
   w.key("reports_bit_identical").value(all_identical);
   w.key("cache_hits").value(cache_stats.hits);
   w.key("cache_misses").value(cache_stats.misses);
@@ -213,5 +380,11 @@ int main(int argc, char** argv) {
   std::ofstream f(out_path);
   f << w.str() << "\n";
   std::printf("wrote %s\n", out_path);
-  return all_identical && speedup >= 2.0 ? 0 : 1;
+  if (!memo_ok)
+    std::printf("FAIL: memoization scenario (speedup %.2fx, hits %lld, "
+                "identical %s)\n",
+                memo_speedup, static_cast<long long>(memo_hits),
+                memo_identical ? "yes" : "no");
+  if (!admission_ok) std::printf("FAIL: admission saturation scenario\n");
+  return all_identical && speedup >= 2.0 && memo_ok && admission_ok ? 0 : 1;
 }

@@ -118,4 +118,27 @@ CompileKey make_compile_key(const GnnModel& model, const Dataset& ds,
                     config_signature(cfg)};
 }
 
+std::uint64_t runtime_options_signature(const RuntimeOptions& rt) {
+  HashStream h;
+  h.i64(static_cast<std::int64_t>(rt.strategy))
+      .i64(rt.hide_ahm ? 1 : 0)
+      .i64(rt.hide_runtime ? 1 : 0)
+      .i64(rt.host_threads)
+      .i64(rt.detailed_timing ? 1 : 0)
+      .i64(rt.collect_timeline ? 1 : 0)
+      .i64(rt.functional ? 1 : 0);
+  return h.digest();
+}
+
+std::string ResultKey::to_string() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%s-%016llx", compile.to_string().c_str(),
+                static_cast<unsigned long long>(runtime));
+  return buf;
+}
+
+ResultKey make_result_key(const CompileKey& compile, const RuntimeOptions& rt) {
+  return ResultKey{compile, runtime_options_signature(rt)};
+}
+
 }  // namespace dynasparse

@@ -23,6 +23,7 @@
 #include "compiler/partition_planner.hpp"
 #include "graph/dataset.hpp"
 #include "model/model.hpp"
+#include "runtime/runtime_system.hpp"
 #include "util/config.hpp"
 
 namespace dynasparse {
@@ -111,5 +112,41 @@ struct CompileKey {
 
 CompileKey make_compile_key(const GnnModel& model, const Dataset& ds,
                             const SimConfig& cfg);
+
+/// Hash of every RuntimeOptions field. Keep in sync with the struct — a
+/// new field MUST be added here, or results executed under different
+/// runtime options would collide in the result cache (same discipline as
+/// config_signature).
+///
+/// Every field is hashed, including host_threads, even though results are
+/// thread-count-invariant by construction: "flip any field, change the
+/// key" is a simpler invariant to keep true than a per-field judgement
+/// call of what affects results, and the cost of the conservative key is
+/// only a cache miss that re-executes — never a wrong report.
+std::uint64_t runtime_options_signature(const RuntimeOptions& rt);
+
+/// Result-memoization key: the compilation identity plus the runtime
+/// options the program was executed under. The simulator is fully
+/// deterministic (see InferenceReport::deterministic_fingerprint), so two
+/// requests with equal ResultKeys must produce bit-identical deterministic
+/// report fields — which is what licenses the service's ResultCache to
+/// return a stored report without executing.
+struct ResultKey {
+  CompileKey compile;
+  std::uint64_t runtime = 0;
+
+  bool operator==(const ResultKey& o) const {
+    return compile == o.compile && runtime == o.runtime;
+  }
+  bool operator!=(const ResultKey& o) const { return !(*this == o); }
+  bool operator<(const ResultKey& o) const {
+    if (compile != o.compile) return compile < o.compile;
+    return runtime < o.runtime;
+  }
+  /// "mmmmmmmm-dddddddd-cccccccc-rrrrrrrr" hex rendering for logs/tools.
+  std::string to_string() const;
+};
+
+ResultKey make_result_key(const CompileKey& compile, const RuntimeOptions& rt);
 
 }  // namespace dynasparse

@@ -53,6 +53,27 @@ std::string InferenceReport::kernel_table() const {
   return os.str();
 }
 
+std::size_t InferenceReport::approx_footprint_bytes() const {
+  std::size_t bytes = sizeof(InferenceReport);
+  bytes += model_name.size() + dataset_tag.size();
+  const ExecutionResult& e = execution;
+  for (const KernelExecutionReport& k : e.kernels)
+    bytes += sizeof(KernelExecutionReport) + k.name.size();
+  bytes += e.node_densities.size() * sizeof(double);
+  for (const ExecutionResult::KernelTimeline& t : e.timeline)
+    bytes += sizeof(ExecutionResult::KernelTimeline) + t.name.size() +
+             t.intervals.size() * sizeof(t.intervals[0]);
+  const PartitionedMatrix& m = e.output;
+  for (std::int64_t gi = 0; gi < m.grid_rows(); ++gi)
+    for (std::int64_t gj = 0; gj < m.grid_cols(); ++gj) {
+      const Tile& t = m.tile(gi, gj);
+      bytes += sizeof(Tile);
+      bytes += t.dense.data().size() * sizeof(float);
+      bytes += t.coo.entries().size() * sizeof(CooEntry);
+    }
+  return bytes;
+}
+
 std::uint64_t InferenceReport::deterministic_fingerprint() const {
   HashStream h;
   h.str(model_name).str(dataset_tag).i64(static_cast<std::int64_t>(strategy));

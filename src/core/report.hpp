@@ -41,6 +41,14 @@ struct InferenceReport {
   /// simulator changes it. The regression layer (tests/golden_report_test
   /// and the service bit-identity checks) is built on this.
   std::uint64_t deterministic_fingerprint() const;
+
+  /// Approximate heap footprint of this report in bytes: struct size plus
+  /// strings, per-kernel entries, node densities, timelines, and the
+  /// functional output matrix (dense data / COO entries per tile; a
+  /// tile's lazily cached alternate-format views are not counted). The
+  /// service's ResultCache uses this for its byte-bounded LRU accounting,
+  /// so it only needs to be proportional to real memory use, not exact.
+  std::size_t approx_footprint_bytes() const;
 };
 
 /// Sustained PCIe bandwidth of the U250 host link (paper Section VIII-D:

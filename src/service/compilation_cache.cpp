@@ -4,116 +4,35 @@ namespace dynasparse {
 
 std::shared_ptr<const CompiledProgram> CompilationCache::get_or_compile(
     const GnnModel& model, const Dataset& ds, const SimConfig& cfg) {
-  if (capacity_ == 0) {
+  if (impl_.max_entries() == 0) {
     // No storage, no key needed: skip the content hash (it walks every
-    // weight bit and graph index) and go straight to the compiler.
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.misses;
-    }
-    return std::make_shared<const CompiledProgram>(compile(model, ds, cfg));
+    // weight bit and graph index) and go straight to the compiler. The
+    // dummy key is never stored.
+    return impl_.get_or_make(CompileKey{}, [&] {
+      return std::make_shared<const CompiledProgram>(compile(model, ds, cfg));
+    });
   }
-
-  const CompileKey key = make_compile_key(model, ds, cfg);  // hash outside the lock
-
-  std::promise<std::shared_ptr<const CompiledProgram>> promise;
-  ProgramFuture fut;
-  bool compile_here = false;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++stats_.hits;
-      if (!it->second.ready) ++stats_.inflight_joins;
-      touch(it->second);
-      fut = it->second.program;
-    } else {
-      ++stats_.misses;
-      compile_here = true;
-      Entry e;
-      e.program = promise.get_future().share();
-      lru_.push_back(key);
-      e.lru_pos = std::prev(lru_.end());
-      fut = e.program;
-      entries_.emplace(key, std::move(e));
-      ++stats_.entries;
-    }
-  }
-
-  if (!compile_here) return fut.get();  // rethrows if the compiler thread failed
-
-  try {
-    auto prog = std::make_shared<const CompiledProgram>(compile(model, ds, cfg));
-    promise.set_value(prog);
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) it->second.ready = true;
-    evict_excess();
-    return prog;
-  } catch (...) {
-    // Waiters blocked on the future observe the same exception; the entry
-    // is erased so the next request for this key retries the compile.
-    promise.set_exception(std::current_exception());
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      auto it = entries_.find(key);
-      if (it != entries_.end()) {
-        lru_.erase(it->second.lru_pos);
-        entries_.erase(it);
-        --stats_.entries;
-      }
-    }
-    throw;
-  }
+  return get_or_compile(make_compile_key(model, ds, cfg),  // hash outside the lock
+                        model, ds, cfg);
 }
 
-std::shared_ptr<const CompiledProgram> CompilationCache::peek(
-    const CompileKey& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end() || !it->second.ready) return nullptr;
-  return it->second.program.get();
+std::shared_ptr<const CompiledProgram> CompilationCache::get_or_compile(
+    const CompileKey& key, const GnnModel& model, const Dataset& ds,
+    const SimConfig& cfg) {
+  return impl_.get_or_make(key, [&] {
+    return std::make_shared<const CompiledProgram>(compile(model, ds, cfg));
+  });
 }
 
 CacheStats CompilationCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
-}
-
-void CompilationCache::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.ready) {
-      lru_.erase(it->second.lru_pos);
-      it = entries_.erase(it);
-      --stats_.entries;
-    } else {
-      ++it;
-    }
-  }
-}
-
-void CompilationCache::touch(Entry& e) {
-  lru_.splice(lru_.end(), lru_, e.lru_pos);
-  e.lru_pos = std::prev(lru_.end());
-}
-
-void CompilationCache::evict_excess() {
-  // Evict ready entries from the LRU front; in-flight compiles are never
-  // evicted (their requesters hold the future), so the cache may briefly
-  // exceed capacity while more than `capacity_` keys compile at once.
-  auto pos = lru_.begin();
-  while (entries_.size() > capacity_ && pos != lru_.end()) {
-    auto it = entries_.find(*pos);
-    if (it != entries_.end() && it->second.ready) {
-      pos = lru_.erase(pos);
-      entries_.erase(it);
-      --stats_.entries;
-      ++stats_.evictions;
-    } else {
-      ++pos;
-    }
-  }
+  const KeyedCacheStats s = impl_.stats();
+  CacheStats out;
+  out.hits = s.hits;
+  out.misses = s.misses;
+  out.evictions = s.evictions;
+  out.inflight_joins = s.inflight_joins;
+  out.entries = s.entries;
+  return out;
 }
 
 }  // namespace dynasparse

@@ -6,27 +6,22 @@
 // same (model, dataset, config) content share one CompiledProgram.
 //
 // Keys are content hashes (compiler/signature.hpp), so independently
-// constructed but identical inputs hit. Entries hold
-// shared_ptr<const CompiledProgram>; a program stays alive while any
-// in-flight request executes it even after LRU eviction. In-flight
-// compilations deduplicate: the first requester compiles, concurrent
-// requesters for the same key block on a shared_future instead of
-// compiling again. A compilation that throws is erased so later requests
-// retry rather than observing a poisoned entry.
+// constructed but identical inputs hit. The cache mechanics — shared_ptr
+// entries that outlive LRU eviction while requests execute them,
+// in-flight compile dedup via shared_future, poisoned-entry erase on a
+// throwing compile — live in the shared util/keyed_future_cache.hpp core
+// (also behind the service's ResultCache).
 //
 // Thread-safe. Capacity 0 disables storage (every call compiles) but
 // still counts stats, which keeps the uncached baseline measurable
 // through the same code path.
 
 #include <cstdint>
-#include <future>
-#include <list>
-#include <map>
 #include <memory>
-#include <mutex>
 
 #include "compiler/compiler.hpp"
 #include "compiler/signature.hpp"
+#include "util/keyed_future_cache.hpp"
 
 namespace dynasparse {
 
@@ -40,7 +35,7 @@ struct CacheStats {
 
 class CompilationCache {
  public:
-  explicit CompilationCache(std::size_t capacity = 16) : capacity_(capacity) {}
+  explicit CompilationCache(std::size_t capacity = 16) : impl_(capacity) {}
 
   /// Return the program for (model, ds, cfg), compiling at most once per
   /// content key. May block while another thread compiles the same key.
@@ -49,31 +44,27 @@ class CompilationCache {
                                                         const Dataset& ds,
                                                         const SimConfig& cfg);
 
+  /// Same, with a caller-precomputed key — the service's memoized path
+  /// hashes the compile inputs once for its ResultKey and reuses the hash
+  /// here. `key` must equal make_compile_key(model, ds, cfg).
+  std::shared_ptr<const CompiledProgram> get_or_compile(const CompileKey& key,
+                                                        const GnnModel& model,
+                                                        const Dataset& ds,
+                                                        const SimConfig& cfg);
+
   /// Ready entry for `key`, or nullptr (does not wait on in-flight
   /// compiles and does not touch LRU order or stats).
-  std::shared_ptr<const CompiledProgram> peek(const CompileKey& key) const;
+  std::shared_ptr<const CompiledProgram> peek(const CompileKey& key) const {
+    return impl_.peek(key);
+  }
 
   CacheStats stats() const;
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const { return impl_.max_entries(); }
   /// Drop every ready entry (in-flight compiles complete unobserved).
-  void clear();
+  void clear() { impl_.clear(); }
 
  private:
-  using ProgramFuture = std::shared_future<std::shared_ptr<const CompiledProgram>>;
-  struct Entry {
-    ProgramFuture program;
-    bool ready = false;  // set once the compiling thread fulfilled it
-    std::list<CompileKey>::iterator lru_pos;
-  };
-
-  void touch(Entry& e);           // move to MRU end; mu_ held
-  void evict_excess();            // drop ready LRU entries over capacity; mu_ held
-
-  const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::map<CompileKey, Entry> entries_;
-  std::list<CompileKey> lru_;     // front = least recently used
-  CacheStats stats_;
+  KeyedFutureCache<CompileKey, CompiledProgram> impl_;
 };
 
 }  // namespace dynasparse

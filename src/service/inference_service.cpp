@@ -16,14 +16,26 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+/// Read a non-negative integer env var into `out`; leaves it untouched
+/// when unset or malformed.
+void env_size(const char* name, std::size_t& out) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) out = static_cast<std::size_t>(v);
+  }
+}
+
 ServiceOptions default_engine_options() {
   ServiceOptions opts;
   opts.cache_capacity = 4;
-  if (const char* env = std::getenv("DYNASPARSE_ENGINE_CACHE")) {
-    char* end = nullptr;
-    long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 0) opts.cache_capacity = static_cast<std::size_t>(v);
-  }
+  env_size("DYNASPARSE_ENGINE_CACHE", opts.cache_capacity);
+  // Result memoization stays off unless explicitly enabled: run_inference
+  // callers did not opt into retaining output matrices.
+  env_size("DYNASPARSE_RESULT_CACHE", opts.result_cache_capacity);
+  std::size_t mb = opts.result_cache_bytes >> 20;
+  env_size("DYNASPARSE_RESULT_CACHE_MB", mb);
+  opts.result_cache_bytes = mb << 20;
   return opts;
 }
 
@@ -49,6 +61,23 @@ int combine_caps(int a, int b) {
 
 }  // namespace
 
+const char* admission_policy_name(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kBlock: return "block";
+    case AdmissionPolicy::kReject: return "reject";
+    case AdmissionPolicy::kShedOldest: return "shed";
+  }
+  return "?";
+}
+
+AdmissionPolicy parse_admission_policy(const std::string& s) {
+  if (s == "block") return AdmissionPolicy::kBlock;
+  if (s == "reject") return AdmissionPolicy::kReject;
+  if (s == "shed" || s == "shed-oldest") return AdmissionPolicy::kShedOldest;
+  throw std::runtime_error("unknown admission policy: " + s +
+                           " (expected block|reject|shed)");
+}
+
 ServiceRequest ServiceRequest::own(GnnModel model, Dataset dataset,
                                    EngineOptions options) {
   ServiceRequest req;
@@ -68,7 +97,10 @@ ServiceRequest ServiceRequest::borrow(const GnnModel& model, const Dataset& data
 }
 
 InferenceService::InferenceService(ServiceOptions options)
-    : options_(validate_and_resolve(options)), cache_(options_.cache_capacity) {
+    : options_(validate_and_resolve(options)),
+      cache_(options_.cache_capacity),
+      result_cache_(options_.result_cache_capacity, options_.result_cache_bytes),
+      queue_(options_.max_queue_depth) {
   // Requests executed (or joined) by this service's destructor use the
   // shared pool; constructing the pool first pins its static lifetime
   // beyond this object's.
@@ -130,11 +162,28 @@ InferenceReport InferenceService::execute_request(const ServiceRequest& request)
   // the pool whenever the cap exceeds the hardware width).
   ParallelMaxThreadsScope budget(
       combine_caps(options_.intra_op_threads, request.options.runtime.host_threads));
-  std::shared_ptr<const CompiledProgram> prog = cache_.get_or_compile(
-      *request.model, *request.dataset, request.options.config);
-  InferenceReport rep = run_compiled(*prog, request.options.runtime);
-  rep.dataset_tag = request.dataset->spec.tag;
-  return rep;
+  if (!result_cache_.enabled()) {
+    std::shared_ptr<const CompiledProgram> prog = cache_.get_or_compile(
+        *request.model, *request.dataset, request.options.config);
+    InferenceReport rep = run_compiled(*prog, request.options.runtime);
+    rep.dataset_tag = request.dataset->spec.tag;
+    return rep;
+  }
+  // Memoized path: hash the compile inputs once (the compilation cache
+  // reuses the key below instead of rehashing) and extend it with the
+  // runtime-options signature. A hit returns the stored report without
+  // compiling or executing — sound because equal ResultKeys imply
+  // bit-identical deterministic report fields (determinism contract).
+  const CompileKey ckey = make_compile_key(*request.model, *request.dataset,
+                                           request.options.config);
+  return result_cache_.get_or_run(
+      make_result_key(ckey, request.options.runtime), [&] {
+        std::shared_ptr<const CompiledProgram> prog = cache_.get_or_compile(
+            ckey, *request.model, *request.dataset, request.options.config);
+        InferenceReport rep = run_compiled(*prog, request.options.runtime);
+        rep.dataset_tag = request.dataset->spec.tag;
+        return rep;
+      });
 }
 
 void InferenceService::ensure_workers() {
@@ -179,38 +228,158 @@ void InferenceService::worker_main() {
   }
 }
 
+RequestId InferenceService::create_slot(bool throw_on_closed) {
+  std::lock_guard<std::mutex> lk(slots_mu_);
+  if (!accepting_) {
+    if (throw_on_closed)
+      throw std::runtime_error("InferenceService is shutting down");
+    return 0;
+  }
+  RequestId id = next_id_++;
+  Slot& slot = slots_[id];
+  slot.state = RequestState::kQueued;
+  slot.submitted = std::chrono::steady_clock::now();
+  // From here until the push resolves, shutdown() must not complete: it
+  // drains inflight_submits_ to zero in its final phase, so the
+  // queue/mutexes the submit path still touches outlive it.
+  ++inflight_submits_;
+  return id;
+}
+
+bool InferenceService::fail_slot_locked(Slot& slot, std::exception_ptr error) {
+  // Only a still-queued slot can be failed by admission control: a racing
+  // shutdown may already have failed it (phase 3), and that resolution
+  // must not be overwritten (or double-counted in the stats).
+  if (slot.state != RequestState::kQueued) return false;
+  slot.state = RequestState::kFailed;
+  slot.error = std::move(error);
+  slot.finished = std::chrono::steady_clock::now();
+  slot.started = slot.finished;  // never picked up; queue_ms = lifetime
+  return true;
+}
+
 RequestId InferenceService::submit(ServiceRequest request) {
   if (!request.model || !request.dataset)
     throw std::invalid_argument("ServiceRequest needs a model and a dataset");
-  RequestId id;
-  {
-    std::lock_guard<std::mutex> lk(slots_mu_);
-    if (!accepting_)
-      throw std::runtime_error("InferenceService is shutting down");
-    id = next_id_++;
-    Slot& slot = slots_[id];
-    slot.state = RequestState::kQueued;
-    slot.submitted = std::chrono::steady_clock::now();
-    // From here until the push resolves, shutdown() must not complete:
-    // it drains inflight_submits_ to zero in its final phase, so the
-    // queue/mutexes this call still touches outlive it.
-    ++inflight_submits_;
-  }
-  ensure_workers();
+  const RequestId id = create_slot(/*throw_on_closed=*/true);
   // The queue can still close between slot creation and this push
-  // (shutdown closes it right after flipping accepting_). push() then
-  // refuses the item; erase the slot and report shutdown instead of
-  // returning an id whose request will never run — the bug this guards
-  // against left the slot kQueued forever and deadlocked wait().
-  const bool pushed = queue_.push(Job{id, std::move(request)});
+  // (shutdown closes it right after flipping accepting_; a push blocked
+  // on a full queue is woken by the close). The push then refuses the
+  // item; erase the slot and report shutdown instead of returning an id
+  // whose request will never run — the bug this guards against left the
+  // slot kQueued forever and deadlocked wait().
+  bool pushed = false;
+  bool rejected_full = false;  // kReject policy refused a full queue
+  std::vector<Job> shed;
+  try {
+    ensure_workers();
+    if (options_.max_queue_depth == 0 ||
+        options_.admission == AdmissionPolicy::kBlock) {
+      pushed = queue_.push(Job{id, std::move(request)});
+    } else if (options_.admission == AdmissionPolicy::kReject) {
+      auto r = queue_.try_push(Job{id, std::move(request)});
+      pushed = r == BlockingQueue<Job>::PushResult::kOk;
+      rejected_full = r == BlockingQueue<Job>::PushResult::kFull;
+    } else {  // kShedOldest
+      pushed = queue_.push_shed_oldest(Job{id, std::move(request)}, shed);
+    }
+  } catch (...) {
+    // Thread spawn or enqueue allocation failed: resolve the inflight
+    // accounting and drop the slot, or shutdown() would wait on
+    // inflight_submits_ forever (the id was never returned, so no waiter
+    // can exist).
+    {
+      std::lock_guard<std::mutex> lk(slots_mu_);
+      --inflight_submits_;
+      slots_.erase(id);
+    }
+    slots_cv_.notify_all();
+    throw;
+  }
   {
     std::lock_guard<std::mutex> lk(slots_mu_);
     --inflight_submits_;
-    if (!pushed) slots_.erase(id);
+    if (pushed) ++admission_.accepted;
+    // Shed jobs were removed from the queue atomically with the push, so
+    // no worker can ever pop them; fail their slots now (unless shutdown
+    // already did, or a waiter consumed the shutdown-failed slot).
+    for (const Job& job : shed) {
+      auto it = slots_.find(job.id);
+      if (it == slots_.end()) continue;
+      if (fail_slot_locked(it->second,
+                           std::make_exception_ptr(AdmissionRejectedError(
+                               "request shed by admission control "
+                               "(queue full, policy shed-oldest)"))))
+        ++admission_.shed;
+    }
+    if (!pushed) {
+      if (rejected_full) {
+        // Failed-fast slot: submit still returns the id; wait(id)
+        // rethrows the admission error without the request executing.
+        // The id has not been returned to anyone yet, so no waiter can
+        // have consumed the slot — if shutdown's phase 3 failed it first
+        // (also unobserved, for the same reason), overwrite that with the
+        // admission error: a full-queue reject always resolves as
+        // AdmissionRejectedError and always counts as rejected,
+        // regardless of how the shutdown race interleaves.
+        Slot& slot = slots_.at(id);
+        slot.state = RequestState::kFailed;
+        slot.error = std::make_exception_ptr(AdmissionRejectedError(
+            "request rejected by admission control (queue full, policy "
+            "reject)"));
+        slot.finished = std::chrono::steady_clock::now();
+        slot.started = slot.finished;
+        ++admission_.rejected;
+      } else {
+        slots_.erase(id);  // queue closed under us: shutdown race
+      }
+    }
   }
   slots_cv_.notify_all();  // shutdown may be waiting on the inflight drain
-  if (!pushed) throw std::runtime_error("InferenceService is shutting down");
+  if (!pushed && !rejected_full)
+    throw std::runtime_error("InferenceService is shutting down");
   return id;
+}
+
+std::optional<RequestId> InferenceService::try_submit(ServiceRequest request) {
+  if (!request.model || !request.dataset)
+    throw std::invalid_argument("ServiceRequest needs a model and a dataset");
+  const RequestId id = create_slot(/*throw_on_closed=*/false);
+  if (id == 0) return std::nullopt;  // shutting down; nothing to clean up
+  BlockingQueue<Job>::PushResult r;
+  try {
+    ensure_workers();
+    r = queue_.try_push(Job{id, std::move(request)});
+  } catch (...) {
+    // Same cleanup as submit(): never leave inflight_submits_ elevated or
+    // a kQueued slot behind on a thread-spawn/allocation failure.
+    {
+      std::lock_guard<std::mutex> lk(slots_mu_);
+      --inflight_submits_;
+      slots_.erase(id);
+    }
+    slots_cv_.notify_all();
+    throw;
+  }
+  const bool pushed = r == BlockingQueue<Job>::PushResult::kOk;
+  {
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    --inflight_submits_;
+    if (pushed) {
+      ++admission_.accepted;
+    } else {
+      if (r == BlockingQueue<Job>::PushResult::kFull) ++admission_.rejected;
+      slots_.erase(id);
+    }
+  }
+  slots_cv_.notify_all();
+  if (!pushed) return std::nullopt;
+  return id;
+}
+
+AdmissionStats InferenceService::admission_stats() const {
+  std::lock_guard<std::mutex> lk(slots_mu_);
+  return admission_;
 }
 
 RequestState InferenceService::state(RequestId id) const {

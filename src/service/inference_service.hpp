@@ -36,6 +36,21 @@
 // compile) because every parallel primitive is thread-count-invariant by
 // construction.
 //
+// Result memoization (ServiceOptions::result_cache_capacity): the whole
+// pipeline is deterministic, so a request whose ResultKey — compile
+// content plus every RuntimeOptions field (compiler/signature.hpp) —
+// matches a cached entry returns the stored InferenceReport without
+// executing; deterministic report fields are bit-identical to a fresh
+// run by the determinism contract the golden/property tests enforce.
+// Off by default.
+//
+// Admission control (ServiceOptions::max_queue_depth + admission): a
+// bounded queue gives submit() backpressure under overload — block the
+// submitter, fail fast (AdmissionRejectedError through wait()), or shed
+// the oldest queued requests. try_submit() is the non-blocking,
+// non-throwing variant. All three policies compose with shutdown(): a
+// blocked submit wakes and resolves cleanly when the queue closes.
+//
 // Shutdown contract: shutdown() (also run by the destructor) stops
 // accepting submits (a racing submit() throws std::runtime_error and
 // leaves no slot behind), drains the queue, joins the workers, fails any
@@ -51,12 +66,16 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "service/compilation_cache.hpp"
+#include "service/result_cache.hpp"
 #include "util/blocking_queue.hpp"
 
 namespace dynasparse {
@@ -87,6 +106,44 @@ struct RequestTiming {
   double total_ms = 0.0;  // submit -> completion
 };
 
+/// What submit() does when the request queue is at
+/// ServiceOptions::max_queue_depth (irrelevant while the queue is
+/// unbounded, the default).
+enum class AdmissionPolicy {
+  /// Block the submitter until a worker makes room (backpressure
+  /// propagates to the caller). A blocked submit still resolves cleanly
+  /// if shutdown() races it.
+  kBlock,
+  /// Fail fast: submit() still returns an id, but its slot is already
+  /// failed with AdmissionRejectedError — wait(id) rethrows it without
+  /// the request ever executing. try_submit() returns nullopt instead.
+  kReject,
+  /// Make room by failing the *oldest* queued (not yet running) requests
+  /// with AdmissionRejectedError and admitting the new one — freshest
+  /// traffic wins under overload.
+  kShedOldest,
+};
+
+const char* admission_policy_name(AdmissionPolicy p);
+/// Parse "block" / "reject" / "shed"; throws std::runtime_error on
+/// unknown names (matching the request_stream parse helpers).
+AdmissionPolicy parse_admission_policy(const std::string& s);
+
+/// Thrown (via wait()) for requests refused by bounded admission control
+/// — distinct from the std::runtime_error a shutdown race produces, so
+/// callers can tell "overloaded, retry later" from "service is gone".
+struct AdmissionRejectedError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Admission-control counters (all zero while the queue is unbounded,
+/// except accepted).
+struct AdmissionStats {
+  std::int64_t accepted = 0;  // submits that were enqueued
+  std::int64_t rejected = 0;  // failed fast (kReject full / try_submit nullopt)
+  std::int64_t shed = 0;      // queued requests failed by kShedOldest
+};
+
 struct ServiceOptions {
   /// Worker threads for submitted requests. 0 = auto: hardware
   /// concurrency capped at 16 (beyond that, intra-op parallelism is the
@@ -108,6 +165,22 @@ struct ServiceOptions {
   /// EngineOptions::runtime.host_threads composes with this: the tighter
   /// of the two bounds wins.
   int intra_op_threads = 0;
+  /// Bound on queued (accepted but not yet running) requests. 0 =
+  /// unbounded (the pre-admission-control behavior). When the bound is
+  /// hit, `admission` decides what submit() does.
+  std::size_t max_queue_depth = 0;
+  /// Full-queue behavior; see AdmissionPolicy. Ignored while
+  /// max_queue_depth is 0.
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// ResultCache capacity in reports. 0 disables result memoization (the
+  /// default): every request executes. When > 0, a request whose
+  /// ResultKey (compile content + every runtime-options field) matches a
+  /// cached entry returns the stored report — bit-identical in every
+  /// deterministic field — without executing.
+  std::size_t result_cache_capacity = 0;
+  /// Approximate byte bound for resident memoized reports (they carry
+  /// the full functional output matrix). 0 = bounded by count only.
+  std::size_t result_cache_bytes = 256u << 20;
 };
 
 class InferenceService {
@@ -132,11 +205,23 @@ class InferenceService {
   InferenceService(const InferenceService&) = delete;
   InferenceService& operator=(const InferenceService&) = delete;
 
-  /// Enqueue a request; returns immediately. Throws std::invalid_argument
-  /// on a null model/dataset, std::runtime_error if the service is
-  /// shutting down (the request is not enqueued and no slot leaks — a
-  /// returned id is always eventually resolved by wait()).
+  /// Enqueue a request. Throws std::invalid_argument on a null
+  /// model/dataset, std::runtime_error if the service is shutting down
+  /// (the request is not enqueued and no slot leaks — a returned id is
+  /// always eventually resolved by wait()). With a bounded queue
+  /// (ServiceOptions::max_queue_depth) and the queue full, the admission
+  /// policy applies: kBlock waits for room (so submit() may block),
+  /// kReject returns an id whose wait() rethrows AdmissionRejectedError
+  /// without executing, kShedOldest admits this request after failing the
+  /// oldest queued ones the same way.
   RequestId submit(ServiceRequest request);
+
+  /// Non-blocking admission: like submit(), but when the request cannot
+  /// be enqueued right now — queue full (any admission policy; try_submit
+  /// never sheds) or service shutting down — returns std::nullopt instead
+  /// of blocking or throwing. Still throws std::invalid_argument on a
+  /// null model/dataset.
+  std::optional<RequestId> try_submit(ServiceRequest request);
 
   /// Poll. Throws std::invalid_argument for an unknown (or already
   /// consumed) id.
@@ -160,13 +245,19 @@ class InferenceService {
 
   CompilationCache& cache() { return cache_; }
   CacheStats cache_stats() const { return cache_.stats(); }
+  ResultCache& result_cache() { return result_cache_; }
+  ResultCacheStats result_cache_stats() const { return result_cache_.stats(); }
+  AdmissionStats admission_stats() const;
   /// Resolved options: workers is the effective worker count (never 0).
   const ServiceOptions& options() const { return options_; }
 
   /// Process-wide service backing core/engine.hpp's run_inference. Its
-  /// cache capacity defaults to 4 programs; override with the
+  /// compilation-cache capacity defaults to 4 programs; override with the
   /// DYNASPARSE_ENGINE_CACHE environment variable (0 disables caching and
-  /// restores the pre-service always-recompile behavior).
+  /// restores the pre-service always-recompile behavior). Result
+  /// memoization is off by default; DYNASPARSE_RESULT_CACHE=N enables an
+  /// N-report ResultCache and DYNASPARSE_RESULT_CACHE_MB bounds its
+  /// approximate resident bytes (default 256 MiB when enabled).
   static InferenceService& process_default();
 
  private:
@@ -184,15 +275,26 @@ class InferenceService {
   InferenceReport execute_request(const ServiceRequest& request);
   void ensure_workers();
   void worker_main();
+  /// Create a kQueued slot under slots_mu_ (throws std::runtime_error
+  /// when shutting down and `throw_on_closed`; returns 0 otherwise) and
+  /// bump inflight_submits_.
+  RequestId create_slot(bool throw_on_closed);
+  /// Fail a still-kQueued slot with `error` (slots_mu_ held). Returns
+  /// false without touching the slot when it already reached a terminal
+  /// state (e.g. a racing shutdown failed it first) — callers use the
+  /// return to keep admission stats exact.
+  bool fail_slot_locked(Slot& slot, std::exception_ptr error);
 
   const ServiceOptions options_;
   CompilationCache cache_;
+  ResultCache result_cache_;
   BlockingQueue<Job> queue_;
 
   mutable std::mutex slots_mu_;
   std::condition_variable slots_cv_;
   std::unordered_map<RequestId, Slot> slots_;
   RequestId next_id_ = 1;
+  AdmissionStats admission_; // guarded by slots_mu_
   int waiters_ = 0;          // threads inside wait(); shutdown drains to 0
   int inflight_submits_ = 0; // submits past the accepting_ check but not
                              // yet resolved; shutdown drains to 0

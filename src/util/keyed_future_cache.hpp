@@ -1,0 +1,216 @@
+#pragma once
+// Shared core of the service's caches (CompilationCache, ResultCache): a
+// thread-safe content-keyed cache of shared_ptr<const V> with
+//
+//   - in-flight dedup: the first requester of an absent key runs the
+//     factory; concurrent requesters for the same key block on a
+//     shared_future instead of running it again;
+//   - LRU eviction bounded by entry count and, when a weigher is
+//     provided, by the approximate resident bytes of ready entries
+//     (whichever bound is exceeded evicts);
+//   - poisoned-entry erase: a factory that throws propagates to every
+//     joined waiter and removes the entry, so the next request for that
+//     key retries instead of observing the stale failure;
+//   - hit/miss/eviction/in-flight-join/entry/byte stats.
+//
+// Entries hold shared_ptr<const V>, so a value stays alive for callers
+// that hold it even after LRU eviction. max_entries 0 disables storage —
+// every call runs the factory and counts a miss, which keeps an uncached
+// baseline measurable through the same code path (callers may then skip
+// computing a real key).
+//
+// In-flight entries are never evicted (their requesters hold the
+// future), so the cache may briefly exceed max_entries while more keys
+// run concurrently than fit. With a weigher, a lone value heavier than
+// max_bytes is dropped by its own insertion — returned to the caller,
+// never resident, and without evicting any other entry as collateral.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace dynasparse {
+
+struct KeyedCacheStats {
+  std::int64_t hits = 0;            // key found (ready or in-flight)
+  std::int64_t misses = 0;          // key absent; this call ran the factory
+  std::int64_t evictions = 0;       // entries dropped by LRU (count or bytes)
+  std::int64_t inflight_joins = 0;  // hits that waited on a run in flight
+  std::int64_t entries = 0;         // current resident entries
+  std::int64_t bytes = 0;           // weighed bytes of ready entries (0 without a weigher)
+};
+
+template <typename Key, typename V>
+class KeyedFutureCache {
+ public:
+  using Weigher = std::function<std::size_t(const V&)>;
+
+  /// max_bytes 0 = unbounded by bytes; `weigh` empty = no byte accounting.
+  explicit KeyedFutureCache(std::size_t max_entries, std::size_t max_bytes = 0,
+                            Weigher weigh = {})
+      : max_entries_(max_entries), max_bytes_(max_bytes), weigh_(std::move(weigh)) {}
+
+  /// Return the value for `key`, running `make` at most once per key. May
+  /// block while another thread runs the same key. Throws whatever `make`
+  /// throws.
+  std::shared_ptr<const V> get_or_make(
+      const Key& key, const std::function<std::shared_ptr<const V>()>& make) {
+    if (max_entries_ == 0) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.misses;
+      }
+      return make();
+    }
+
+    std::promise<std::shared_ptr<const V>> promise;
+    ValueFuture fut;
+    bool make_here = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++stats_.hits;
+        if (!it->second.ready) ++stats_.inflight_joins;
+        touch(it->second);
+        fut = it->second.value;
+      } else {
+        ++stats_.misses;
+        make_here = true;
+        Entry e;
+        e.value = promise.get_future().share();
+        lru_.push_back(key);
+        e.lru_pos = std::prev(lru_.end());
+        fut = e.value;
+        entries_.emplace(key, std::move(e));
+        ++stats_.entries;
+      }
+    }
+
+    if (!make_here) return fut.get();  // rethrows if the making thread failed
+
+    try {
+      std::shared_ptr<const V> value = make();
+      const std::size_t bytes = weigh_ ? weigh_(*value) : 0;
+      promise.set_value(value);
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        if (max_bytes_ > 0 && bytes > max_bytes_) {
+          // The value alone exceeds the byte bound: it can never stay
+          // resident, so drop only it — running the LRU sweep instead
+          // would evict every older entry first (the newcomer sits at
+          // the MRU end) and flush the whole cache as collateral.
+          lru_.erase(it->second.lru_pos);
+          entries_.erase(it);
+          --stats_.entries;
+          ++stats_.evictions;
+        } else {
+          it->second.ready = true;
+          it->second.bytes = bytes;
+          stats_.bytes += static_cast<std::int64_t>(bytes);
+        }
+      }
+      evict_excess();
+      return value;
+    } catch (...) {
+      // Waiters blocked on the future observe the same exception; the
+      // entry is erased so the next request for this key retries.
+      promise.set_exception(std::current_exception());
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+          lru_.erase(it->second.lru_pos);
+          entries_.erase(it);
+          --stats_.entries;
+        }
+      }
+      throw;
+    }
+  }
+
+  /// Ready entry for `key`, or nullptr (does not wait on in-flight runs
+  /// and does not touch LRU order or stats).
+  std::shared_ptr<const V> peek(const Key& key) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end() || !it->second.ready) return nullptr;
+    return it->second.value.get();
+  }
+
+  KeyedCacheStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+  std::size_t max_entries() const { return max_entries_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Drop every ready entry (in-flight runs complete unobserved).
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.ready) {
+        stats_.bytes -= static_cast<std::int64_t>(it->second.bytes);
+        lru_.erase(it->second.lru_pos);
+        it = entries_.erase(it);
+        --stats_.entries;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  using ValueFuture = std::shared_future<std::shared_ptr<const V>>;
+  struct Entry {
+    ValueFuture value;
+    bool ready = false;     // set once the making thread fulfilled it
+    std::size_t bytes = 0;  // weighed size, valid once ready
+    typename std::list<Key>::iterator lru_pos;
+  };
+
+  /// Move to MRU end; mu_ held.
+  void touch(Entry& e) {
+    lru_.splice(lru_.end(), lru_, e.lru_pos);
+    e.lru_pos = std::prev(lru_.end());
+  }
+
+  /// Drop ready LRU entries while either bound is exceeded; mu_ held.
+  void evict_excess() {
+    auto over = [&] {
+      return entries_.size() > max_entries_ ||
+             (max_bytes_ > 0 &&
+              stats_.bytes > static_cast<std::int64_t>(max_bytes_));
+    };
+    auto pos = lru_.begin();
+    while (over() && pos != lru_.end()) {
+      auto it = entries_.find(*pos);
+      if (it != entries_.end() && it->second.ready) {
+        stats_.bytes -= static_cast<std::int64_t>(it->second.bytes);
+        pos = lru_.erase(pos);
+        entries_.erase(it);
+        --stats_.entries;
+        ++stats_.evictions;
+      } else {
+        ++pos;
+      }
+    }
+  }
+
+  const std::size_t max_entries_;
+  const std::size_t max_bytes_;
+  const Weigher weigh_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = least recently used
+  KeyedCacheStats stats_;
+};
+
+}  // namespace dynasparse

@@ -17,9 +17,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "service/inference_service.hpp"
 
 namespace dynasparse {
 namespace {
@@ -67,12 +69,17 @@ const std::vector<GoldenCase>& golden_cases() {
   return cases;
 }
 
-InferenceReport run_case(const GoldenCase& gc) {
+std::pair<GnnModel, Dataset> case_inputs(const GoldenCase& gc) {
   Dataset ds = golden_dataset(gc.dataset);
   Rng rng(19);
   GnnModel model = build_model(gc.kind, ds.spec.feature_dim, ds.spec.hidden_dim,
                                ds.spec.num_classes, rng);
   if (gc.prune > 0.0) prune_model(model, gc.prune);
+  return {std::move(model), std::move(ds)};
+}
+
+InferenceReport run_case(const GoldenCase& gc) {
+  auto [model, ds] = case_inputs(gc);
   CompiledProgram prog = compile(model, ds, u250_config());
   InferenceReport rep = run_compiled(prog, {});
   rep.dataset_tag = ds.spec.tag;
@@ -140,6 +147,41 @@ TEST(GoldenReportTest, SweepMatchesFrozenValues) {
       print_row(rep);
     }
   }
+}
+
+// ISSUE 4 property: across the full 10-config sweep, a memoized repeat —
+// an independently rebuilt but content-identical request whose ResultKey
+// matches a cached entry — returns a report whose
+// deterministic_fingerprint() is bit-identical to a fresh (service-free)
+// execution. This is the determinism contract that makes result
+// memoization sound: equal ResultKeys imply equal deterministic fields,
+// so skipping execution can never change an answer.
+TEST(GoldenReportTest, MemoizedSweepBitIdenticalToFreshExecution) {
+  const auto& cases = golden_cases();
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.cache_capacity = cases.size();
+  opts.result_cache_capacity = cases.size();
+  InferenceService service(opts);
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const GoldenCase& gc = cases[i];
+    const InferenceReport fresh = run_case(gc);
+
+    auto [model, ds] = case_inputs(gc);
+    const InferenceReport cold = service.run_one(model, ds, {});
+    auto [model2, ds2] = case_inputs(gc);  // rebuilt from scratch
+    const InferenceReport memo = service.run_one(model2, ds2, {});
+
+    EXPECT_EQ(cold.deterministic_fingerprint(), fresh.deterministic_fingerprint())
+        << "case " << i << ": service cold path diverged from direct execution";
+    EXPECT_EQ(memo.deterministic_fingerprint(), fresh.deterministic_fingerprint())
+        << "case " << i << ": memoized report diverged from fresh execution";
+  }
+  // Exactly one execution per case; every repeat was a result-cache hit.
+  ResultCacheStats rcs = service.result_cache_stats();
+  EXPECT_EQ(rcs.misses, static_cast<std::int64_t>(cases.size()));
+  EXPECT_EQ(rcs.hits, static_cast<std::int64_t>(cases.size()));
 }
 
 // Regeneration path: skipped unless DYNASPARSE_GOLDEN_REGEN is set.

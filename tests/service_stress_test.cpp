@@ -1,0 +1,205 @@
+// Stress/soak for bounded admission control (ISSUE 4): randomized
+// interleavings of submit / try_submit / wait / shutdown from 4+ threads
+// against a bounded queue, under every admission policy, with and without
+// result memoization. The properties under test:
+//
+//   1. Termination: every round drains or shuts down without deadlock —
+//      a hang trips the ctest timeout. This is the regression net for
+//      the close()/bounded-push interaction (a submit blocked on a full
+//      queue must be woken by shutdown and resolve cleanly).
+//   2. Exact resolution: every id a submitter obtains resolves exactly
+//      once through wait() — a report, an AdmissionRejectedError, or a
+//      shutdown failure — and the outcome counts add up to the attempts.
+//   3. Correct reports: every completed request's fingerprint equals its
+//      content's sequential reference (admission control and memoization
+//      never corrupt a result).
+//
+// Part of the CI TSan matrix and the forced-4-thread lane; requests are
+// deliberately tiny so the randomized schedules, not the simulator,
+// dominate the runtime.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "service/inference_service.hpp"
+
+namespace dynasparse {
+namespace {
+
+Dataset tiny_dataset(std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "stress";
+  spec.tag = "ST" + std::to_string(seed % 100);
+  spec.vertices = 100;
+  spec.edges = 400;
+  spec.feature_dim = 16;
+  spec.num_classes = 4;
+  spec.h0_density = 0.3;
+  spec.hidden_dim = 8;
+  spec.degree_skew = 0.5;
+  return generate_dataset(spec, 1, seed);
+}
+
+ServiceRequest tiny_request(std::uint64_t seed, GnnModelKind kind) {
+  Dataset ds = tiny_dataset(seed);
+  Rng rng(seed + 1);
+  GnnModel model = build_model(kind, ds.spec.feature_dim, ds.spec.hidden_dim,
+                               ds.spec.num_classes, rng);
+  return ServiceRequest::own(std::move(model), std::move(ds), {});
+}
+
+std::uint64_t reference_fingerprint(const ServiceRequest& req) {
+  CompiledProgram prog = compile(*req.model, *req.dataset, req.options.config);
+  InferenceReport rep = run_compiled(prog, req.options.runtime);
+  rep.dataset_tag = req.dataset->spec.tag;
+  return rep.deterministic_fingerprint();
+}
+
+TEST(ServiceStressTest, RandomizedSubmitWaitShutdownInterleavings) {
+  const ServiceRequest req_a = tiny_request(201, GnnModelKind::kGcn);
+  const ServiceRequest req_b = tiny_request(202, GnnModelKind::kSgc);
+  const std::uint64_t fp_a = reference_fingerprint(req_a);
+  const std::uint64_t fp_b = reference_fingerprint(req_b);
+
+  constexpr int kSubmitters = 5;
+  constexpr int kIters = 12;
+  int round = 0;
+  for (AdmissionPolicy policy :
+       {AdmissionPolicy::kBlock, AdmissionPolicy::kReject,
+        AdmissionPolicy::kShedOldest}) {
+    for (int variant = 0; variant < 3; ++variant, ++round) {
+      ServiceOptions opts;
+      opts.workers = 2 + variant % 2;
+      opts.cache_capacity = 2;
+      opts.max_queue_depth = 1 + static_cast<std::size_t>(variant);
+      opts.admission = policy;
+      // Alternate the memoized and cold execution paths under contention.
+      opts.result_cache_capacity = variant % 2 ? 8 : 0;
+      InferenceService service(opts);
+
+      std::atomic<long> attempts{0};
+      std::atomic<long> completed{0};         // wait() returned a report
+      std::atomic<long> admission_failed{0};  // AdmissionRejectedError
+      std::atomic<long> shutdown_failed{0};   // slot failed by shutdown
+      std::atomic<long> refused_entry{0};     // submit threw / try_submit nullopt
+      std::atomic<long> wrong_fingerprint{0};
+
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&, t] {
+          std::mt19937 rng(static_cast<unsigned>(1000 * round + t));
+          for (int i = 0; i < kIters; ++i) {
+            const bool use_a = rng() % 2 == 0;
+            const ServiceRequest& req = use_a ? req_a : req_b;
+            ++attempts;
+            std::optional<RequestId> id;
+            if (rng() % 2 == 0) {
+              try {
+                id = service.submit(req);
+              } catch (const std::runtime_error&) {
+                // Shutdown won the race before enqueue; nothing to wait on
+                // and no later submit can succeed.
+                ++refused_entry;
+                return;
+              }
+            } else {
+              id = service.try_submit(req);
+              if (!id) {
+                ++refused_entry;  // full queue or shutdown; no slot leaked
+                continue;
+              }
+            }
+            if (rng() % 4 == 0) (void)service.done(*id);  // racing poll
+            // An obtained id must resolve exactly once — never hang.
+            try {
+              InferenceReport rep = service.wait(*id);
+              ++completed;
+              if (rep.deterministic_fingerprint() != (use_a ? fp_a : fp_b))
+                ++wrong_fingerprint;
+            } catch (const AdmissionRejectedError&) {
+              ++admission_failed;
+            } catch (const std::runtime_error&) {
+              ++shutdown_failed;
+            }
+          }
+        });
+      }
+
+      // Even rounds: shut down under the submitters at a randomized point.
+      // Odd rounds: let the burst drain; the destructor shuts down.
+      if (round % 2 == 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 + round % 5));
+        service.shutdown();
+      }
+      for (std::thread& t : submitters) t.join();
+
+      const long resolved = completed.load() + admission_failed.load() +
+                            shutdown_failed.load() + refused_entry.load();
+      EXPECT_EQ(resolved, attempts.load())
+          << "round " << round << " (" << admission_policy_name(policy)
+          << "): some attempt neither resolved nor was refused";
+      EXPECT_EQ(wrong_fingerprint.load(), 0)
+          << "round " << round << ": completed request returned a wrong report";
+      if (policy == AdmissionPolicy::kBlock && round % 2 != 0) {
+        // No shutdown race and blocking admission: every attempt either
+        // completes or was a try_submit that found the queue full —
+        // nothing fails after acceptance.
+        EXPECT_EQ(completed.load() + refused_entry.load(), attempts.load())
+            << "round " << round;
+        EXPECT_EQ(admission_failed.load(), 0) << "round " << round;
+        EXPECT_EQ(shutdown_failed.load(), 0) << "round " << round;
+      }
+      AdmissionStats as = service.admission_stats();
+      EXPECT_EQ(as.accepted,
+                completed.load() + shutdown_failed.load() + as.shed)
+          << "round " << round
+          << ": accepted requests must complete, be failed by shutdown, or "
+             "be shed";
+    }
+  }
+}
+
+// Soak the blocking policy specifically: a deep burst through a depth-1
+// queue must fully drain with every submitter backpressured, never
+// refused. Exercises the pop->space_cv_ wakeup chain under contention.
+TEST(ServiceStressTest, BlockingPolicyDrainsDeepBurstThroughDepthOneQueue) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.cache_capacity = 1;
+  opts.max_queue_depth = 1;
+  opts.admission = AdmissionPolicy::kBlock;
+  opts.result_cache_capacity = 4;
+  InferenceService service(opts);
+
+  const ServiceRequest req = tiny_request(203, GnnModelKind::kGcn);
+  const std::uint64_t fp = reference_fingerprint(req);
+  constexpr int kThreads = 4, kPerThread = 10;
+  std::atomic<long> completed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RequestId id = service.submit(req);
+        InferenceReport rep = service.wait(id);
+        EXPECT_EQ(rep.deterministic_fingerprint(), fp);
+        ++completed;
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(completed.load(), kThreads * kPerThread);
+  EXPECT_EQ(service.admission_stats().accepted, kThreads * kPerThread);
+  EXPECT_EQ(service.admission_stats().rejected, 0);
+  EXPECT_EQ(service.admission_stats().shed, 0);
+}
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,13 +1,17 @@
-// Unit tests: util/ (config, rng, prefix sums, math helpers, logging).
+// Unit tests: util/ (config, rng, prefix sums, math helpers, logging,
+// blocking queue incl. the bounded/admission mode).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "util/blocking_queue.hpp"
 #include "util/config.hpp"
 #include "util/logging.hpp"
 #include "util/math_util.hpp"
@@ -274,6 +278,124 @@ TEST(ParallelForRangeTest, ChunksPartitionTheRange) {
       },
       4, 7);
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+using IntQueue = BlockingQueue<int>;
+
+TEST(BlockingQueueTest, UnboundedPushNeverRefusesUntilClosed) {
+  IntQueue q;  // capacity 0 = unbounded
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.try_push(100), IntQueue::PushResult::kOk);
+  EXPECT_EQ(q.size(), 101u);
+  q.close();
+  EXPECT_FALSE(q.push(0));
+  EXPECT_EQ(q.try_push(0), IntQueue::PushResult::kClosed);
+  // Queued items remain poppable after close, in FIFO order.
+  int out = -1;
+  for (int i = 0; i <= 100; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.pop(out));  // closed and drained
+}
+
+TEST(BlockingQueueTest, TryPushDistinguishesFullFromClosed) {
+  IntQueue q(2);
+  EXPECT_EQ(q.try_push(1), IntQueue::PushResult::kOk);
+  EXPECT_EQ(q.try_push(2), IntQueue::PushResult::kOk);
+  EXPECT_EQ(q.try_push(3), IntQueue::PushResult::kFull);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(q.try_push(3), IntQueue::PushResult::kOk);  // space freed
+  q.close();
+  EXPECT_EQ(q.try_push(4), IntQueue::PushResult::kClosed);
+}
+
+TEST(BlockingQueueTest, BoundedPushBlocksUntilPopMakesRoom) {
+  IntQueue q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the pop below
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(pushed.load());  // still blocked on the full queue
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedBoundedPush) {
+  // The close()/bounded-push contract: a producer blocked on a full
+  // queue is woken by close() and returns false without enqueueing — the
+  // item never sneaks into a closing queue. This is what lets
+  // InferenceService::shutdown() compose with the kBlock admission
+  // policy.
+  IntQueue q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<int> result{-1};
+  std::thread producer([&] { result = q.push(2) ? 1 : 0; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));  // the accepted item drains...
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(q.pop(out));  // ...and the refused one was never queued
+}
+
+TEST(BlockingQueueTest, PushShedOldestEvictsInFifoOrderAtomically) {
+  IntQueue q(2);
+  std::vector<int> shed;
+  EXPECT_TRUE(q.push_shed_oldest(1, shed));
+  EXPECT_TRUE(q.push_shed_oldest(2, shed));
+  EXPECT_TRUE(shed.empty());
+  EXPECT_TRUE(q.push_shed_oldest(3, shed));  // sheds 1
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0], 1);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 3);
+  q.close();
+  shed.clear();
+  EXPECT_FALSE(q.push_shed_oldest(4, shed));  // closed: refuse, shed nothing
+  EXPECT_TRUE(shed.empty());
+}
+
+TEST(BlockingQueueTest, ManyProducersConsumersBoundedDeliverEveryItemOnce) {
+  IntQueue q(3);
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 50;
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s = 0;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        EXPECT_TRUE(q.push(p * kPerProducer + i));
+    });
+  std::atomic<int> consumed{0};
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&] {
+      int v = 0;
+      while (q.pop(v)) {
+        ++seen[static_cast<std::size_t>(v)];
+        ++consumed;
+      }
+    });
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();  // producers done; consumers drain and exit
+  for (int c = 0; c < kConsumers; ++c)
+    threads[static_cast<std::size_t>(kProducers + c)].join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
 }
 
 }  // namespace

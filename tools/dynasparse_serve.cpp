@@ -14,6 +14,15 @@
 //                     work-stealing pool freely (default), 1 = serial per
 //                     worker, N = at most N pool threads per request
 //   --cache N         compilation-cache capacity in programs (default 16)
+//   --memoize N       result-cache capacity in reports (default 0 = off):
+//                     repeat requests return the memoized report without
+//                     executing — bit-identical deterministic fields
+//   --memoize-mb M    approximate byte bound for memoized reports
+//                     (default 256 MiB; only meaningful with --memoize)
+//   --max-queue N     bound the request queue to N queued requests
+//                     (default 0 = unbounded)
+//   --admission P     full-queue policy: block | reject | shed
+//                     (default block; only meaningful with --max-queue)
 //   --warm            pre-compile every unique request before timing
 //   --seed S          seed for the synthetic workload     (default 2023)
 //   --baseline        also run the sequential uncached run_inference-style
@@ -22,6 +31,9 @@
 //
 // Requests are submitted asynchronously up front; per-request latency is
 // submit->completion (includes queueing), the honest serving number.
+// Under --admission reject/shed some requests resolve as admission
+// rejections (counted and excluded from the latency percentiles); under
+// block the submit loop itself is backpressured.
 
 #include <algorithm>
 #include <cstdio>
@@ -58,7 +70,8 @@ double percentile(const std::vector<double>& sorted_ms, double p) {
 int main(int argc, char** argv) {
   std::string stream_path, json_path;
   int requests = 16, workers = 0, intra_op = 0;
-  std::size_t cache_capacity = 16;
+  std::size_t cache_capacity = 16, memoize = 0, memoize_mb = 256, max_queue = 0;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
   std::uint64_t seed = 2023;
   bool warm = false, baseline = false;
 
@@ -74,6 +87,10 @@ int main(int argc, char** argv) {
       else if (key == "--workers") workers = std::stoi(need_value());
       else if (key == "--intra-op") intra_op = std::stoi(need_value());
       else if (key == "--cache") cache_capacity = static_cast<std::size_t>(std::stoul(need_value()));
+      else if (key == "--memoize") memoize = static_cast<std::size_t>(std::stoul(need_value()));
+      else if (key == "--memoize-mb") memoize_mb = static_cast<std::size_t>(std::stoul(need_value()));
+      else if (key == "--max-queue") max_queue = static_cast<std::size_t>(std::stoul(need_value()));
+      else if (key == "--admission") admission = parse_admission_policy(need_value());
       else if (key == "--seed") seed = std::stoull(need_value());
       else if (key == "--json") json_path = need_value();
       else if (key == "--warm") warm = true;
@@ -107,11 +124,20 @@ int main(int argc, char** argv) {
   opts.workers = workers;
   opts.cache_capacity = cache_capacity;
   opts.intra_op_threads = intra_op;
+  opts.result_cache_capacity = memoize;
+  opts.result_cache_bytes = memoize_mb << 20;
+  opts.max_queue_depth = max_queue;
+  opts.admission = admission;
   // Options are validated/resolved by the service; report the effective
   // worker count (no hidden cap).
   InferenceService service(opts);
   std::printf("service: %d workers, intra-op cap %d (0 = shared pool)\n",
               service.options().workers, service.options().intra_op_threads);
+  if (memoize > 0)
+    std::printf("memoization: up to %zu reports / %zu MiB\n", memoize, memoize_mb);
+  if (max_queue > 0)
+    std::printf("admission: queue depth %zu, policy %s\n", max_queue,
+                admission_policy_name(admission));
 
   if (warm) {
     for (const ServiceRequest& req : pool)
@@ -128,26 +154,44 @@ int main(int argc, char** argv) {
   std::vector<double> latencies_ms;
   latencies_ms.reserve(ids.size());
   double sim_latency_ms = 0.0;
+  std::size_t completed = 0, admission_rejected = 0;
   for (RequestId id : ids) {
     RequestTiming timing;
-    InferenceReport rep = service.wait(id, &timing);
-    latencies_ms.push_back(timing.total_ms);
-    sim_latency_ms += rep.latency_ms;
+    try {
+      InferenceReport rep = service.wait(id, &timing);
+      latencies_ms.push_back(timing.total_ms);
+      sim_latency_ms += rep.latency_ms;
+      ++completed;
+    } catch (const AdmissionRejectedError&) {
+      ++admission_rejected;  // refused under --max-queue reject/shed
+    }
   }
   double service_wall_ms = wall.elapsed_ms();
 
   CacheStats cs = service.cache_stats();
-  double throughput = static_cast<double>(ids.size()) / (service_wall_ms / 1e3);
+  ResultCacheStats rcs = service.result_cache_stats();
+  double throughput = static_cast<double>(completed) / (service_wall_ms / 1e3);
   std::sort(latencies_ms.begin(), latencies_ms.end());
   double p50 = percentile(latencies_ms, 50.0), p99 = percentile(latencies_ms, 99.0);
   std::printf("wall %.1f ms  throughput %.2f req/s  p50 %.1f ms  p99 %.1f ms\n",
               service_wall_ms, throughput, p50, p99);
+  if (max_queue > 0)
+    std::printf("admission: %zu completed, %zu rejected (policy %s)\n", completed,
+                admission_rejected, admission_policy_name(admission));
   std::printf("cache: %lld hits / %lld misses / %lld evictions (%lld in-flight joins)\n",
               static_cast<long long>(cs.hits), static_cast<long long>(cs.misses),
               static_cast<long long>(cs.evictions),
               static_cast<long long>(cs.inflight_joins));
-  std::printf("mean simulated accelerator latency %.3f ms/request\n",
-              sim_latency_ms / static_cast<double>(ids.size()));
+  if (memoize > 0)
+    std::printf(
+        "result cache: %lld hits / %lld misses / %lld evictions, %lld reports "
+        "resident (~%.1f MiB)\n",
+        static_cast<long long>(rcs.hits), static_cast<long long>(rcs.misses),
+        static_cast<long long>(rcs.evictions), static_cast<long long>(rcs.entries),
+        static_cast<double>(rcs.bytes) / (1024.0 * 1024.0));
+  if (completed > 0)
+    std::printf("mean simulated accelerator latency %.3f ms/request\n",
+                sim_latency_ms / static_cast<double>(completed));
 
   double sequential_wall_ms = 0.0;
   if (baseline) {
@@ -168,9 +212,14 @@ int main(int argc, char** argv) {
     if (!f) usage("cannot write --json file");
     f << "{\n"
       << "  \"requests\": " << ids.size() << ",\n"
+      << "  \"completed\": " << completed << ",\n"
+      << "  \"admission_rejected\": " << admission_rejected << ",\n"
+      << "  \"admission_policy\": \"" << admission_policy_name(admission) << "\",\n"
+      << "  \"max_queue_depth\": " << max_queue << ",\n"
       << "  \"workers\": " << service.options().workers << ",\n"
       << "  \"intra_op_threads\": " << service.options().intra_op_threads << ",\n"
       << "  \"cache_capacity\": " << cache_capacity << ",\n"
+      << "  \"result_cache_capacity\": " << memoize << ",\n"
       << "  \"wall_ms\": " << service_wall_ms << ",\n"
       << "  \"throughput_req_per_s\": " << throughput << ",\n"
       << "  \"latency_p50_ms\": " << p50 << ",\n"
@@ -178,6 +227,10 @@ int main(int argc, char** argv) {
       << "  \"cache_hits\": " << cs.hits << ",\n"
       << "  \"cache_misses\": " << cs.misses << ",\n"
       << "  \"cache_evictions\": " << cs.evictions << ",\n"
+      << "  \"result_cache_hits\": " << rcs.hits << ",\n"
+      << "  \"result_cache_misses\": " << rcs.misses << ",\n"
+      << "  \"result_cache_evictions\": " << rcs.evictions << ",\n"
+      << "  \"result_cache_bytes\": " << rcs.bytes << ",\n"
       << "  \"sequential_wall_ms\": " << sequential_wall_ms << "\n"
       << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
