@@ -14,6 +14,13 @@
 //      (block/reject/shed) — every submit must resolve (report or
 //      admission rejection), and accepted + refused must account for the
 //      whole burst.
+//   5. Similar-heavy plan reuse (ISSUE 5): 12 unique contents over 4 plan
+//      shapes (each (dataset, model) pair at three pruning levels — every
+//      request is a compilation-cache miss, but 8 share an already-planned
+//      shape). With the PlanStore enabled those 8 route through
+//      compile_with_plan and skip partition planning; gate: 4 planned + 8
+//      seeded, total planner wall-clock strictly below the plan-from-
+//      scratch run's, every report bit-identical.
 //
 // The mixed stream is the synthetic serving mix of request_stream.hpp
 // (GCN over CI/CO/PU/FL plus GraphSAGE over CI/CO, cycled). Every service
@@ -294,6 +301,104 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Similar-heavy plan-reuse scenario (ISSUE 5). `planning_ms` below
+  // is the wall-clock spent inside plan_partitions: per-report
+  // CompileStats on the cold side, the PlanStore's own planning counter on
+  // the seeded side (seeded compiles report 0 — the planner never ran for
+  // them). Comparing planner time, not whole-compile wall, keeps the gate
+  // deterministic: data reorganization and sparsity profiling run per
+  // request either way and would drown the delta in noise.
+  double plan_off_planning_ms = -1.0, plan_on_planning_ms = -1.0;
+  double plan_off_wall_ms = -1.0, plan_on_wall_ms = -1.0;
+  bool plan_identical = true;
+  std::int64_t plan_planned = 0, plan_seeded = 0, plan_rejected = 0;
+  std::size_t plan_requests = 0, plan_shapes = 0;
+  {
+    struct Shape {
+      const char* dataset;
+      GnnModelKind model;
+    };
+    static const Shape kShapes[] = {{"CI", GnnModelKind::kGcn},
+                                    {"CO", GnnModelKind::kGcn},
+                                    {"PU", GnnModelKind::kGcn},
+                                    {"CO", GnnModelKind::kSage}};
+    static const double kPrunes[] = {0.0, 0.25, 0.5};
+    plan_shapes = sizeof(kShapes) / sizeof(kShapes[0]);
+    std::vector<ServiceRequest> similar;
+    for (const Shape& s : kShapes)
+      for (double prune : kPrunes) {
+        StreamRequestSpec spec;
+        spec.dataset = s.dataset;
+        spec.model = s.model;
+        spec.prune = prune;
+        spec.seed = seed + 3;
+        similar.push_back(materialize_request(spec));
+      }
+    plan_requests = similar.size();
+
+    struct PlanRun {
+      double wall_ms = 0.0;
+      double planning_ms = 0.0;
+      std::vector<InferenceReport> reports;
+      PlanStoreStats pss;
+    };
+    auto run_similar = [&](std::size_t store_capacity) {
+      ServiceOptions opts;
+      opts.workers = 4;
+      opts.cache_capacity = similar.size();
+      opts.plan_store_capacity = store_capacity;
+      InferenceService service(opts);
+      PlanRun r;
+      Stopwatch sw;
+      std::vector<RequestId> ids;
+      for (const ServiceRequest& req : similar) ids.push_back(service.submit(req));
+      for (RequestId id : ids) r.reports.push_back(service.wait(id));
+      r.wall_ms = sw.elapsed_ms();
+      r.pss = service.plan_store_stats();
+      for (const InferenceReport& rep : r.reports)
+        r.planning_ms += rep.compile.planning_ms;
+      r.planning_ms += r.pss.planning_ms;  // 0 when the store is off
+      return r;
+    };
+
+    for (int rep = 0; rep < reps; ++rep) {
+      PlanRun off = run_similar(0);
+      PlanRun on = run_similar(similar.size());
+      for (std::size_t i = 0; i < similar.size(); ++i)
+        if (off.reports[i].deterministic_fingerprint() !=
+            on.reports[i].deterministic_fingerprint())
+          plan_identical = false;
+      if (plan_off_planning_ms < 0.0 || off.planning_ms < plan_off_planning_ms)
+        plan_off_planning_ms = off.planning_ms;
+      if (plan_on_planning_ms < 0.0 || on.planning_ms < plan_on_planning_ms)
+        plan_on_planning_ms = on.planning_ms;
+      if (plan_off_wall_ms < 0.0 || off.wall_ms < plan_off_wall_ms)
+        plan_off_wall_ms = off.wall_ms;
+      if (plan_on_wall_ms < 0.0 || on.wall_ms < plan_on_wall_ms)
+        plan_on_wall_ms = on.wall_ms;
+      if (rep == 0) {
+        plan_planned = on.pss.planned;
+        plan_seeded = on.pss.seeded;
+        plan_rejected = on.pss.rejected;
+      }
+    }
+    std::printf(
+        "similar-heavy plan reuse (%zu requests, %zu shapes): planner "
+        "wall-clock %.3f ms cold vs %.3f ms seeded (%.2fx), %lld planned / "
+        "%lld seeded, bit-identical: %s\n",
+        plan_requests, plan_shapes, plan_off_planning_ms, plan_on_planning_ms,
+        plan_off_planning_ms / plan_on_planning_ms,
+        static_cast<long long>(plan_planned), static_cast<long long>(plan_seeded),
+        plan_identical ? "yes" : "NO");
+  }
+  bool plan_ok = plan_identical &&
+                 plan_planned == static_cast<std::int64_t>(plan_shapes) &&
+                 plan_seeded ==
+                     static_cast<std::int64_t>(plan_requests - plan_shapes) &&
+                 plan_rejected == 0 &&
+                 plan_on_planning_ms < plan_off_planning_ms;
+  if (!plan_identical) all_identical = false;
+
   double speedup = seq_best / svc_best;
   double seq_thru = static_cast<double>(pool.size()) / (seq_best / 1e3);
   double svc_thru = static_cast<double>(pool.size()) / (svc_best / 1e3);
@@ -342,6 +447,19 @@ int main(int argc, char** argv) {
   w.key("result_cache_misses").value(memo_misses);
   w.key("bit_identical").value(memo_identical);
   w.end_object();
+  w.key("plan_reuse").begin_object();
+  w.key("requests").value(static_cast<std::int64_t>(plan_requests));
+  w.key("plan_shapes").value(static_cast<std::int64_t>(plan_shapes));
+  w.key("planned").value(plan_planned);
+  w.key("seeded").value(plan_seeded);
+  w.key("rejected").value(plan_rejected);
+  w.key("cold_planning_ms").value(plan_off_planning_ms);
+  w.key("seeded_planning_ms").value(plan_on_planning_ms);
+  w.key("planning_speedup").value(plan_off_planning_ms / plan_on_planning_ms);
+  w.key("cold_wall_ms").value(plan_off_wall_ms);
+  w.key("seeded_wall_ms").value(plan_on_wall_ms);
+  w.key("bit_identical").value(plan_identical);
+  w.end_object();
   w.key("admission_saturation").begin_array();
   for (const AdmissionRun& run : admission_runs) {
     w.begin_object();
@@ -386,5 +504,13 @@ int main(int argc, char** argv) {
                 memo_speedup, static_cast<long long>(memo_hits),
                 memo_identical ? "yes" : "no");
   if (!admission_ok) std::printf("FAIL: admission saturation scenario\n");
-  return all_identical && speedup >= 2.0 && memo_ok && admission_ok ? 0 : 1;
+  if (!plan_ok)
+    std::printf(
+        "FAIL: plan-reuse scenario (planned %lld, seeded %lld, rejected %lld, "
+        "planning %.3f -> %.3f ms, identical %s)\n",
+        static_cast<long long>(plan_planned), static_cast<long long>(plan_seeded),
+        static_cast<long long>(plan_rejected), plan_off_planning_ms,
+        plan_on_planning_ms, plan_identical ? "yes" : "no");
+  return all_identical && speedup >= 2.0 && memo_ok && admission_ok && plan_ok ? 0
+                                                                              : 1;
 }

@@ -44,12 +44,10 @@ CompiledProgram compile_impl(const GnnModel& model, const Dataset& ds,
       throw std::invalid_argument("reused plan incompatible with config");
     prog.plan = reuse_plan;
   } else {
-    std::vector<KernelWorkload> workloads;
-    workloads.reserve(prog.kernels.size());
-    for (const KernelIR& k : prog.kernels)
-      workloads.push_back(
-          KernelWorkload{k.spec.kind, k.num_vertices, k.spec.out_dim});
+    std::vector<KernelWorkload> workloads = planner_workloads(prog.kernels);
+    Stopwatch plan_sw;
     prog.plan = plan_partitions(workloads, cfg);
+    prog.stats.planning_ms = plan_sw.elapsed_ms();
   }
   for (KernelIR& k : prog.kernels) attach_scheme(k, prog.plan.n1, prog.plan.n2);
 

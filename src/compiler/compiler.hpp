@@ -31,6 +31,11 @@ struct CompileStats {
   double ir_ms = 0.0;          // IR + computation-graph generation
   double partition_ms = 0.0;   // partition planning + data reorganization
   double sparsity_ms = 0.0;    // compile-time density profiling
+  /// Sub-measurement of partition_ms (NOT added by total_ms): wall-clock
+  /// inside plan_partitions only. 0.0 when the plan was reused — this is
+  /// the work a plan-seeded compile skips, and what the plan-reuse bench
+  /// gates on.
+  double planning_ms = 0.0;
   double total_ms() const { return ir_ms + partition_ms + sparsity_ms; }
 };
 

@@ -24,6 +24,14 @@ std::int64_t tasks_for(const KernelWorkload& k, std::int64_t n1, std::int64_t n2
   return ceil_div(k.num_vertices, n1) * ceil_div(k.out_dim, n2);
 }
 
+std::vector<KernelWorkload> planner_workloads(const std::vector<KernelIR>& kernels) {
+  std::vector<KernelWorkload> workloads;
+  workloads.reserve(kernels.size());
+  for (const KernelIR& k : kernels)
+    workloads.push_back(KernelWorkload{k.spec.kind, k.num_vertices, k.spec.out_dim});
+  return workloads;
+}
+
 PartitionPlan plan_partitions(const std::vector<KernelWorkload>& kernels,
                               const SimConfig& cfg) {
   if (kernels.empty()) throw std::invalid_argument("no kernels to plan");

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "compiler/ir.hpp"
 #include "model/model.hpp"
 #include "util/config.hpp"
 
@@ -32,6 +33,13 @@ struct KernelWorkload {
   std::int64_t out_dim = 0;
   std::int64_t workload() const { return num_vertices * out_dim; }
 };
+
+/// The planner's projection of a computation graph: one workload
+/// descriptor per kernel IR. Every planning site (compile() and the
+/// service's PlanStore) routes through this, so a stored plan is derived
+/// from exactly the inputs a cold compile would plan from — keep any new
+/// planner input here AND in plan_signature (compiler/signature.hpp).
+std::vector<KernelWorkload> planner_workloads(const std::vector<KernelIR>& kernels);
 
 /// Algorithm 9. Partition sizes are multiples of psys (systolic alignment)
 /// within [cfg.min_partition, Nmax]; when a kernel is too small to ever

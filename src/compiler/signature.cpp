@@ -103,6 +103,22 @@ std::uint64_t ir_signature(const std::vector<KernelIR>& kernels,
   return h.digest();
 }
 
+std::uint64_t plan_signature(const GnnModel& model, std::int64_t num_vertices,
+                             const SimConfig& cfg) {
+  HashStream h;
+  h.i64(num_vertices);
+  h.u64(model.kernels.size());
+  for (const KernelSpec& s : model.kernels)
+    h.i64(static_cast<std::int64_t>(s.kind)).i64(s.out_dim);
+  h.i64(cfg.psys)
+      .i64(cfg.num_cores)
+      .i64(cfg.load_balance_eta)
+      .i64(cfg.min_partition)
+      .u64(cfg.onchip_tile_bytes)
+      .i64(cfg.dense_elem_bytes);
+  return h.digest();
+}
+
 std::string CompileKey::to_string() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%016llx-%016llx-%016llx",

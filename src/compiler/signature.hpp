@@ -89,6 +89,25 @@ std::uint64_t config_signature(const SimConfig& cfg);
 std::uint64_t ir_signature(const std::vector<KernelIR>& kernels,
                            const PartitionPlan& plan);
 
+/// Plan-compatibility signature: hashes exactly the partition planner's
+/// inputs — the per-kernel workload sequence (kind, out_dim; every kernel
+/// spans the whole graph, so one vertex count covers all of them) plus
+/// the SimConfig fields plan_partitions reads (psys, num_cores,
+/// load_balance_eta, min_partition, and the onchip_tile_bytes /
+/// dense_elem_bytes behind max_partition_size). A strict subset of the
+/// CompileKey content: weight values, feature nonzeros, graph topology
+/// beyond |V|, and the non-planning config fields do not flow in, so
+/// *similar* requests — same model/plan shape but a different dataset
+/// instance, pruning level, or weight draw — collide here even though
+/// their CompileKeys differ. Equal signatures guarantee plan_partitions
+/// would return the identical PartitionPlan, which is what licenses the
+/// PlanStore (service/plan_store.hpp) to seed compile_with_plan and still
+/// produce a bit-identical program. Keep in sync with plan_partitions the
+/// same way config_signature tracks SimConfig: a new planner input MUST
+/// be added here or incompatible requests would share plans.
+std::uint64_t plan_signature(const GnnModel& model, std::int64_t num_vertices,
+                             const SimConfig& cfg);
+
 /// Compilation-cache key: independent content hashes of the three compile
 /// inputs. Equality of all three components is what "same compilation"
 /// means to the service.

@@ -1,5 +1,7 @@
 #include "io/ir_io.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -87,18 +89,29 @@ IrSnapshot read_ir(std::istream& in) {
   {
     std::istringstream is = next();
     is >> word >> snap.plan.n1 >> snap.plan.n2 >> snap.plan.n_max;
-    if (word != "plan" || !is || snap.plan.n1 <= 0 || snap.plan.n2 <= 0)
+    if (word != "plan" || !is || snap.plan.n1 <= 0 || snap.plan.n2 <= 0 ||
+        snap.plan.n_max <= 0)
       fail("bad plan line", line_no);
   }
-  std::size_t count = 0;
+  // The count arrives from an untrusted file: read it signed (operator>>
+  // into an unsigned type would wrap "-3" to a huge value) and bound it
+  // BEFORE sizing any container — `kernels 99999999999` must be a parse
+  // error, not a bad_alloc/OOM. kMaxKernels is orders of magnitude above
+  // any real model (one kernel per layer-stage); growth below is
+  // incremental anyway, so a lying count inside the bound just hits
+  // "unexpected end" at the first missing line.
+  constexpr std::int64_t kMaxKernels = 1 << 20;
+  std::int64_t count = 0;
   {
     std::istringstream is = next();
     is >> word >> count;
-    if (word != "kernels" || !is) fail("bad kernel count", line_no);
+    if (word != "kernels" || !is || count < 0) fail("bad kernel count", line_no);
+    if (count > kMaxKernels) fail("kernel count out of range", line_no);
   }
-  snap.kernels.resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    KernelIR& k = snap.kernels[i];
+  snap.kernels.reserve(static_cast<std::size_t>(std::min<std::int64_t>(count, 4096)));
+  for (std::int64_t i = 0; i < count; ++i) {
+    snap.kernels.emplace_back();
+    KernelIR& k = snap.kernels.back();
     {
       std::istringstream is = next();
       int kind = 0, adj = 0, op = 0, act = 0;
@@ -109,6 +122,9 @@ IrSnapshot read_ir(std::istream& in) {
       if (kind < 0 || kind > 1 || adj < 0 || adj > 3 || op < 0 || op > 2 || act < 0 ||
           act > 2)
         fail("enum out of range in kernel line", line_no);
+      if (k.num_vertices < 0 || k.num_edges < 0 || k.spec.in_dim < 0 ||
+          k.spec.out_dim < 0)
+        fail("negative size in kernel line", line_no);
       k.spec.kind = static_cast<KernelKind>(kind);
       k.spec.adj = static_cast<AdjKind>(adj);
       k.spec.op = static_cast<AccumOp>(op);
@@ -119,6 +135,8 @@ IrSnapshot read_ir(std::istream& in) {
       ExecutionSchemeMeta& m = k.scheme;
       is >> word >> m.n1 >> m.n2 >> m.grid_i >> m.grid_k >> m.inner_steps;
       if (word != "scheme" || !is) fail("bad scheme line", line_no);
+      if (m.n1 <= 0 || m.n2 <= 0 || m.grid_i < 0 || m.grid_k < 0 || m.inner_steps < 0)
+        fail("scheme sizes out of range", line_no);
     }
   }
   return snap;

@@ -2,6 +2,12 @@
 
 namespace dynasparse {
 
+CompiledProgram CompilationCache::compile_miss(const GnnModel& model,
+                                               const Dataset& ds,
+                                               const SimConfig& cfg) const {
+  return plans_ ? plans_->compile_seeded(model, ds, cfg) : compile(model, ds, cfg);
+}
+
 std::shared_ptr<const CompiledProgram> CompilationCache::get_or_compile(
     const GnnModel& model, const Dataset& ds, const SimConfig& cfg) {
   if (impl_.max_entries() == 0) {
@@ -9,7 +15,7 @@ std::shared_ptr<const CompiledProgram> CompilationCache::get_or_compile(
     // weight bit and graph index) and go straight to the compiler. The
     // dummy key is never stored.
     return impl_.get_or_make(CompileKey{}, [&] {
-      return std::make_shared<const CompiledProgram>(compile(model, ds, cfg));
+      return std::make_shared<const CompiledProgram>(compile_miss(model, ds, cfg));
     });
   }
   return get_or_compile(make_compile_key(model, ds, cfg),  // hash outside the lock
@@ -20,7 +26,7 @@ std::shared_ptr<const CompiledProgram> CompilationCache::get_or_compile(
     const CompileKey& key, const GnnModel& model, const Dataset& ds,
     const SimConfig& cfg) {
   return impl_.get_or_make(key, [&] {
-    return std::make_shared<const CompiledProgram>(compile(model, ds, cfg));
+    return std::make_shared<const CompiledProgram>(compile_miss(model, ds, cfg));
   });
 }
 

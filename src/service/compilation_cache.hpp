@@ -21,6 +21,7 @@
 
 #include "compiler/compiler.hpp"
 #include "compiler/signature.hpp"
+#include "service/plan_store.hpp"
 #include "util/keyed_future_cache.hpp"
 
 namespace dynasparse {
@@ -35,7 +36,15 @@ struct CacheStats {
 
 class CompilationCache {
  public:
-  explicit CompilationCache(std::size_t capacity = 16) : impl_(capacity) {}
+  /// `plans` (optional, shared) seeds the plan of every cache-miss
+  /// compile: a miss first consults the PlanStore for a plan-compatible
+  /// snapshot (service/plan_store.hpp) and routes through
+  /// compile_with_plan, re-planning from scratch only for never-seen plan
+  /// shapes. Null = every miss plans from scratch (the pre-PlanStore
+  /// behavior).
+  explicit CompilationCache(std::size_t capacity = 16,
+                            std::shared_ptr<PlanStore> plans = nullptr)
+      : impl_(capacity), plans_(std::move(plans)) {}
 
   /// Return the program for (model, ds, cfg), compiling at most once per
   /// content key. May block while another thread compiles the same key.
@@ -60,11 +69,18 @@ class CompilationCache {
 
   CacheStats stats() const;
   std::size_t capacity() const { return impl_.max_entries(); }
+  /// The plan store seeding this cache's misses, or null.
+  const std::shared_ptr<PlanStore>& plan_store() const { return plans_; }
   /// Drop every ready entry (in-flight compiles complete unobserved).
   void clear() { impl_.clear(); }
 
  private:
+  /// compile(), optionally plan-seeded through the store.
+  CompiledProgram compile_miss(const GnnModel& model, const Dataset& ds,
+                               const SimConfig& cfg) const;
+
   KeyedFutureCache<CompileKey, CompiledProgram> impl_;
+  std::shared_ptr<PlanStore> plans_;
 };
 
 }  // namespace dynasparse

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
+#include "util/strict_parse.hpp"
 
 namespace dynasparse {
 
@@ -16,27 +18,36 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Read a non-negative integer env var into `out`; leaves it untouched
-/// when unset or malformed.
-void env_size(const char* name, std::size_t& out) {
-  if (const char* env = std::getenv(name)) {
-    char* end = nullptr;
-    long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 0) out = static_cast<std::size_t>(v);
-  }
-}
-
 ServiceOptions default_engine_options() {
+  // Every integer knob parses strictly (parse_env_size logs and keeps the
+  // default on a malformed value — never a silent misparse).
   ServiceOptions opts;
-  opts.cache_capacity = 4;
-  env_size("DYNASPARSE_ENGINE_CACHE", opts.cache_capacity);
+  opts.cache_capacity = parse_env_size("DYNASPARSE_ENGINE_CACHE", 4);
   // Result memoization stays off unless explicitly enabled: run_inference
   // callers did not opt into retaining output matrices.
-  env_size("DYNASPARSE_RESULT_CACHE", opts.result_cache_capacity);
-  std::size_t mb = opts.result_cache_bytes >> 20;
-  env_size("DYNASPARSE_RESULT_CACHE_MB", mb);
-  opts.result_cache_bytes = mb << 20;
+  opts.result_cache_capacity = parse_env_size("DYNASPARSE_RESULT_CACHE", 0);
+  // Bound the MB knob so the <<20 below cannot overflow size_t (2^44 MB
+  // would silently wrap the byte cap to 0 = unbounded).
+  const long long max_mb =
+      static_cast<long long>(std::numeric_limits<std::size_t>::max() >> 20);
+  opts.result_cache_bytes =
+      static_cast<std::size_t>(parse_env_int(
+          "DYNASPARSE_RESULT_CACHE_MB",
+          static_cast<long long>(opts.result_cache_bytes >> 20), 0, max_mb))
+      << 20;
+  opts.plan_store_capacity = parse_env_size("DYNASPARSE_PLAN_STORE", 0);
+  if (const char* dir = std::getenv("DYNASPARSE_PLAN_STORE_DIR"))
+    opts.plan_store_dir = dir;
   return opts;
+}
+
+/// The PlanStore for `opts`, or null when plan reuse is disabled.
+std::shared_ptr<PlanStore> make_plan_store(const ServiceOptions& opts) {
+  if (opts.plan_store_capacity == 0) return nullptr;
+  PlanStoreOptions po;
+  po.capacity = opts.plan_store_capacity;
+  po.dir = opts.plan_store_dir;
+  return std::make_shared<PlanStore>(std::move(po));
 }
 
 /// Reject nonsense, resolve defaults: options().workers always reports
@@ -98,7 +109,8 @@ ServiceRequest ServiceRequest::borrow(const GnnModel& model, const Dataset& data
 
 InferenceService::InferenceService(ServiceOptions options)
     : options_(validate_and_resolve(options)),
-      cache_(options_.cache_capacity),
+      plan_store_(make_plan_store(options_)),
+      cache_(options_.cache_capacity, plan_store_),
       result_cache_(options_.result_cache_capacity, options_.result_cache_bytes),
       queue_(options_.max_queue_depth) {
   // Requests executed (or joined) by this service's destructor use the

@@ -181,6 +181,19 @@ struct ServiceOptions {
   /// Approximate byte bound for resident memoized reports (they carry
   /// the full functional output matrix). 0 = bounded by count only.
   std::size_t result_cache_bytes = 256u << 20;
+  /// PlanStore capacity in plans (service/plan_store.hpp). 0 disables
+  /// cross-request plan reuse (the default): every compilation-cache miss
+  /// plans its partitions from scratch. When > 0, a miss first consults
+  /// the store for a plan-compatible snapshot (same model/plan shape,
+  /// vertex count, and planning config — plan_signature) and routes
+  /// through compile_with_plan, skipping the planner; reports stay
+  /// bit-identical to plan-from-scratch compilation by the determinism
+  /// contract.
+  std::size_t plan_store_capacity = 0;
+  /// Disk tier for the plan store (ignored while plan_store_capacity is
+  /// 0). Non-empty: plans persist as IR snapshots under this directory,
+  /// and a restarted service warm-starts its compiler from them.
+  std::string plan_store_dir;
 };
 
 class InferenceService {
@@ -247,6 +260,13 @@ class InferenceService {
   CacheStats cache_stats() const { return cache_.stats(); }
   ResultCache& result_cache() { return result_cache_; }
   ResultCacheStats result_cache_stats() const { return result_cache_.stats(); }
+  /// The plan store seeding compilation-cache misses, or null when
+  /// ServiceOptions::plan_store_capacity is 0.
+  PlanStore* plan_store() { return plan_store_.get(); }
+  /// Zero-initialized stats while the store is disabled.
+  PlanStoreStats plan_store_stats() const {
+    return plan_store_ ? plan_store_->stats() : PlanStoreStats{};
+  }
   AdmissionStats admission_stats() const;
   /// Resolved options: workers is the effective worker count (never 0).
   const ServiceOptions& options() const { return options_; }
@@ -257,7 +277,12 @@ class InferenceService {
   /// restores the pre-service always-recompile behavior). Result
   /// memoization is off by default; DYNASPARSE_RESULT_CACHE=N enables an
   /// N-report ResultCache and DYNASPARSE_RESULT_CACHE_MB bounds its
-  /// approximate resident bytes (default 256 MiB when enabled).
+  /// approximate resident bytes (default 256 MiB when enabled). Plan
+  /// reuse is off by default; DYNASPARSE_PLAN_STORE=N enables an N-plan
+  /// PlanStore and DYNASPARSE_PLAN_STORE_DIR adds its disk tier. All
+  /// integer knobs parse strictly (util/strict_parse.hpp): a malformed
+  /// value logs a warning and keeps the default instead of being silently
+  /// ignored or misread.
   static InferenceService& process_default();
 
  private:
@@ -286,6 +311,7 @@ class InferenceService {
   bool fail_slot_locked(Slot& slot, std::exception_ptr error);
 
   const ServiceOptions options_;
+  std::shared_ptr<PlanStore> plan_store_;  // null when disabled; outlives cache_
   CompilationCache cache_;
   ResultCache result_cache_;
   BlockingQueue<Job> queue_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "model/pruning.hpp"
+#include "util/strict_parse.hpp"
 
 namespace dynasparse {
 
@@ -23,37 +24,9 @@ const char* strategy_token(MappingStrategy s) {
   return "dynamic";
 }
 
-/// Strict numeric parsing: the whole token must be consumed (std::stoi
-/// alone would accept "4x2" as 4, silently benchmarking the wrong
-/// configuration).
-template <typename T, typename ParseFn>
-T parse_full(const std::string& value, ParseFn parse) {
-  std::size_t consumed = 0;
-  T result = parse(value, &consumed);
-  if (consumed != value.size()) throw std::invalid_argument("trailing characters");
-  return result;
-}
-
-int strict_stoi(const std::string& v) {
-  return parse_full<int>(v, [](const std::string& s, std::size_t* p) {
-    return std::stoi(s, p);
-  });
-}
-std::int64_t strict_stoll(const std::string& v) {
-  return parse_full<std::int64_t>(v, [](const std::string& s, std::size_t* p) {
-    return std::stoll(s, p);
-  });
-}
-std::uint64_t strict_stoull(const std::string& v) {
-  return parse_full<std::uint64_t>(v, [](const std::string& s, std::size_t* p) {
-    return std::stoull(s, p);
-  });
-}
-double strict_stod(const std::string& v) {
-  return parse_full<double>(v, [](const std::string& s, std::size_t* p) {
-    return std::stod(s, p);
-  });
-}
+// Strict whole-token numeric parsing lives in util/strict_parse.hpp,
+// shared with the CLIs so stream files and command-line flags reject
+// malformed values ("4x2", "16abc") identically.
 
 const char* model_token(GnnModelKind kind) {
   switch (kind) {

@@ -12,6 +12,8 @@
 #include <mutex>
 #include <thread>
 
+#include "util/strict_parse.hpp"
+
 namespace dynasparse {
 
 namespace {
@@ -36,16 +38,13 @@ unsigned hardware_threads() {
 
 /// threads=0 default: DYNASPARSE_FORCE_THREADS (read once) or the
 /// hardware width. The override exists so 1-vCPU CI runners still
-/// exercise real multi-worker pool schedules.
+/// exercise real multi-worker pool schedules. Strictly parsed
+/// (util/strict_parse.hpp): a malformed or out-of-range value logs a
+/// warning and falls back to the hardware width instead of being
+/// silently ignored.
 int default_threads() {
-  static const int forced = [] {
-    if (const char* env = std::getenv("DYNASPARSE_FORCE_THREADS")) {
-      char* end = nullptr;
-      long v = std::strtol(env, &end, 10);
-      if (end != env && v > 0) return static_cast<int>(std::min<long>(v, 256));
-    }
-    return 0;
-  }();
+  static const int forced =
+      static_cast<int>(parse_env_int("DYNASPARSE_FORCE_THREADS", 0, 0, 256));
   return forced > 0 ? forced : static_cast<int>(hardware_threads());
 }
 

@@ -1,0 +1,94 @@
+#include "util/strict_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace dynasparse {
+
+namespace {
+
+/// Run `parse` and require it to consume the whole token. Rewraps the
+/// stoi-family exceptions so the message names the offending text (the
+/// bare "stoi" they throw is useless in a usage error).
+template <typename T, typename ParseFn>
+T parse_full(const std::string& value, ParseFn parse) {
+  std::size_t consumed = 0;
+  T result{};
+  try {
+    result = parse(value, &consumed);
+  } catch (const std::out_of_range&) {
+    throw std::out_of_range("value out of range: \"" + value + "\"");
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("not a number: \"" + value + "\"");
+  }
+  if (consumed != value.size())
+    throw std::invalid_argument("trailing characters in \"" + value + "\"");
+  return result;
+}
+
+/// std::stoull happily parses "-1" as 2^64-1; an unsigned knob must
+/// reject negative input instead of wrapping it.
+void reject_negative(const std::string& v) {
+  std::size_t i = 0;
+  while (i < v.size() && std::isspace(static_cast<unsigned char>(v[i]))) ++i;
+  if (i < v.size() && v[i] == '-')
+    throw std::invalid_argument("negative value \"" + v + "\" for unsigned field");
+}
+
+}  // namespace
+
+int strict_stoi(const std::string& v) {
+  return parse_full<int>(v, [](const std::string& s, std::size_t* p) {
+    return std::stoi(s, p);
+  });
+}
+
+std::int64_t strict_stoll(const std::string& v) {
+  return parse_full<std::int64_t>(v, [](const std::string& s, std::size_t* p) {
+    return std::stoll(s, p);
+  });
+}
+
+std::uint64_t strict_stoull(const std::string& v) {
+  reject_negative(v);
+  return parse_full<std::uint64_t>(v, [](const std::string& s, std::size_t* p) {
+    return std::stoull(s, p);
+  });
+}
+
+double strict_stod(const std::string& v) {
+  return parse_full<double>(v, [](const std::string& s, std::size_t* p) {
+    return std::stod(s, p);
+  });
+}
+
+long long parse_env_int(const char* name, long long fallback,
+                        long long min_value, long long max_value) {
+  const char* env = std::getenv(name);
+  if (!env || *env == '\0') return fallback;
+  long long v = 0;
+  try {
+    v = strict_stoll(env);
+  } catch (const std::exception&) {
+    log_warn(name, "=\"", env, "\" is not an integer; using default ", fallback);
+    return fallback;
+  }
+  if (v < min_value || v > max_value) {
+    log_warn(name, "=", v, " outside [", min_value, ", ", max_value,
+             "]; using default ", fallback);
+    return fallback;
+  }
+  return v;
+}
+
+std::size_t parse_env_size(const char* name, std::size_t fallback) {
+  return static_cast<std::size_t>(
+      parse_env_int(name, static_cast<long long>(fallback), 0,
+                    std::numeric_limits<long long>::max()));
+}
+
+}  // namespace dynasparse

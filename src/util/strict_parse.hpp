@@ -1,0 +1,47 @@
+#pragma once
+// Strict input parsing shared by the serving entry points.
+//
+// The std::stoi family alone accepts "16abc" as 16 — a typo silently
+// benchmarks the wrong configuration — and throws a bare
+// std::invalid_argument("stoi") on "abc" that surfaces as an unhandled
+// crash in a CLI. These wrappers require the whole token to be consumed
+// and carry the offending text in the exception message, so callers can
+// turn any bad value into one clean usage error. First written for
+// service/request_stream.cpp; now also behind tools/dynasparse_serve and
+// tools/dynasparse_cli so stream files and CLI flags share one parsing
+// discipline.
+//
+// parse_env_int is the environment-variable counterpart: knobs like
+// DYNASPARSE_RESULT_CACHE or DYNASPARSE_FORCE_THREADS must never change
+// behavior silently on a typo. A set-but-malformed or out-of-range value
+// logs one warning (util/logging.hpp) and deterministically falls back to
+// the caller's default — never a crash, never a silent misparse.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dynasparse {
+
+/// Whole-token numeric parsers: throw std::invalid_argument unless the
+/// entire string is one valid literal (std::stoi would accept "4x2" as 4),
+/// or std::out_of_range when the value does not fit the target type. The
+/// unsigned parsers additionally reject negative input, which std::stoull
+/// would silently wrap to a huge positive value.
+int strict_stoi(const std::string& v);
+std::int64_t strict_stoll(const std::string& v);
+std::uint64_t strict_stoull(const std::string& v);
+double strict_stod(const std::string& v);
+
+/// Read the integer environment variable `name`. Unset (or set empty, the
+/// shell idiom for unset) returns `fallback` silently; set but malformed
+/// (non-whole-token) or outside [min_value, max_value] logs one warning
+/// and returns `fallback`.
+long long parse_env_int(const char* name, long long fallback,
+                        long long min_value, long long max_value);
+
+/// parse_env_int for non-negative size knobs (cache capacities, byte
+/// bounds): any value in [0, SIZE_MAX representable as long long].
+std::size_t parse_env_size(const char* name, std::size_t fallback);
+
+}  // namespace dynasparse

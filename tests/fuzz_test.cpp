@@ -174,6 +174,80 @@ TEST_P(IoRoundTripFuzz, IrSnapshotWriteReadWriteFixpoint) {
   EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
 }
 
+// read_ir must treat its input as hostile: truncated or corrupted
+// snapshots throw std::runtime_error with a line number — never crash,
+// never allocate from an unvalidated count (a `kernels 99999999999` line
+// must be a parse error, not a bad_alloc/OOM).
+
+/// A valid serialized snapshot to mutate.
+std::string serialized_snapshot(std::uint64_t seed) {
+  Dataset ds = random_io_dataset(seed + 13);
+  Rng rng(seed + 14);
+  GnnModelKind kind = paper_models()[static_cast<std::size_t>(seed) % 4];
+  GnnModel m = build_model(kind, ds.spec.feature_dim, ds.spec.hidden_dim,
+                           ds.spec.num_classes, rng);
+  CompiledProgram prog = compile(m, ds, u250_config());
+  std::ostringstream os;
+  write_ir(snapshot_of(prog), os);
+  return os.str();
+}
+
+TEST_P(IoRoundTripFuzz, TruncatedIrSnapshotsThrowNeverCrash) {
+  const std::string full = serialized_snapshot(GetParam());
+  // Any prefix missing at least the final line must fail cleanly: either
+  // a cut line loses required fields, or a later required line is absent.
+  // (Cutting *within* the final line can still parse — "steps 12" ->
+  // "steps 1" — so the sweep stops at its start. Sampled stride + the
+  // empty prefix keep the sweep fast.)
+  const std::size_t last_line = full.rfind("scheme");
+  ASSERT_NE(last_line, std::string::npos);
+  for (std::size_t len = 0; len <= last_line; len += 7) {
+    std::istringstream in(full.substr(0, len));
+    EXPECT_THROW(read_ir(in), std::runtime_error) << "prefix length " << len;
+  }
+}
+
+TEST_P(IoRoundTripFuzz, HostileKernelCountsAreParseErrorsNotOoms) {
+  const std::string full = serialized_snapshot(GetParam());
+  const std::string counts[] = {"99999999999", "-3", "1048577", "two"};
+  for (const std::string& count : counts) {
+    // Rewrite the `kernels N` line, keeping the rest of the snapshot.
+    std::istringstream lines(full);
+    std::ostringstream mutated;
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.rfind("kernels ", 0) == 0) line = "kernels " + count;
+      mutated << line << '\n';
+    }
+    std::istringstream in(mutated.str());
+    EXPECT_THROW(read_ir(in), std::runtime_error) << "count " << count;
+  }
+}
+
+TEST_P(IoRoundTripFuzz, RandomlyCorruptedIrSnapshotsNeverCrash) {
+  const std::string full = serialized_snapshot(GetParam());
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string corrupt = full;
+    // Flip 1-4 characters to arbitrary printable bytes (newlines
+    // included, so lines can merge or split).
+    int flips = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int f = 0; f < flips; ++f) {
+      std::size_t pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(corrupt.size()) - 1));
+      corrupt[pos] = static_cast<char>(rng.uniform_int(9, 126));
+    }
+    std::istringstream in(corrupt);
+    try {
+      IrSnapshot snap = read_ir(in);  // a benign flip may still parse...
+      EXPECT_LE(snap.kernels.size(), 1u << 20);  // ...but never oversized
+    } catch (const std::runtime_error&) {
+      // Expected for most mutations; anything else (bad_alloc, UB caught
+      // by sanitizers, uncaught stoi exceptions) fails the test.
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTripFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 

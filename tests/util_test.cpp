@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "util/parallel.hpp"
 #include "util/prefix_sum.hpp"
 #include "util/random.hpp"
+#include "util/strict_parse.hpp"
 
 namespace dynasparse {
 namespace {
@@ -396,6 +398,52 @@ TEST(BlockingQueueTest, ManyProducersConsumersBoundedDeliverEveryItemOnce) {
     threads[static_cast<std::size_t>(kProducers + c)].join();
   EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
   for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+// ---- strict parsing (util/strict_parse.hpp) -------------------------------
+
+TEST(StrictParseTest, WholeTokenRequired) {
+  EXPECT_EQ(strict_stoi("16"), 16);
+  EXPECT_EQ(strict_stoi("-4"), -4);
+  EXPECT_EQ(strict_stoll("123456789012"), 123456789012ll);
+  EXPECT_EQ(strict_stoull("2023"), 2023ull);
+  EXPECT_DOUBLE_EQ(strict_stod("0.5"), 0.5);
+  // std::stoi alone accepts all of these as their numeric prefix.
+  EXPECT_THROW(strict_stoi("16abc"), std::invalid_argument);
+  EXPECT_THROW(strict_stoi("4x2"), std::invalid_argument);
+  EXPECT_THROW(strict_stoll("12 "), std::invalid_argument);
+  EXPECT_THROW(strict_stod("0.5pt"), std::invalid_argument);
+  EXPECT_THROW(strict_stoi("abc"), std::invalid_argument);
+  EXPECT_THROW(strict_stoi(""), std::invalid_argument);
+  EXPECT_THROW(strict_stoi("999999999999999999999"), std::out_of_range);
+}
+
+TEST(StrictParseTest, UnsignedRejectsNegativeInsteadOfWrapping) {
+  // std::stoull("-1") silently yields 2^64 - 1.
+  EXPECT_THROW(strict_stoull("-1"), std::invalid_argument);
+  EXPECT_THROW(strict_stoull(" -7"), std::invalid_argument);
+  EXPECT_EQ(strict_stoull("18446744073709551615"), ~0ull);
+}
+
+TEST(ParseEnvIntTest, UnsetAndEmptyFallBackSilently) {
+  unsetenv("DYNASPARSE_TEST_KNOB");
+  EXPECT_EQ(parse_env_int("DYNASPARSE_TEST_KNOB", 42, 0, 100), 42);
+  setenv("DYNASPARSE_TEST_KNOB", "", 1);
+  EXPECT_EQ(parse_env_int("DYNASPARSE_TEST_KNOB", 42, 0, 100), 42);
+  unsetenv("DYNASPARSE_TEST_KNOB");
+}
+
+TEST(ParseEnvIntTest, ValidValuesParsedMalformedFallBackDeterministically) {
+  setenv("DYNASPARSE_TEST_KNOB", "17", 1);
+  EXPECT_EQ(parse_env_int("DYNASPARSE_TEST_KNOB", 42, 0, 100), 17);
+  EXPECT_EQ(parse_env_size("DYNASPARSE_TEST_KNOB", 42), 17u);
+  // Malformed or out-of-range: logged and the default kept — the knob
+  // never silently misparses ("16abc" is not 16) or crashes.
+  for (const char* bad : {"16abc", "foo", "-1", "1e3", "101"}) {
+    setenv("DYNASPARSE_TEST_KNOB", bad, 1);
+    EXPECT_EQ(parse_env_int("DYNASPARSE_TEST_KNOB", 42, 0, 100), 42) << bad;
+  }
+  unsetenv("DYNASPARSE_TEST_KNOB");
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 #include "io/report_io.hpp"
 #include "io/trace_io.hpp"
 #include "service/request_stream.hpp"
+#include "util/strict_parse.hpp"
 
 using namespace dynasparse;
 
@@ -56,6 +57,19 @@ MappingStrategy parse_strategy(const std::string& s) {
   }
 }
 
+/// Strict whole-token numeric flags (util/strict_parse.hpp): "--scale 4x2"
+/// and "--seed foo" both die with a clean usage error naming the flag,
+/// instead of a silent misparse or an unhandled std::invalid_argument.
+template <typename Parse>
+auto parse_flag(const char* flag, const std::string& value, Parse parse)
+    -> decltype(parse(value)) {
+  try {
+    return parse(value);
+  } catch (const std::exception&) {
+    usage(("bad value for --" + std::string(flag) + ": " + value).c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,10 +85,10 @@ int main(int argc, char** argv) {
     return it == opt.end() ? def : it->second;
   };
 
-  std::uint64_t seed = std::stoull(get("seed", "2023"));
+  std::uint64_t seed = parse_flag("seed", get("seed", "2023"), strict_stoull);
   GnnModelKind kind = parse_model(get("model", "gcn"));
   MappingStrategy strategy = parse_strategy(get("strategy", "dynamic"));
-  double prune = std::stod(get("prune", "0"));
+  double prune = parse_flag("prune", get("prune", "0"), strict_stod);
 
   Dataset ds;
   if (opt.count("graph")) {
@@ -88,12 +102,13 @@ int main(int argc, char** argv) {
     ds.spec.vertices = ds.graph.num_vertices();
     ds.spec.edges = ds.graph.num_edges();
     ds.spec.feature_dim = ds.features.cols();
-    ds.spec.num_classes = std::stoll(get("classes", "8"));
-    ds.spec.hidden_dim = std::stoll(get("hidden", "16"));
+    ds.spec.num_classes = parse_flag("classes", get("classes", "8"), strict_stoll);
+    ds.spec.hidden_dim = parse_flag("hidden", get("hidden", "16"), strict_stoll);
   } else {
     ds = generate_dataset(dataset_by_tag(get("dataset", "CO")),
-                          std::stoi(get("scale", "0")), seed);
-    if (opt.count("hidden")) ds.spec.hidden_dim = std::stoll(opt["hidden"]);
+                          parse_flag("scale", get("scale", "0"), strict_stoi), seed);
+    if (opt.count("hidden"))
+      ds.spec.hidden_dim = parse_flag("hidden", opt["hidden"], strict_stoll);
   }
 
   Rng rng(seed + 1);

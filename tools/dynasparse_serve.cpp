@@ -23,6 +23,14 @@
 //                     (default 0 = unbounded)
 //   --admission P     full-queue policy: block | reject | shed
 //                     (default block; only meaningful with --max-queue)
+//   --plan-store N    PlanStore capacity in plans (default 0 = off):
+//                     compilation-cache misses seed their partition plan
+//                     from plan-compatible earlier requests instead of
+//                     re-planning — bit-identical reports, cheaper compiles
+//   --plan-store-dir D  disk tier for the plan store: plans persist as IR
+//                     snapshots under D and a restarted serve process
+//                     warm-starts from them (implies --plan-store 32 when
+//                     --plan-store is not given)
 //   --warm            pre-compile every unique request before timing
 //   --seed S          seed for the synthetic workload     (default 2023)
 //   --baseline        also run the sequential uncached run_inference-style
@@ -39,11 +47,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "service/request_stream.hpp"
 #include "util/stopwatch.hpp"
+#include "util/strict_parse.hpp"
 
 using namespace dynasparse;
 
@@ -68,38 +78,55 @@ double percentile(const std::vector<double>& sorted_ms, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string stream_path, json_path;
+  std::string stream_path, json_path, plan_store_dir;
   int requests = 16, workers = 0, intra_op = 0;
   std::size_t cache_capacity = 16, memoize = 0, memoize_mb = 256, max_queue = 0;
+  std::size_t plan_store = 0;
+  bool plan_store_given = false;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
   std::uint64_t seed = 2023;
   bool warm = false, baseline = false;
 
+  // Strict whole-token parsing (util/strict_parse.hpp): "--requests 16abc"
+  // must be a usage error, not a silent 16, and "--requests foo" a clean
+  // message, not an unhandled std::invalid_argument.
+  std::string current_key;
+  auto size_value = [&](const std::string& v) {
+    std::int64_t n = strict_stoll(v);
+    if (n < 0) throw std::invalid_argument("negative value " + v);
+    return static_cast<std::size_t>(n);
+  };
   try {
     for (int i = 1; i < argc; ++i) {
       std::string key = argv[i];
+      current_key = key;
       auto need_value = [&]() -> std::string {
         if (i + 1 >= argc) usage("missing value for " + key);
         return argv[++i];
       };
       if (key == "--stream") stream_path = need_value();
-      else if (key == "--requests") requests = std::stoi(need_value());
-      else if (key == "--workers") workers = std::stoi(need_value());
-      else if (key == "--intra-op") intra_op = std::stoi(need_value());
-      else if (key == "--cache") cache_capacity = static_cast<std::size_t>(std::stoul(need_value()));
-      else if (key == "--memoize") memoize = static_cast<std::size_t>(std::stoul(need_value()));
-      else if (key == "--memoize-mb") memoize_mb = static_cast<std::size_t>(std::stoul(need_value()));
-      else if (key == "--max-queue") max_queue = static_cast<std::size_t>(std::stoul(need_value()));
+      else if (key == "--requests") requests = strict_stoi(need_value());
+      else if (key == "--workers") workers = strict_stoi(need_value());
+      else if (key == "--intra-op") intra_op = strict_stoi(need_value());
+      else if (key == "--cache") cache_capacity = size_value(need_value());
+      else if (key == "--memoize") memoize = size_value(need_value());
+      else if (key == "--memoize-mb") memoize_mb = size_value(need_value());
+      else if (key == "--max-queue") max_queue = size_value(need_value());
+      else if (key == "--plan-store") { plan_store = size_value(need_value()); plan_store_given = true; }
+      else if (key == "--plan-store-dir") plan_store_dir = need_value();
       else if (key == "--admission") admission = parse_admission_policy(need_value());
-      else if (key == "--seed") seed = std::stoull(need_value());
+      else if (key == "--seed") seed = strict_stoull(need_value());
       else if (key == "--json") json_path = need_value();
       else if (key == "--warm") warm = true;
       else if (key == "--baseline") baseline = true;
       else usage("unknown flag: " + key);
     }
   } catch (const std::exception& e) {
-    usage(std::string("bad flag value: ") + e.what());
+    usage("bad value for " + current_key + ": " + e.what());
   }
+  if (!plan_store_dir.empty() && !plan_store_given) plan_store = 32;
+  if (memoize_mb > (std::numeric_limits<std::size_t>::max() >> 20))
+    usage("--memoize-mb too large");  // << 20 below would overflow
 
   // Parse and materialize outside the timed region: dataset/model
   // generation stands in for request decoding, which a real frontend does
@@ -128,6 +155,8 @@ int main(int argc, char** argv) {
   opts.result_cache_bytes = memoize_mb << 20;
   opts.max_queue_depth = max_queue;
   opts.admission = admission;
+  opts.plan_store_capacity = plan_store;
+  opts.plan_store_dir = plan_store_dir;
   // Options are validated/resolved by the service; report the effective
   // worker count (no hidden cap).
   InferenceService service(opts);
@@ -138,6 +167,10 @@ int main(int argc, char** argv) {
   if (max_queue > 0)
     std::printf("admission: queue depth %zu, policy %s\n", max_queue,
                 admission_policy_name(admission));
+  if (plan_store > 0)
+    std::printf("plan store: up to %zu plans%s%s\n", plan_store,
+                plan_store_dir.empty() ? "" : ", disk tier ",
+                plan_store_dir.c_str());
 
   if (warm) {
     for (const ServiceRequest& req : pool)
@@ -189,6 +222,17 @@ int main(int argc, char** argv) {
         static_cast<long long>(rcs.hits), static_cast<long long>(rcs.misses),
         static_cast<long long>(rcs.evictions), static_cast<long long>(rcs.entries),
         static_cast<double>(rcs.bytes) / (1024.0 * 1024.0));
+  PlanStoreStats pss = service.plan_store_stats();
+  if (plan_store > 0)
+    std::printf(
+        "plan store: %lld planned / %lld seeded (%lld exact) / %lld disk hits, "
+        "%lld disk writes, %lld rejected, %lld disk errors, planning %.3f ms\n",
+        static_cast<long long>(pss.planned), static_cast<long long>(pss.seeded),
+        static_cast<long long>(pss.seeded_exact),
+        static_cast<long long>(pss.disk_hits),
+        static_cast<long long>(pss.disk_writes),
+        static_cast<long long>(pss.rejected),
+        static_cast<long long>(pss.disk_errors), pss.planning_ms);
   if (completed > 0)
     std::printf("mean simulated accelerator latency %.3f ms/request\n",
                 sim_latency_ms / static_cast<double>(completed));
@@ -231,6 +275,15 @@ int main(int argc, char** argv) {
       << "  \"result_cache_misses\": " << rcs.misses << ",\n"
       << "  \"result_cache_evictions\": " << rcs.evictions << ",\n"
       << "  \"result_cache_bytes\": " << rcs.bytes << ",\n"
+      << "  \"plan_store_capacity\": " << plan_store << ",\n"
+      << "  \"plan_planned\": " << pss.planned << ",\n"
+      << "  \"plan_seeded\": " << pss.seeded << ",\n"
+      << "  \"plan_seeded_exact\": " << pss.seeded_exact << ",\n"
+      << "  \"plan_disk_hits\": " << pss.disk_hits << ",\n"
+      << "  \"plan_disk_writes\": " << pss.disk_writes << ",\n"
+      << "  \"plan_rejected\": " << pss.rejected << ",\n"
+      << "  \"plan_disk_errors\": " << pss.disk_errors << ",\n"
+      << "  \"plan_planning_ms\": " << pss.planning_ms << ",\n"
       << "  \"sequential_wall_ms\": " << sequential_wall_ms << "\n"
       << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
