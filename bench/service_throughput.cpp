@@ -21,6 +21,15 @@
 //      compile_with_plan and skip partition planning; gate: 4 planned + 8
 //      seeded, total planner wall-clock strictly below the plan-from-
 //      scratch run's, every report bit-identical.
+//   6. Deadline-heavy burst (ISSUE 6): a slow head request pins the lone
+//      worker while 8 one-millisecond-deadline victims queue behind it
+//      (queue.delay armed so expiry at dequeue is structural, not a timing
+//      race). Gate: every victim resolves as DeadlineExceededError counted
+//      in expired_in_queue, and the compile-miss count proves none of them
+//      ever reached the compiler. Plus the unarmed fault-site overhead
+//      gate: fault_point() on a disarmed injector, measured over 20M
+//      calls, must cost <1% of mean per-request service latency even at
+//      10k calls per request.
 //
 // The mixed stream is the synthetic serving mix of request_stream.hpp
 // (GCN over CI/CO/PU/FL plus GraphSAGE over CI/CO, cycled). Every service
@@ -36,6 +45,7 @@
 
 #include "bench_common.hpp"
 #include "service/request_stream.hpp"
+#include "util/fault_injection.hpp"
 #include "util/parallel.hpp"
 
 using namespace dynasparse;
@@ -399,6 +409,92 @@ int main(int argc, char** argv) {
                  plan_on_planning_ms < plan_off_planning_ms;
   if (!plan_identical) all_identical = false;
 
+  // ---- Deadline-heavy burst (ISSUE 6): one worker, a slow PU head with a
+  // generous deadline, and 8 cheap victims whose 1 ms deadlines are long
+  // gone by the time the worker frees up. queue.delay:1 stalls every
+  // dequeue 2 ms, so the victims' expiry at the dequeue recheck is
+  // structural rather than a race on how fast PU compiles. The cache is
+  // disabled, making compile misses a census of requests that actually
+  // reached the compiler: it must be exactly 1 (the head) — expired work
+  // never executes.
+  bool deadline_ok = true;
+  std::size_t deadline_expired = 0, deadline_completed = 0;
+  std::int64_t deadline_expired_in_queue = 0, deadline_compiles = 0;
+  {
+    constexpr std::size_t kVictims = 8;
+    StreamRequestSpec head_spec;
+    head_spec.dataset = "PU";
+    head_spec.model = GnnModelKind::kGcn;
+    head_spec.seed = seed + 4;
+    ServiceRequest head = materialize_request(head_spec);
+    head.deadline_ms = 60000;
+    StreamRequestSpec victim_spec;
+    victim_spec.dataset = "CI";
+    victim_spec.seed = seed + 5;
+    ServiceRequest victim = materialize_request(victim_spec);
+    victim.deadline_ms = 1;
+    ServiceOptions opts;
+    opts.workers = 1;
+    opts.cache_capacity = 0;
+    opts.fault_spec = "queue.delay:1";
+    {
+      InferenceService service(opts);
+      std::vector<RequestId> ids;
+      ids.push_back(service.submit(head));
+      for (std::size_t i = 0; i < kVictims; ++i)
+        ids.push_back(service.submit(victim));
+      for (RequestId id : ids) {
+        try {
+          (void)service.wait(id);
+          ++deadline_completed;
+        } catch (const DeadlineExceededError&) {
+          ++deadline_expired;
+        }
+      }
+      RobustnessStats rs = service.robustness_stats();
+      CacheStats cs = service.cache_stats();
+      deadline_expired_in_queue = rs.expired_in_queue;
+      deadline_compiles = cs.misses;
+      deadline_ok = deadline_completed == 1 && deadline_expired == kVictims &&
+                    rs.expired_in_queue == static_cast<std::int64_t>(kVictims) &&
+                    rs.expired_running == 0 && cs.misses == 1 && cs.hits == 0;
+    }
+    FaultInjector::global().disarm();  // service ctor armed the global
+    std::printf(
+        "deadline-heavy burst: %zu completed, %zu expired (%lld in queue), "
+        "%lld compiles (1 = no expired request executed): %s\n",
+        deadline_completed, deadline_expired,
+        static_cast<long long>(deadline_expired_in_queue),
+        static_cast<long long>(deadline_compiles), deadline_ok ? "ok" : "FAIL");
+  }
+
+  // ---- Unarmed fault-site overhead: every kernel launch now passes a
+  // fault_point(). Disarmed, that is one relaxed atomic load and a branch;
+  // gate its measured cost so the chaos layer stays free to leave in
+  // production builds. 10k calls/request is an order of magnitude above
+  // any request in the mix (kernel count tops out in the hundreds).
+  double unarmed_ns_per_call = 0.0, unarmed_pct_per_request = 0.0;
+  bool overhead_ok = true;
+  {
+    constexpr std::int64_t kCalls = 20000000;
+    std::int64_t fired = 0;  // keeps the loop observable; stays 0 disarmed
+    Stopwatch sw;
+    for (std::int64_t i = 0; i < kCalls; ++i)
+      if (fault_point(kFaultRuntimeKernelFault)) ++fired;
+    double ms = sw.elapsed_ms();
+    unarmed_ns_per_call = ms * 1e6 / static_cast<double>(kCalls);
+    const double per_request_ms =
+        svc_best / static_cast<double>(pool.size());
+    unarmed_pct_per_request =
+        (10000.0 * unarmed_ns_per_call / 1e6) / per_request_ms * 100.0;
+    overhead_ok = fired == 0 && unarmed_pct_per_request < 1.0;
+    std::printf(
+        "unarmed fault_point: %.2f ns/call (%lldM calls), 10k calls = %.3f%% "
+        "of mean request latency (%.2f ms): %s\n",
+        unarmed_ns_per_call, static_cast<long long>(kCalls / 1000000),
+        unarmed_pct_per_request, per_request_ms, overhead_ok ? "ok" : "FAIL");
+  }
+
   double speedup = seq_best / svc_best;
   double seq_thru = static_cast<double>(pool.size()) / (seq_best / 1e3);
   double svc_thru = static_cast<double>(pool.size()) / (svc_best / 1e3);
@@ -474,6 +570,19 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
+  w.key("deadline_burst").begin_object();
+  w.key("victims").value(8);
+  w.key("completed").value(static_cast<std::int64_t>(deadline_completed));
+  w.key("expired").value(static_cast<std::int64_t>(deadline_expired));
+  w.key("expired_in_queue").value(deadline_expired_in_queue);
+  w.key("compiles").value(deadline_compiles);
+  w.key("ok").value(deadline_ok);
+  w.end_object();
+  w.key("unarmed_fault_point").begin_object();
+  w.key("ns_per_call").value(unarmed_ns_per_call);
+  w.key("pct_of_request_at_10k_calls").value(unarmed_pct_per_request);
+  w.key("ok").value(overhead_ok);
+  w.end_object();
   w.key("reports_bit_identical").value(all_identical);
   w.key("cache_hits").value(cache_stats.hits);
   w.key("cache_misses").value(cache_stats.misses);
@@ -504,6 +613,10 @@ int main(int argc, char** argv) {
                 memo_speedup, static_cast<long long>(memo_hits),
                 memo_identical ? "yes" : "no");
   if (!admission_ok) std::printf("FAIL: admission saturation scenario\n");
+  if (!deadline_ok) std::printf("FAIL: deadline-heavy burst scenario\n");
+  if (!overhead_ok)
+    std::printf("FAIL: unarmed fault_point overhead (%.3f%% >= 1%%)\n",
+                unarmed_pct_per_request);
   if (!plan_ok)
     std::printf(
         "FAIL: plan-reuse scenario (planned %lld, seeded %lld, rejected %lld, "
@@ -511,6 +624,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(plan_planned), static_cast<long long>(plan_seeded),
         static_cast<long long>(plan_rejected), plan_off_planning_ms,
         plan_on_planning_ms, plan_identical ? "yes" : "no");
-  return all_identical && speedup >= 2.0 && memo_ok && admission_ok && plan_ok ? 0
-                                                                              : 1;
+  return all_identical && speedup >= 2.0 && memo_ok && admission_ok &&
+                 plan_ok && deadline_ok && overhead_ok
+             ? 0
+             : 1;
 }

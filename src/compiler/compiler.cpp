@@ -1,7 +1,9 @@
 #include "compiler/compiler.hpp"
 
+#include <new>
 #include <stdexcept>
 
+#include "util/fault_injection.hpp"
 #include "util/stopwatch.hpp"
 
 namespace dynasparse {
@@ -18,7 +20,8 @@ namespace {
 /// Shared compilation body; `plan` empty (n1 == 0) means "run the
 /// partition planner", otherwise the given plan is reused verbatim.
 CompiledProgram compile_impl(const GnnModel& model, const Dataset& ds,
-                             const SimConfig& cfg, const PartitionPlan& reuse_plan) {
+                             const SimConfig& cfg, const PartitionPlan& reuse_plan,
+                             const CancellationToken& token) {
   if (!cfg.valid()) throw std::invalid_argument("invalid SimConfig");
   std::string err;
   if (!validate_model(model, &err)) throw std::invalid_argument("invalid model: " + err);
@@ -38,6 +41,12 @@ CompiledProgram compile_impl(const GnnModel& model, const Dataset& ds,
 
   // ---- Step 2: data partitioning --------------------------------------
   sw.restart();
+  token.check();
+  // The chaos layer's allocation-pressure site: Step 2 is where the
+  // partitioned operands (the compile's dominant allocations) are
+  // materialized, so an injected bad_alloc here exercises the same
+  // failure surface a real out-of-memory would.
+  if (fault_point(kFaultCompileAlloc)) throw std::bad_alloc();
   if (reuse_plan.n1 > 0) {
     if (reuse_plan.n2 <= 0 || reuse_plan.n1 % cfg.psys != 0 ||
         reuse_plan.n2 % cfg.psys != 0)
@@ -46,7 +55,7 @@ CompiledProgram compile_impl(const GnnModel& model, const Dataset& ds,
   } else {
     std::vector<KernelWorkload> workloads = planner_workloads(prog.kernels);
     Stopwatch plan_sw;
-    prog.plan = plan_partitions(workloads, cfg);
+    prog.plan = plan_partitions(workloads, cfg, token);
     prog.stats.planning_ms = plan_sw.elapsed_ms();
   }
   for (KernelIR& k : prog.kernels) attach_scheme(k, prog.plan.n1, prog.plan.n2);
@@ -54,6 +63,7 @@ CompiledProgram compile_impl(const GnnModel& model, const Dataset& ds,
   const double thr = cfg.sparse_storage_threshold;
   // Materialize each adjacency operator the model references once.
   for (const KernelIR& k : prog.kernels) {
+    token.check();
     if (k.spec.kind != KernelKind::kAggregate) continue;
     AdjOperatorKey key{k.spec.adj, k.spec.epsilon};
     if (prog.adjacency.count(key)) continue;
@@ -61,15 +71,19 @@ CompiledProgram compile_impl(const GnnModel& model, const Dataset& ds,
     prog.adjacency.emplace(key,
                            PartitionedMatrix::from_csr(op, prog.plan.n1, prog.plan.n1, thr));
   }
+  token.check();
   prog.h0 = PartitionedMatrix::from_coo(ds.features, prog.plan.n1, prog.plan.n2, thr);
   prog.weights.reserve(model.weights.size());
-  for (const DenseMatrix& w : model.weights)
+  for (const DenseMatrix& w : model.weights) {
+    token.check();
     prog.weights.push_back(
         PartitionedMatrix::from_dense(w, prog.plan.n2, prog.plan.n2, thr));
+  }
   prog.stats.partition_ms = sw.elapsed_ms();
 
   // ---- Step 3: compile-time sparsity profiling ------------------------
   sw.restart();
+  token.check();
   prog.h0_profile = profile_partitions(prog.h0);
   prog.weight_profiles.reserve(prog.weights.size());
   for (const PartitionedMatrix& w : prog.weights)
@@ -81,15 +95,17 @@ CompiledProgram compile_impl(const GnnModel& model, const Dataset& ds,
 
 }  // namespace
 
-CompiledProgram compile(const GnnModel& model, const Dataset& ds, const SimConfig& cfg) {
-  return compile_impl(model, ds, cfg, PartitionPlan{});
+CompiledProgram compile(const GnnModel& model, const Dataset& ds, const SimConfig& cfg,
+                        const CancellationToken& token) {
+  return compile_impl(model, ds, cfg, PartitionPlan{}, token);
 }
 
 CompiledProgram compile_with_plan(const GnnModel& model, const Dataset& ds,
-                                  const SimConfig& cfg, const PartitionPlan& plan) {
+                                  const SimConfig& cfg, const PartitionPlan& plan,
+                                  const CancellationToken& token) {
   if (plan.n1 <= 0 || plan.n2 <= 0)
     throw std::invalid_argument("compile_with_plan needs a concrete plan");
-  return compile_impl(model, ds, cfg, plan);
+  return compile_impl(model, ds, cfg, plan, token);
 }
 
 }  // namespace dynasparse

@@ -70,8 +70,13 @@ struct CompiledProgram {
   const PartitionedMatrix& adjacency_for(const KernelSpec& spec) const;
 };
 
-/// Compile `model` over `ds` for the platform `cfg`.
-CompiledProgram compile(const GnnModel& model, const Dataset& ds, const SimConfig& cfg);
+/// Compile `model` over `ds` for the platform `cfg`. `token` (optional)
+/// is checked at stage boundaries and inside the partitioning loops: a
+/// cancelled or deadline-expired request aborts compilation with the
+/// typed error (util/cancellation.hpp). A default token never aborts —
+/// non-service callers keep the unconditional behavior.
+CompiledProgram compile(const GnnModel& model, const Dataset& ds, const SimConfig& cfg,
+                        const CancellationToken& token = {});
 
 /// Recompile with a previously planned partitioning (paper Section
 /// VIII-A: "the optimized IR can be stored and reused if the sparsity of
@@ -80,6 +85,7 @@ CompiledProgram compile(const GnnModel& model, const Dataset& ds, const SimConfi
 /// run against the (possibly re-pruned / re-featured) inputs. The model
 /// and graph *shapes* must match what the plan was made for.
 CompiledProgram compile_with_plan(const GnnModel& model, const Dataset& ds,
-                                  const SimConfig& cfg, const PartitionPlan& plan);
+                                  const SimConfig& cfg, const PartitionPlan& plan,
+                                  const CancellationToken& token = {});
 
 }  // namespace dynasparse

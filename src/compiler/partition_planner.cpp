@@ -33,8 +33,10 @@ std::vector<KernelWorkload> planner_workloads(const std::vector<KernelIR>& kerne
 }
 
 PartitionPlan plan_partitions(const std::vector<KernelWorkload>& kernels,
-                              const SimConfig& cfg) {
+                              const SimConfig& cfg,
+                              const CancellationToken& token) {
   if (kernels.empty()) throw std::invalid_argument("no kernels to plan");
+  token.check();
   const std::int64_t psys = cfg.psys;
   const std::int64_t floor_n = cfg.min_partition;
   const std::int64_t n_max = cfg.max_partition_size();
@@ -61,6 +63,7 @@ PartitionPlan plan_partitions(const std::vector<KernelWorkload>& kernels,
   // min_tasks in the best case (N1 at its floor maximizes grid_i).
   std::int64_t n2 = n_max;
   while (n2 > floor_n) {
+    token.check();
     bool ok = true;
     for (const KernelWorkload& k : kernels) {
       if (k.kind != KernelKind::kUpdate) continue;
@@ -74,8 +77,10 @@ PartitionPlan plan_partitions(const std::vector<KernelWorkload>& kernels,
   // ---- Step 2: largest N1 such that every kernel reaches min_tasks
   // under the chosen N2.
   std::int64_t n1 = n_max;
-  while (n1 > floor_n && !all_satisfied(n1, n2))
+  while (n1 > floor_n && !all_satisfied(n1, n2)) {
+    token.check();
     n1 = clamp_partition(n1 - psys, psys, floor_n, n_max);
+  }
 
   // ---- Repair backstop: if the pair still violates the constraint,
   // shrink N2 as well.

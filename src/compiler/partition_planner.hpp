@@ -16,6 +16,7 @@
 
 #include "compiler/ir.hpp"
 #include "model/model.hpp"
+#include "util/cancellation.hpp"
 #include "util/config.hpp"
 
 namespace dynasparse {
@@ -46,8 +47,12 @@ std::vector<KernelWorkload> planner_workloads(const std::vector<KernelIR>& kerne
 /// reach eta * NCC tasks, the floor wins (documented deviation: the paper
 /// leaves this case implicit, and below ~4x psys a tile product has too
 /// little arithmetic intensity to outrun the DDR stream anyway).
+/// `token` is checked at every search-loop iteration: a cancelled or
+/// deadline-expired request aborts planning with the typed error
+/// (util/cancellation.hpp) instead of finishing work nobody will consume.
 PartitionPlan plan_partitions(const std::vector<KernelWorkload>& kernels,
-                              const SimConfig& cfg);
+                              const SimConfig& cfg,
+                              const CancellationToken& token = {});
 
 /// Task count of a kernel under (n1, n2) and this library's tiling:
 /// ceil(|V|/N1) * ceil(f_out/N2) for both kernel kinds.

@@ -4,12 +4,13 @@
 
 namespace dynasparse {
 
-InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& runtime) {
+InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& runtime,
+                             const CancellationToken& token) {
   InferenceReport rep;
   rep.model_name = prog.model.name;
   rep.strategy = runtime.strategy;
   rep.compile = prog.stats;
-  rep.execution = execute(prog, runtime);
+  rep.execution = execute(prog, runtime, token);
   rep.latency_ms = rep.execution.latency_ms;
 
   // End-to-end latency (paper Section VIII-D): preprocessing + PCIe data

@@ -44,6 +44,9 @@ InferenceReport run_inference(const GnnModel& model, const Dataset& ds,
 
 /// Run the same compiled program under a different strategy (reuses the
 /// compilation — how the strategy-comparison benches iterate cheaply).
-InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& runtime);
+/// `token` (optional) makes the execution cooperatively cancellable at
+/// kernel boundaries; see runtime/runtime_system.hpp.
+InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& runtime,
+                             const CancellationToken& token = {});
 
 }  // namespace dynasparse

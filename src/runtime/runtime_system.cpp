@@ -6,6 +6,7 @@
 
 #include "compiler/execution_scheme.hpp"
 #include "model/activation.hpp"
+#include "util/fault_injection.hpp"
 #include "sim/acm_functional.hpp"
 #include "sim/compute_core.hpp"
 #include "sim/format_transform.hpp"
@@ -101,7 +102,8 @@ double detailed_pair_cycles(const PairDecision& d, const Tile& x, const Tile& y,
 
 }  // namespace
 
-ExecutionResult execute(const CompiledProgram& prog, const RuntimeOptions& opt) {
+ExecutionResult execute(const CompiledProgram& prog, const RuntimeOptions& opt,
+                        const CancellationToken& token) {
   const SimConfig& cfg = prog.config;
   ComputeCoreModel core(cfg);
   SoftProcessor soft(cfg);
@@ -112,6 +114,13 @@ ExecutionResult execute(const CompiledProgram& prog, const RuntimeOptions& opt) 
   std::vector<PartitionedMatrix> node_outputs(prog.kernels.size());
 
   for (const KernelIR& ir : prog.kernels) {
+    // Kernel boundary: the cooperative abort point (never mid-kernel, so
+    // a run that finishes is bit-identical to an uncancellable one) and
+    // the chaos layer's transient-execution-failure site.
+    token.check();
+    if (fault_point(kFaultRuntimeKernelFault))
+      throw FaultInjectedError("injected kernel fault (node " +
+                               std::to_string(ir.node_id) + ")");
     KernelOperands ops = resolve_operands(prog, ir, node_outputs);
     const PartitionedMatrix& X = *ops.x;
     const PartitionedMatrix& Y = *ops.y;

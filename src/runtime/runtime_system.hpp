@@ -35,6 +35,7 @@
 #include "runtime/k2p.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/accelerator.hpp"
+#include "util/cancellation.hpp"
 
 namespace dynasparse {
 
@@ -107,6 +108,15 @@ struct ExecutionResult {
   std::vector<KernelTimeline> timeline;
 };
 
-ExecutionResult execute(const CompiledProgram& prog, const RuntimeOptions& opt);
+/// Execute `prog`. `token` (optional; see util/cancellation.hpp) is
+/// checked at every kernel boundary: a cancelled or deadline-expired
+/// request aborts with the typed error between kernels, never mid-kernel
+/// — so an execution that *completes* is bit-identical to an
+/// uncancellable run. The token is deliberately NOT a RuntimeOptions
+/// field: every RuntimeOptions field participates in the result-cache
+/// signature (compiler/signature.hpp keep-in-sync discipline), and a
+/// cancellation handle is identity, not content.
+ExecutionResult execute(const CompiledProgram& prog, const RuntimeOptions& opt,
+                        const CancellationToken& token = {});
 
 }  // namespace dynasparse

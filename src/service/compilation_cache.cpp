@@ -4,29 +4,34 @@ namespace dynasparse {
 
 CompiledProgram CompilationCache::compile_miss(const GnnModel& model,
                                                const Dataset& ds,
-                                               const SimConfig& cfg) const {
-  return plans_ ? plans_->compile_seeded(model, ds, cfg) : compile(model, ds, cfg);
+                                               const SimConfig& cfg,
+                                               const CancellationToken& token) const {
+  return plans_ ? plans_->compile_seeded(model, ds, cfg, token)
+                : compile(model, ds, cfg, token);
 }
 
 std::shared_ptr<const CompiledProgram> CompilationCache::get_or_compile(
-    const GnnModel& model, const Dataset& ds, const SimConfig& cfg) {
+    const GnnModel& model, const Dataset& ds, const SimConfig& cfg,
+    const CancellationToken& token) {
   if (impl_.max_entries() == 0) {
     // No storage, no key needed: skip the content hash (it walks every
     // weight bit and graph index) and go straight to the compiler. The
     // dummy key is never stored.
     return impl_.get_or_make(CompileKey{}, [&] {
-      return std::make_shared<const CompiledProgram>(compile_miss(model, ds, cfg));
+      return std::make_shared<const CompiledProgram>(
+          compile_miss(model, ds, cfg, token));
     });
   }
   return get_or_compile(make_compile_key(model, ds, cfg),  // hash outside the lock
-                        model, ds, cfg);
+                        model, ds, cfg, token);
 }
 
 std::shared_ptr<const CompiledProgram> CompilationCache::get_or_compile(
     const CompileKey& key, const GnnModel& model, const Dataset& ds,
-    const SimConfig& cfg) {
+    const SimConfig& cfg, const CancellationToken& token) {
   return impl_.get_or_make(key, [&] {
-    return std::make_shared<const CompiledProgram>(compile_miss(model, ds, cfg));
+    return std::make_shared<const CompiledProgram>(
+        compile_miss(model, ds, cfg, token));
   });
 }
 

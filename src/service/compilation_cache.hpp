@@ -48,18 +48,21 @@ class CompilationCache {
 
   /// Return the program for (model, ds, cfg), compiling at most once per
   /// content key. May block while another thread compiles the same key.
-  /// Throws whatever compile() throws.
-  std::shared_ptr<const CompiledProgram> get_or_compile(const GnnModel& model,
-                                                        const Dataset& ds,
-                                                        const SimConfig& cfg);
+  /// Throws whatever compile() throws. `token` covers only a compile this
+  /// call runs itself: if the leader of an in-flight compile aborts
+  /// (cancel/deadline), joined waiters retry — and re-compile under their
+  /// own tokens — instead of inheriting the abort
+  /// (util/keyed_future_cache.hpp hand-off semantics).
+  std::shared_ptr<const CompiledProgram> get_or_compile(
+      const GnnModel& model, const Dataset& ds, const SimConfig& cfg,
+      const CancellationToken& token = {});
 
   /// Same, with a caller-precomputed key — the service's memoized path
   /// hashes the compile inputs once for its ResultKey and reuses the hash
   /// here. `key` must equal make_compile_key(model, ds, cfg).
-  std::shared_ptr<const CompiledProgram> get_or_compile(const CompileKey& key,
-                                                        const GnnModel& model,
-                                                        const Dataset& ds,
-                                                        const SimConfig& cfg);
+  std::shared_ptr<const CompiledProgram> get_or_compile(
+      const CompileKey& key, const GnnModel& model, const Dataset& ds,
+      const SimConfig& cfg, const CancellationToken& token = {});
 
   /// Ready entry for `key`, or nullptr (does not wait on in-flight
   /// compiles and does not touch LRU order or stats).
@@ -77,7 +80,8 @@ class CompilationCache {
  private:
   /// compile(), optionally plan-seeded through the store.
   CompiledProgram compile_miss(const GnnModel& model, const Dataset& ds,
-                               const SimConfig& cfg) const;
+                               const SimConfig& cfg,
+                               const CancellationToken& token) const;
 
   KeyedFutureCache<CompileKey, CompiledProgram> impl_;
   std::shared_ptr<PlanStore> plans_;

@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
+#include "util/fault_injection.hpp"
 #include "util/parallel.hpp"
 #include "util/strict_parse.hpp"
 
@@ -38,6 +40,9 @@ ServiceOptions default_engine_options() {
   opts.plan_store_capacity = parse_env_size("DYNASPARSE_PLAN_STORE", 0);
   if (const char* dir = std::getenv("DYNASPARSE_PLAN_STORE_DIR"))
     opts.plan_store_dir = dir;
+  // Deadline knob for submitted requests; run_inference routes through
+  // run_one, which is never deadline-bounded.
+  opts.default_deadline_ms = parse_env_duration_ms("DYNASPARSE_DEADLINE_MS", 0);
   return opts;
 }
 
@@ -58,6 +63,8 @@ ServiceOptions validate_and_resolve(ServiceOptions o) {
     throw std::invalid_argument("ServiceOptions::workers must be >= 0");
   if (o.intra_op_threads < 0)
     throw std::invalid_argument("ServiceOptions::intra_op_threads must be >= 0");
+  if (o.default_deadline_ms < 0)
+    throw std::invalid_argument("ServiceOptions::default_deadline_ms must be >= 0");
   if (o.workers == 0) o.workers = std::min(parallel_hardware_threads(), 16);
   o.workers = std::max(o.workers, 1);
   return o;
@@ -68,6 +75,15 @@ int combine_caps(int a, int b) {
   if (a <= 0) return b;
   if (b <= 0) return a;
   return std::min(a, b);
+}
+
+/// The relative deadline a request runs under: its own, else the service
+/// default, else none. Negative request values are an input error.
+std::int64_t effective_deadline_ms(const ServiceOptions& opts,
+                                   const ServiceRequest& req) {
+  if (req.deadline_ms < 0)
+    throw std::invalid_argument("ServiceRequest::deadline_ms must be >= 0");
+  return req.deadline_ms > 0 ? req.deadline_ms : opts.default_deadline_ms;
 }
 
 }  // namespace
@@ -117,22 +133,46 @@ InferenceService::InferenceService(ServiceOptions options)
   // shared pool; constructing the pool first pins its static lifetime
   // beyond this object's.
   parallel_ensure_pool();
+  // Arm the process-global chaos injector when this service carries a
+  // spec (a malformed spec throws std::invalid_argument here, before any
+  // request can run under a half-armed configuration). An empty spec
+  // leaves whatever DYNASPARSE_FAULT_SPEC armed untouched.
+  if (!options_.fault_spec.empty())
+    FaultInjector::global().arm(parse_fault_spec(options_.fault_spec));
 }
 
 InferenceService::~InferenceService() { shutdown(); }
 
 void InferenceService::shutdown() {
-  // Phase 1: stop accepting. A submit() past this point throws and leaves
-  // no slot behind, so every slot in the map belongs to a request that is
-  // queued (still poppable — close() keeps queued items drainable) or
-  // already running.
+  // Phase 1: stop accepting and abort. A submit() past this point throws
+  // and leaves no slot behind. Every still-queued slot fails now with
+  // CancelledError (its worker pop will skip the stale job), and every
+  // running request's token is cancelled so it aborts at the next
+  // cooperative check — the service goes down in bounded time instead of
+  // draining a queue nobody will read.
   {
     std::lock_guard<std::mutex> lk(slots_mu_);
     accepting_ = false;
+    for (auto& [id, slot] : slots_) {
+      (void)id;
+      if (slot.state == RequestState::kQueued) {
+        if (fail_slot_locked(slot,
+                             std::make_exception_ptr(CancelledError(
+                                 "request cancelled: InferenceService "
+                                 "shutting down")))) {
+          ++robust_.cancelled;
+          slot.cancel_counted = true;
+        }
+      } else if (slot.state == RequestState::kRunning) {
+        slot.source.cancel();
+      }
+    }
+    slots_cv_.notify_all();
   }
   queue_.close();
-  // Phase 2: drain. Workers pop every remaining item before exiting, and
-  // each popped job always reaches kDone/kFailed.
+  // Phase 2: join. Workers pop (and skip) every remaining stale item
+  // before exiting; a running request aborts at its next check or, if it
+  // was already past the last one, completes normally.
   {
     std::lock_guard<std::mutex> lk(workers_mu_);
     for (std::thread& t : workers_) t.join();
@@ -165,7 +205,8 @@ void InferenceService::shutdown() {
   }
 }
 
-InferenceReport InferenceService::execute_request(const ServiceRequest& request) {
+InferenceReport InferenceService::execute_request(const ServiceRequest& request,
+                                                  const CancellationToken& token) {
   // Per-request intra-op budget: the service-wide knob and the request's
   // own host_threads compose (tighter wins; 0 = uncapped). The scope
   // covers compilation too — the partition planner's parallel loops take
@@ -174,10 +215,12 @@ InferenceReport InferenceService::execute_request(const ServiceRequest& request)
   // the pool whenever the cap exceeds the hardware width).
   ParallelMaxThreadsScope budget(
       combine_caps(options_.intra_op_threads, request.options.runtime.host_threads));
+  token.check();
   if (!result_cache_.enabled()) {
     std::shared_ptr<const CompiledProgram> prog = cache_.get_or_compile(
-        *request.model, *request.dataset, request.options.config);
-    InferenceReport rep = run_compiled(*prog, request.options.runtime);
+        *request.model, *request.dataset, request.options.config, token);
+    token.check();  // compile/execute boundary
+    InferenceReport rep = run_compiled(*prog, request.options.runtime, token);
     rep.dataset_tag = request.dataset->spec.tag;
     return rep;
   }
@@ -186,13 +229,18 @@ InferenceReport InferenceService::execute_request(const ServiceRequest& request)
   // runtime-options signature. A hit returns the stored report without
   // compiling or executing — sound because equal ResultKeys imply
   // bit-identical deterministic report fields (determinism contract).
+  // The factory runs under THIS request's token; if it aborts, joined
+  // same-key requests retry under their own tokens (keyed_future_cache
+  // hand-off) instead of inheriting the abort.
   const CompileKey ckey = make_compile_key(*request.model, *request.dataset,
                                            request.options.config);
   return result_cache_.get_or_run(
       make_result_key(ckey, request.options.runtime), [&] {
         std::shared_ptr<const CompiledProgram> prog = cache_.get_or_compile(
-            ckey, *request.model, *request.dataset, request.options.config);
-        InferenceReport rep = run_compiled(*prog, request.options.runtime);
+            ckey, *request.model, *request.dataset, request.options.config,
+            token);
+        token.check();  // compile/execute boundary
+        InferenceReport rep = run_compiled(*prog, request.options.runtime, token);
         rep.dataset_tag = request.dataset->spec.tag;
         return rep;
       });
@@ -211,26 +259,86 @@ void InferenceService::ensure_workers() {
 void InferenceService::worker_main() {
   Job job;
   while (queue_.pop(job)) {
+    // Chaos site: stall between pop and the deadline recheck — the
+    // window where a queued request goes stale. The injected delay
+    // manufactures expiries the recheck below must catch.
+    if (fault_point(kFaultQueueDelay))
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    CancellationToken token;
+    bool run = false, notify = false;
     {
       std::lock_guard<std::mutex> lk(slots_mu_);
-      Slot& slot = slots_.at(job.id);
-      slot.state = RequestState::kRunning;
-      slot.started = std::chrono::steady_clock::now();
+      auto it = slots_.find(job.id);
+      // Stale job: cancel()/shutdown failed the slot while it sat in the
+      // queue (and a waiter may even have consumed it already). Skip.
+      if (it == slots_.end() || it->second.state != RequestState::kQueued)
+        continue;
+      Slot& slot = it->second;
+      token = slot.source.token();
+      // Dequeue recheck: an expired request must never reach the
+      // compiler — fail it here, before any work.
+      if (token.expired()) {
+        if (fail_slot_locked(slot,
+                             std::make_exception_ptr(DeadlineExceededError(
+                                 "request deadline expired while queued"))))
+          ++robust_.expired_in_queue;
+        notify = true;
+      } else {
+        slot.state = RequestState::kRunning;
+        slot.started = std::chrono::steady_clock::now();
+        run = true;
+      }
     }
+    if (notify) slots_cv_.notify_all();
+    if (!run) continue;
+    // Classify the outcome outside the lock: cooperative aborts keep
+    // their typed error; everything else is wrapped as ExecutionError
+    // (message preserved) so "what wait() can throw" is a closed set.
     InferenceReport report;
     std::exception_ptr error;
+    enum class Outcome { kDone, kCancelled, kExpired, kFailed } outcome = Outcome::kDone;
     try {
-      report = execute_request(job.request);
-    } catch (...) {
+      report = execute_request(job.request, token);
+    } catch (const CancelledError&) {
+      outcome = Outcome::kCancelled;
       error = std::current_exception();
+    } catch (const DeadlineExceededError&) {
+      outcome = Outcome::kExpired;
+      error = std::current_exception();
+    } catch (const std::exception& e) {
+      outcome = Outcome::kFailed;
+      error = std::make_exception_ptr(
+          ExecutionError(std::string("request execution failed: ") + e.what()));
+    } catch (...) {
+      outcome = Outcome::kFailed;
+      error = std::make_exception_ptr(
+          ExecutionError("request execution failed: unknown exception"));
     }
     {
       std::lock_guard<std::mutex> lk(slots_mu_);
-      Slot& slot = slots_.at(job.id);
+      Slot& slot = slots_.at(job.id);  // kRunning slots are never consumed
       slot.finished = std::chrono::steady_clock::now();
       if (error) {
-        slot.error = error;
+        // Move — not copy — so this worker drops its reference inside the
+        // lock: the final release of the exception (and its message
+        // string) then happens on whichever thread consumes the slot,
+        // after it read the error, instead of racing that read from here.
+        slot.error = std::move(error);
         slot.state = RequestState::kFailed;
+        if (outcome == Outcome::kCancelled) ++robust_.cancelled;
+        else if (outcome == Outcome::kExpired) ++robust_.expired_running;
+        else ++robust_.execution_failures;
+      } else if (token.cancelled()) {
+        // cancel()/shutdown fired the token while this slot was kRunning,
+        // and cancel() returned true on that observation — a promise that
+        // the request resolves as cancelled even when execution slipped
+        // past its last checkpoint and produced a result. Both sides hold
+        // slots_mu_, so the promise is exact: a cancel() that loses this
+        // race instead finds the slot terminal and returns false.
+        slot.error = std::make_exception_ptr(
+            CancelledError("request cancelled (completed result discarded)"));
+        slot.state = RequestState::kFailed;
+        ++robust_.cancelled;
       } else {
         slot.report = std::move(report);
         slot.state = RequestState::kDone;
@@ -240,7 +348,8 @@ void InferenceService::worker_main() {
   }
 }
 
-RequestId InferenceService::create_slot(bool throw_on_closed) {
+RequestId InferenceService::create_slot(bool throw_on_closed,
+                                        std::int64_t deadline_ms) {
   std::lock_guard<std::mutex> lk(slots_mu_);
   if (!accepting_) {
     if (throw_on_closed)
@@ -251,6 +360,11 @@ RequestId InferenceService::create_slot(bool throw_on_closed) {
   Slot& slot = slots_[id];
   slot.state = RequestState::kQueued;
   slot.submitted = std::chrono::steady_clock::now();
+  // Admission-time deadline anchor: relative deadlines are measured from
+  // this point, so queue time counts against them.
+  if (deadline_ms > 0)
+    slot.source = CancellationSource(slot.submitted +
+                                     std::chrono::milliseconds(deadline_ms));
   // From here until the push resolves, shutdown() must not complete: it
   // drains inflight_submits_ to zero in its final phase, so the
   // queue/mutexes the submit path still touches outlive it.
@@ -270,10 +384,18 @@ bool InferenceService::fail_slot_locked(Slot& slot, std::exception_ptr error) {
   return true;
 }
 
+void InferenceService::erase_unobserved_slot_locked(RequestId id) {
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  if (it->second.cancel_counted) --robust_.cancelled;
+  slots_.erase(it);
+}
+
 RequestId InferenceService::submit(ServiceRequest request) {
   if (!request.model || !request.dataset)
     throw std::invalid_argument("ServiceRequest needs a model and a dataset");
-  const RequestId id = create_slot(/*throw_on_closed=*/true);
+  const std::int64_t deadline_ms = effective_deadline_ms(options_, request);
+  const RequestId id = create_slot(/*throw_on_closed=*/true, deadline_ms);
   // The queue can still close between slot creation and this push
   // (shutdown closes it right after flipping accepting_; a push blocked
   // on a full queue is woken by the close). The push then refuses the
@@ -303,7 +425,7 @@ RequestId InferenceService::submit(ServiceRequest request) {
     {
       std::lock_guard<std::mutex> lk(slots_mu_);
       --inflight_submits_;
-      slots_.erase(id);
+      erase_unobserved_slot_locked(id);
     }
     slots_cv_.notify_all();
     throw;
@@ -335,6 +457,10 @@ RequestId InferenceService::submit(ServiceRequest request) {
         // AdmissionRejectedError and always counts as rejected,
         // regardless of how the shutdown race interleaves.
         Slot& slot = slots_.at(id);
+        if (slot.cancel_counted) {  // shutdown counted a cancel we overwrite
+          --robust_.cancelled;
+          slot.cancel_counted = false;
+        }
         slot.state = RequestState::kFailed;
         slot.error = std::make_exception_ptr(AdmissionRejectedError(
             "request rejected by admission control (queue full, policy "
@@ -343,7 +469,8 @@ RequestId InferenceService::submit(ServiceRequest request) {
         slot.started = slot.finished;
         ++admission_.rejected;
       } else {
-        slots_.erase(id);  // queue closed under us: shutdown race
+        // Queue closed under us: shutdown race.
+        erase_unobserved_slot_locked(id);
       }
     }
   }
@@ -356,7 +483,8 @@ RequestId InferenceService::submit(ServiceRequest request) {
 std::optional<RequestId> InferenceService::try_submit(ServiceRequest request) {
   if (!request.model || !request.dataset)
     throw std::invalid_argument("ServiceRequest needs a model and a dataset");
-  const RequestId id = create_slot(/*throw_on_closed=*/false);
+  const std::int64_t deadline_ms = effective_deadline_ms(options_, request);
+  const RequestId id = create_slot(/*throw_on_closed=*/false, deadline_ms);
   if (id == 0) return std::nullopt;  // shutting down; nothing to clean up
   BlockingQueue<Job>::PushResult r;
   try {
@@ -368,7 +496,7 @@ std::optional<RequestId> InferenceService::try_submit(ServiceRequest request) {
     {
       std::lock_guard<std::mutex> lk(slots_mu_);
       --inflight_submits_;
-      slots_.erase(id);
+      erase_unobserved_slot_locked(id);
     }
     slots_cv_.notify_all();
     throw;
@@ -381,7 +509,7 @@ std::optional<RequestId> InferenceService::try_submit(ServiceRequest request) {
       ++admission_.accepted;
     } else {
       if (r == BlockingQueue<Job>::PushResult::kFull) ++admission_.rejected;
-      slots_.erase(id);
+      erase_unobserved_slot_locked(id);
     }
   }
   slots_cv_.notify_all();
@@ -392,6 +520,43 @@ std::optional<RequestId> InferenceService::try_submit(ServiceRequest request) {
 AdmissionStats InferenceService::admission_stats() const {
   std::lock_guard<std::mutex> lk(slots_mu_);
   return admission_;
+}
+
+RobustnessStats InferenceService::robustness_stats() const {
+  std::lock_guard<std::mutex> lk(slots_mu_);
+  return robust_;
+}
+
+bool InferenceService::cancel(RequestId id) {
+  bool notify = false;
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    auto it = slots_.find(id);
+    if (it == slots_.end()) throw std::invalid_argument("unknown request id");
+    Slot& slot = it->second;
+    if (slot.state == RequestState::kDone || slot.state == RequestState::kFailed)
+      return false;  // already terminal: cancellation never un-completes
+    slot.source.cancel();
+    accepted = true;
+    if (slot.state == RequestState::kQueued) {
+      // Fail the slot now so the owner's wait() resolves promptly —
+      // otherwise it would sit until a worker popped the stale job. The
+      // worker that eventually pops it finds the slot terminal and skips.
+      if (fail_slot_locked(slot, std::make_exception_ptr(
+                                     CancelledError("request cancelled")))) {
+        ++robust_.cancelled;
+        slot.cancel_counted = true;
+      }
+      notify = true;
+    }
+    // kRunning: the token is signalled; the worker aborts at the next
+    // cooperative check — or, if execution finishes first, discards the
+    // result at publish time (both under slots_mu_, so returning true
+    // here guarantees the request resolves as cancelled).
+  }
+  if (notify) slots_cv_.notify_all();
+  return accepted;
 }
 
 RequestState InferenceService::state(RequestId id) const {

@@ -51,15 +51,41 @@
 // non-throwing variant. All three policies compose with shutdown(): a
 // blocked submit wakes and resolves cleanly when the queue closes.
 //
+// Deadlines + cancellation: a request may carry a relative deadline
+// (ServiceRequest::deadline_ms; ServiceOptions::default_deadline_ms and
+// DYNASPARSE_DEADLINE_MS supply a service-wide default) and may be
+// aborted with cancel(id). Both resolve through one per-slot
+// CancellationSource (util/cancellation.hpp) whose token is threaded
+// down the compile/execute pipeline and checked at stage, planner-loop,
+// and kernel boundaries. A queued request whose deadline passes is
+// failed at dequeue with DeadlineExceededError before any compile work
+// (the expired_in_queue stat counts these); a running one aborts at the
+// next check. Aborts only ever abort: a request that completes is
+// bit-identical to an uncancellable run. Errors surface through wait()
+// as a small typed taxonomy — CancelledError, DeadlineExceededError,
+// AdmissionRejectedError, ExecutionError (everything else, message
+// preserved) — with input-validation failures still thrown directly by
+// submit()/run_batch() as std::invalid_argument.
+//
+// Fault injection: ServiceOptions::fault_spec (or DYNASPARSE_FAULT_SPEC)
+// arms the process-global chaos injector (util/fault_injection.hpp).
+// Failures in the optional tiers — plan-store disk, result memoization
+// in-flight dedup — degrade (re-plan, retry, cold path) with a logged
+// counter instead of failing the request; only faults in the request's
+// own compile/execute fail that one request, typed, in isolation.
+//
 // Shutdown contract: shutdown() (also run by the destructor) stops
 // accepting submits (a racing submit() throws std::runtime_error and
-// leaves no slot behind), drains the queue, joins the workers, fails any
-// slot that never reached a terminal state, wakes every waiter, and then
-// blocks until every in-flight wait() and submit() has finished — no
-// caller is left inside the object once shutdown() returns. Racing
-// submit()/wait() against shutdown() is therefore fully safe; racing
-// them against the *destructor* additionally requires the usual C++
-// lifetime rule that no call starts after destruction has begun.
+// leaves no slot behind), fails every still-queued slot with
+// CancelledError and cancels every running request's token (abort, not
+// drain — a stale queue is worthless once the service is going away),
+// joins the workers, fails any slot that never reached a terminal state,
+// wakes every waiter, and then blocks until every in-flight wait() and
+// submit() has finished — no caller is left inside the object once
+// shutdown() returns. Racing submit()/wait() against shutdown() is
+// therefore fully safe; racing them against the *destructor*
+// additionally requires the usual C++ lifetime rule that no call starts
+// after destruction has begun.
 
 #include <chrono>
 #include <condition_variable>
@@ -77,6 +103,7 @@
 #include "service/compilation_cache.hpp"
 #include "service/result_cache.hpp"
 #include "util/blocking_queue.hpp"
+#include "util/cancellation.hpp"
 
 namespace dynasparse {
 
@@ -86,6 +113,13 @@ struct ServiceRequest {
   std::shared_ptr<const GnnModel> model;
   std::shared_ptr<const Dataset> dataset;
   EngineOptions options;
+  /// Relative deadline in milliseconds, measured from submit(). 0 = use
+  /// ServiceOptions::default_deadline_ms (which may itself be 0 = none);
+  /// negative values are rejected with std::invalid_argument. When the
+  /// deadline passes, the request fails with DeadlineExceededError — at
+  /// dequeue if it never started (expired_in_queue), or at the next
+  /// cooperative check if it was already executing.
+  std::int64_t deadline_ms = 0;
 
   /// Take ownership of the inputs (moves them onto the heap).
   static ServiceRequest own(GnnModel model, Dataset dataset,
@@ -134,6 +168,27 @@ AdmissionPolicy parse_admission_policy(const std::string& s);
 /// callers can tell "overloaded, retry later" from "service is gone".
 struct AdmissionRejectedError : std::runtime_error {
   using std::runtime_error::runtime_error;
+};
+
+/// Thrown (via wait()) when a request's execution failed for any reason
+/// other than a cooperative abort — the fourth leg of the error taxonomy
+/// next to CancelledError / DeadlineExceededError (util/cancellation.hpp)
+/// and AdmissionRejectedError. The original exception's message is
+/// preserved; input-validation failures (std::invalid_argument from the
+/// compiler) arrive here too when they surface asynchronously through a
+/// worker, keeping "what wait() can throw" a closed set.
+struct ExecutionError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Deadline/cancellation/failure counters (slots_mu_-guarded snapshots).
+struct RobustnessStats {
+  std::int64_t expired_in_queue = 0;  // deadline passed before pickup;
+                                      // never reached the compiler
+  std::int64_t expired_running = 0;   // deadline fired mid-execution
+  std::int64_t cancelled = 0;         // aborted by cancel() or shutdown
+  std::int64_t execution_failures = 0;  // worker failures wrapped as
+                                        // ExecutionError
 };
 
 /// Admission-control counters (all zero while the queue is unbounded,
@@ -194,6 +249,19 @@ struct ServiceOptions {
   /// 0). Non-empty: plans persist as IR snapshots under this directory,
   /// and a restarted service warm-starts its compiler from them.
   std::string plan_store_dir;
+  /// Default relative deadline for submitted requests, in milliseconds.
+  /// 0 = none (the pre-deadline behavior). A request's own deadline_ms,
+  /// when set, wins. DYNASPARSE_DEADLINE_MS supplies this for the
+  /// process-default service. run_one() is never deadline-bounded — it
+  /// executes synchronously for a caller that is, by construction, still
+  /// waiting.
+  std::int64_t default_deadline_ms = 0;
+  /// Fault-injection spec (util/fault_injection.hpp grammar, e.g.
+  /// "plan_store.disk_read:0.3,seed:7"). Non-empty: the constructor arms
+  /// the process-global injector with it (malformed specs throw
+  /// std::invalid_argument). Empty (default): whatever
+  /// DYNASPARSE_FAULT_SPEC armed — or nothing — stays in effect.
+  std::string fault_spec;
 };
 
 class InferenceService {
@@ -207,9 +275,11 @@ class InferenceService {
   /// work that would never run.
   ~InferenceService();
 
-  /// Graceful drain: stop accepting submits (racing ones throw
-  /// std::runtime_error), let workers finish everything already queued,
-  /// join them, fail any slot that never reached a terminal state, wake
+  /// Abort-and-join: stop accepting submits (racing ones throw
+  /// std::runtime_error), fail every still-queued slot with
+  /// CancelledError, cancel every running request's token (the
+  /// cooperative checks abort it at the next boundary), join the
+  /// workers, fail any slot that never reached a terminal state, wake
   /// all waiters, and hold until each in-flight wait() has consumed its
   /// slot. Idempotent and safe to call concurrently with submit()/wait();
   /// after it returns the service only serves run_one().
@@ -241,6 +311,19 @@ class InferenceService {
   RequestState state(RequestId id) const;
   bool done(RequestId id) const;  // kDone or kFailed
 
+  /// Request a cooperative abort. A still-queued request fails
+  /// immediately (wait(id) rethrows CancelledError; the stale queue item
+  /// is skipped by the worker that eventually pops it); a running one is
+  /// signalled through its token and aborts at the next pipeline check —
+  /// and if execution slips past its last check and completes anyway, the
+  /// worker discards the result at publish time, so `true` is a hard
+  /// promise: wait(id) WILL throw CancelledError. Returns false without
+  /// effect when the request already reached a terminal state —
+  /// cancellation never un-completes a published result — and throws
+  /// std::invalid_argument for an unknown (or consumed) id. Cancelling
+  /// does not consume the slot: the owner still calls wait().
+  bool cancel(RequestId id);
+
   /// Block until the request completes, then consume its slot: returns the
   /// report (optionally the timing), or rethrows the request's exception.
   /// Each id can be waited on exactly once.
@@ -268,6 +351,7 @@ class InferenceService {
     return plan_store_ ? plan_store_->stats() : PlanStoreStats{};
   }
   AdmissionStats admission_stats() const;
+  RobustnessStats robustness_stats() const;
   /// Resolved options: workers is the effective worker count (never 0).
   const ServiceOptions& options() const { return options_; }
 
@@ -279,10 +363,14 @@ class InferenceService {
   /// N-report ResultCache and DYNASPARSE_RESULT_CACHE_MB bounds its
   /// approximate resident bytes (default 256 MiB when enabled). Plan
   /// reuse is off by default; DYNASPARSE_PLAN_STORE=N enables an N-plan
-  /// PlanStore and DYNASPARSE_PLAN_STORE_DIR adds its disk tier. All
-  /// integer knobs parse strictly (util/strict_parse.hpp): a malformed
-  /// value logs a warning and keeps the default instead of being silently
-  /// ignored or misread.
+  /// PlanStore and DYNASPARSE_PLAN_STORE_DIR adds its disk tier.
+  /// DYNASPARSE_DEADLINE_MS (a duration: "250", "250ms", "1.5s") sets
+  /// default_deadline_ms for submitted requests; run_inference routes
+  /// through run_one and stays deadline-free. All integer knobs parse
+  /// strictly (util/strict_parse.hpp): a malformed value logs a warning
+  /// and keeps the default instead of being silently ignored or misread.
+  /// (DYNASPARSE_FAULT_SPEC arms the global fault injector directly —
+  /// see util/fault_injection.hpp — not through these options.)
   static InferenceService& process_default();
 
  private:
@@ -295,20 +383,37 @@ class InferenceService {
     InferenceReport report;
     std::exception_ptr error;
     std::chrono::steady_clock::time_point submitted, started, finished;
+    /// Per-request abort handle: cancel()/shutdown() fire it; its token
+    /// (deadline-carrying when one applies) rides into execute_request.
+    CancellationSource source;
+    /// True when robust_.cancelled counted this slot. A failed-push
+    /// submit path that erases (or overwrites) a shutdown-cancelled slot
+    /// nobody can ever wait on must un-count it, or the cancelled stat
+    /// would exceed the CancelledErrors actually observable.
+    bool cancel_counted = false;
   };
 
-  InferenceReport execute_request(const ServiceRequest& request);
+  InferenceReport execute_request(const ServiceRequest& request,
+                                  const CancellationToken& token = {});
   void ensure_workers();
   void worker_main();
   /// Create a kQueued slot under slots_mu_ (throws std::runtime_error
   /// when shutting down and `throw_on_closed`; returns 0 otherwise) and
-  /// bump inflight_submits_.
-  RequestId create_slot(bool throw_on_closed);
+  /// bump inflight_submits_. `deadline_ms` is the request's effective
+  /// relative deadline (already defaulted/validated; 0 = none) — the
+  /// slot's CancellationSource is built against the absolute point.
+  RequestId create_slot(bool throw_on_closed, std::int64_t deadline_ms);
   /// Fail a still-kQueued slot with `error` (slots_mu_ held). Returns
   /// false without touching the slot when it already reached a terminal
   /// state (e.g. a racing shutdown failed it first) — callers use the
   /// return to keep admission stats exact.
   bool fail_slot_locked(Slot& slot, std::exception_ptr error);
+  /// Erase a slot whose id was never returned to the caller (slots_mu_
+  /// held). If a racing shutdown already failed it as cancelled, the
+  /// robustness stat is rolled back: nobody can ever observe that
+  /// CancelledError, so counting it would break the invariant
+  /// `cancelled + expired == aborts seen by waiters`.
+  void erase_unobserved_slot_locked(RequestId id);
 
   const ServiceOptions options_;
   std::shared_ptr<PlanStore> plan_store_;  // null when disabled; outlives cache_
@@ -321,6 +426,7 @@ class InferenceService {
   std::unordered_map<RequestId, Slot> slots_;
   RequestId next_id_ = 1;
   AdmissionStats admission_; // guarded by slots_mu_
+  RobustnessStats robust_;   // guarded by slots_mu_
   int waiters_ = 0;          // threads inside wait(); shutdown drains to 0
   int inflight_submits_ = 0; // submits past the accepting_ check but not
                              // yet resolved; shutdown drains to 0

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -58,6 +59,14 @@ std::string PlanStore::disk_path(std::uint64_t key) const {
 
 std::shared_ptr<const StoredPlan> PlanStore::load_disk(std::uint64_t key) {
   const std::string path = disk_path(key);
+  if (fault_point(kFaultPlanStoreDiskRead)) {
+    // Chaos site: an unreadable snapshot degrades exactly like a corrupt
+    // one — count it, re-plan, never fail the request.
+    log_warn("PlanStore: injected disk-read fault for ", path, "; re-planning");
+    std::lock_guard<std::mutex> lk(side_mu_);
+    ++disk_errors_;
+    return nullptr;
+  }
   std::ifstream in(path);
   if (!in) return nullptr;  // no snapshot for this signature yet
   try {
@@ -93,6 +102,14 @@ void PlanStore::store_disk(std::uint64_t key, const StoredPlan& plan) {
   // file and rename garbage into place.
   static std::atomic<std::uint64_t> write_seq{0};
   const std::string path = disk_path(key);
+  if (fault_point(kFaultPlanStoreDiskWrite)) {
+    // Chaos site: a failed persist costs only re-planning after the next
+    // restart — count it and move on, same as a real write error below.
+    log_warn("PlanStore: injected disk-write fault for ", path);
+    std::lock_guard<std::mutex> lk(side_mu_);
+    ++disk_errors_;
+    return;
+  }
   const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
                           std::to_string(write_seq.fetch_add(1));
   bool ok = false;
@@ -120,7 +137,7 @@ void PlanStore::store_disk(std::uint64_t key, const StoredPlan& plan) {
 
 std::shared_ptr<const StoredPlan> PlanStore::get_or_plan(
     std::uint64_t key, const GnnModel& model, const Dataset& ds,
-    const SimConfig& cfg, bool* planned_here) {
+    const SimConfig& cfg, bool* planned_here, const CancellationToken& token) {
   bool here = false;
   auto plan = impl_.get_or_make(key, [&]() -> std::shared_ptr<const StoredPlan> {
     if (disk_ok_) {
@@ -152,7 +169,7 @@ std::shared_ptr<const StoredPlan> PlanStore::get_or_plan(
     made->snap.kernels = build_computation_graph(model, ds.graph);
     std::vector<KernelWorkload> workloads = planner_workloads(made->snap.kernels);
     Stopwatch sw;
-    made->snap.plan = plan_partitions(workloads, cfg);
+    made->snap.plan = plan_partitions(workloads, cfg, token);
     const double plan_ms = sw.elapsed_ms();
     for (KernelIR& k : made->snap.kernels)
       attach_scheme(k, made->snap.plan.n1, made->snap.plan.n2);
@@ -170,23 +187,28 @@ std::shared_ptr<const StoredPlan> PlanStore::get_or_plan(
 }
 
 CompiledProgram PlanStore::compile_seeded(const GnnModel& model, const Dataset& ds,
-                                          const SimConfig& cfg) {
-  if (!enabled()) return compile(model, ds, cfg);
+                                          const SimConfig& cfg,
+                                          const CancellationToken& token) {
+  if (!enabled()) return compile(model, ds, cfg, token);
   // compile_impl validates the config BEFORE planning; this path must
   // too. An invalid config (psys = 0, dense_elem_bytes = 0) would SIGFPE
   // inside the planner's divisions — a signal no catch turns back into
   // the std::invalid_argument the cold path throws, killing the whole
   // service instead of failing one request in isolation.
-  if (!cfg.valid()) return compile(model, ds, cfg);
+  if (!cfg.valid()) return compile(model, ds, cfg, token);
   std::shared_ptr<const StoredPlan> plan;
   bool planned_here = false;
   try {
     plan = get_or_plan(plan_signature(model, ds.graph.num_vertices(), cfg), model,
-                       ds, cfg, &planned_here);
+                       ds, cfg, &planned_here, token);
+  } catch (const RequestAbortedError&) {
+    // The request's own cancellation/deadline fired mid-planning: not a
+    // store failure — nobody will consume a cold compile, so propagate.
+    throw;
   } catch (...) {
     // Invalid inputs (or an allocation failure mid-planning): let the
     // cold path produce its canonical diagnostics.
-    return compile(model, ds, cfg);
+    return compile(model, ds, cfg, token);
   }
   if (!plan_snapshot_compatible(plan->snap, model, ds.graph.num_vertices())) {
     // Signature collision or a stale/foreign snapshot that still carried a
@@ -196,9 +218,9 @@ CompiledProgram PlanStore::compile_seeded(const GnnModel& model, const Dataset& 
       std::lock_guard<std::mutex> lk(side_mu_);
       ++rejected_;
     }
-    return compile(model, ds, cfg);
+    return compile(model, ds, cfg, token);
   }
-  CompiledProgram prog = compile_with_plan(model, ds, cfg, plan->snap.plan);
+  CompiledProgram prog = compile_with_plan(model, ds, cfg, plan->snap.plan, token);
   if (!planned_here) {
     // This compile skipped the planner: it was seeded by a plan some
     // earlier request (or a previous process, via the disk tier) paid for.

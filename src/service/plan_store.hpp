@@ -107,9 +107,13 @@ class PlanStore {
   /// to a plain cold compile() when the store is disabled, validation
   /// rejects the snapshot, or anything in the store path throws — the
   /// store can only ever cost a fallback, never a wrong program. Throws
-  /// what compile() throws for invalid inputs.
+  /// what compile() throws for invalid inputs. A RequestAbortedError
+  /// (the request's own `token` fired) is NOT a store failure and
+  /// propagates — an aborted request must not fall back to a cold
+  /// compile nobody will consume.
   CompiledProgram compile_seeded(const GnnModel& model, const Dataset& ds,
-                                 const SimConfig& cfg);
+                                 const SimConfig& cfg,
+                                 const CancellationToken& token = {});
 
   /// The stored snapshot for `key`: memory tier, then disk, else plan
   /// from scratch and store (and persist) the result. `planned_here` (if
@@ -121,7 +125,8 @@ class PlanStore {
                                                 const GnnModel& model,
                                                 const Dataset& ds,
                                                 const SimConfig& cfg,
-                                                bool* planned_here = nullptr);
+                                                bool* planned_here = nullptr,
+                                                const CancellationToken& token = {});
 
   PlanStoreStats stats() const;
   /// Drop every ready memory-tier entry (disk files stay).

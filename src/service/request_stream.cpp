@@ -66,6 +66,7 @@ std::string StreamRequestSpec::to_line() const {
     os << " strategy=" << strategy_token(strategy);
   os << " seed=" << seed;
   if (repeat != 1) os << " repeat=" << repeat;
+  if (deadline_ms != 0) os << " deadline_ms=" << deadline_ms;
   return os.str();
 }
 
@@ -99,6 +100,7 @@ std::vector<StreamRequestSpec> parse_request_stream(std::istream& in) {
         else if (key == "strategy") spec.strategy = parse_strategy_name(value);
         else if (key == "seed") spec.seed = strict_stoull(value);
         else if (key == "repeat") spec.repeat = strict_stoi(value);
+        else if (key == "deadline_ms") spec.deadline_ms = strict_stoll(value);
         else known = false;
       } catch (const std::runtime_error& e) {
         fail(lineno, e.what());  // parse_model_kind / parse_strategy_name
@@ -113,6 +115,8 @@ std::vector<StreamRequestSpec> parse_request_stream(std::istream& in) {
     if (spec.repeat < 1) fail(lineno, "repeat must be >= 1");
     if (spec.scale < 0) fail(lineno, "scale must be >= 0 (0 = dataset default)");
     if (spec.hidden < 0) fail(lineno, "hidden must be >= 0 (0 = dataset default)");
+    if (spec.deadline_ms < 0)
+      fail(lineno, "deadline_ms must be >= 0 (0 = service default)");
     specs.push_back(std::move(spec));
   }
   return specs;
@@ -144,7 +148,9 @@ ServiceRequest materialize_request(const StreamRequestSpec& spec) {
   if (spec.prune > 0.0) prune_model(model, spec.prune);
   EngineOptions options;
   options.runtime.strategy = spec.strategy;
-  return ServiceRequest::own(std::move(model), std::move(ds), options);
+  ServiceRequest req = ServiceRequest::own(std::move(model), std::move(ds), options);
+  req.deadline_ms = spec.deadline_ms;
+  return req;
 }
 
 std::vector<StreamRequestSpec> synthetic_stream(int n, std::uint64_t seed) {

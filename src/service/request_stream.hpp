@@ -8,8 +8,10 @@
 //
 // Every field is optional except dataset; `repeat=N` expands to N
 // identical requests (how a stream expresses the repeated-traffic pattern
-// the compilation cache amortizes). Unknown keys and malformed values
-// throw std::runtime_error with a line number, matching the io/ readers.
+// the compilation cache amortizes), and `deadline_ms=N` bounds each
+// expanded request's end-to-end time (0 = the service default). Unknown
+// keys and malformed values throw std::runtime_error with a line number,
+// matching the io/ readers.
 //
 // materialize() regenerates the dataset and model deterministically from
 // the spec, so two streams containing the same line produce content-equal
@@ -33,6 +35,7 @@ struct StreamRequestSpec {
   MappingStrategy strategy = MappingStrategy::kDynamic;
   std::uint64_t seed = 2023;
   int repeat = 1;
+  std::int64_t deadline_ms = 0;  // 0 = service default; see ServiceRequest
 
   /// Render back as one stream line (write->parse round-trips).
   std::string to_line() const;

@@ -1,0 +1,120 @@
+#pragma once
+// Cooperative cancellation + deadlines for long-running pipeline work.
+//
+// A CancellationSource owns the abort flag (and optionally an absolute
+// deadline); the CancellationTokens it hands out are cheap value types
+// that the compiler / planner / runtime check at loop boundaries.
+// Checking is lock-free — one relaxed atomic load (plus a steady_clock
+// read when a deadline is set) — so a check per kernel or per planner
+// iteration costs nothing measurable against the work it bounds.
+//
+// A default-constructed token never aborts (null shared state), so every
+// API that takes one can default it and keep its pre-cancellation
+// behavior: run_inference, run_compiled, compile() callers outside the
+// service never pay for or observe cancellation.
+//
+// Cancellation only ever *aborts*: a check either returns or throws one
+// of the typed errors below; it never alters the computation. A request
+// that completes is therefore bit-identical to an uncancellable run —
+// the determinism contract is untouched.
+//
+// Error taxonomy: both abort reasons derive from RequestAbortedError so
+// machinery that must treat "work stopped cooperatively, no result was
+// produced" uniformly (keyed_future_cache's leader hand-off, the service
+// worker's outcome classification) can catch one base, while callers
+// still tell a cancel from a blown deadline.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+namespace dynasparse {
+
+/// Base of the cooperative-abort errors: the work stopped before
+/// producing a result, by request — not because it failed.
+struct RequestAbortedError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The request was cancelled (InferenceService::cancel or shutdown).
+struct CancelledError : RequestAbortedError {
+  using RequestAbortedError::RequestAbortedError;
+};
+
+/// The request's deadline passed before it finished.
+struct DeadlineExceededError : RequestAbortedError {
+  using RequestAbortedError::RequestAbortedError;
+};
+
+namespace detail {
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  bool has_deadline = false;  // immutable after construction
+  std::chrono::steady_clock::time_point deadline{};
+};
+}  // namespace detail
+
+/// Read-only view of a CancellationSource. Copyable, cheap; a
+/// default-constructed token never aborts.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True once the owning source was cancelled.
+  bool cancelled() const {
+    return state_ && state_->cancelled.load(std::memory_order_relaxed);
+  }
+  /// True once the deadline (if any) has passed.
+  bool expired() const {
+    return state_ && state_->has_deadline &&
+           std::chrono::steady_clock::now() >= state_->deadline;
+  }
+  /// Either abort reason.
+  bool aborted() const { return cancelled() || expired(); }
+
+  /// Loop-boundary check: returns normally or throws the typed abort
+  /// error. Cancellation is checked first so cancel() wins when both
+  /// conditions hold (the more specific caller intent).
+  void check() const {
+    if (!state_) return;
+    if (state_->cancelled.load(std::memory_order_relaxed))
+      throw CancelledError("request cancelled");
+    if (state_->has_deadline &&
+        std::chrono::steady_clock::now() >= state_->deadline)
+      throw DeadlineExceededError("request deadline exceeded");
+  }
+
+  /// Does this token carry a deadline?
+  bool has_deadline() const { return state_ && state_->has_deadline; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const detail::CancelState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<const detail::CancelState> state_;
+};
+
+/// Owner of the abort flag. One source per service slot; tokens flow down
+/// the compile/execute pipeline by value.
+class CancellationSource {
+ public:
+  CancellationSource() : state_(std::make_shared<detail::CancelState>()) {}
+  /// Source whose tokens additionally expire at `deadline`.
+  explicit CancellationSource(std::chrono::steady_clock::time_point deadline)
+      : state_(std::make_shared<detail::CancelState>()) {
+    state_->has_deadline = true;
+    state_->deadline = deadline;
+  }
+
+  void cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+  CancellationToken token() const { return CancellationToken(state_); }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+}  // namespace dynasparse

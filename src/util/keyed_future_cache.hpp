@@ -8,10 +8,20 @@
 //   - LRU eviction bounded by entry count and, when a weigher is
 //     provided, by the approximate resident bytes of ready entries
 //     (whichever bound is exceeded evicts);
-//   - poisoned-entry erase: a factory that throws propagates to every
-//     joined waiter and removes the entry, so the next request for that
-//     key retries instead of observing the stale failure;
-//   - hit/miss/eviction/in-flight-join/entry/byte stats.
+//   - poisoned-entry erase: a factory that throws fails every joined
+//     waiter and removes the entry *before* the failure is published, so
+//     a later request for that key retries instead of observing the
+//     stale failure. The leader rethrows its own exception; each joiner
+//     throws a FRESH CacheFillFailedError carrying the leader's message —
+//     never the leader's exception object itself, which would be shared
+//     mutable state (refcount + message) across joiner threads;
+//   - cancelled-leader hand-off: when the factory aborts cooperatively
+//     (RequestAbortedError — the leader's request was cancelled or blew
+//     its deadline, see util/cancellation.hpp), joined waiters do NOT
+//     inherit the abort; each retries the lookup, and the first one in
+//     becomes the new leader running its own factory (with its own
+//     token). Only the aborted request observes its abort;
+//   - hit/miss/eviction/in-flight-join/aborted-retry/entry/byte stats.
 //
 // Entries hold shared_ptr<const V>, so a value stays alive for callers
 // that hold it even after LRU eviction. max_entries 0 disables storage —
@@ -32,15 +42,29 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "util/cancellation.hpp"
+
 namespace dynasparse {
+
+/// What a joiner sees when the leader's factory failed with a non-abort
+/// error: a per-joiner object carrying the leader's message. (Leader
+/// aborts — RequestAbortedError — are not surfaced to joiners at all;
+/// they retry and take over the fill.)
+struct CacheFillFailedError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct KeyedCacheStats {
   std::int64_t hits = 0;            // key found (ready or in-flight)
   std::int64_t misses = 0;          // key absent; this call ran the factory
   std::int64_t evictions = 0;       // entries dropped by LRU (count or bytes)
   std::int64_t inflight_joins = 0;  // hits that waited on a run in flight
+  std::int64_t aborted_retries = 0; // joins that retried after their leader
+                                    // aborted cooperatively (hand-off)
   std::int64_t entries = 0;         // current resident entries
   std::int64_t bytes = 0;           // weighed bytes of ready entries (0 without a weigher)
 };
@@ -56,8 +80,12 @@ class KeyedFutureCache {
       : max_entries_(max_entries), max_bytes_(max_bytes), weigh_(std::move(weigh)) {}
 
   /// Return the value for `key`, running `make` at most once per key. May
-  /// block while another thread runs the same key. Throws whatever `make`
-  /// throws.
+  /// block while another thread runs the same key. The caller that ran
+  /// `make` (the leader) throws whatever `make` threw; a joiner whose
+  /// leader failed throws its own fresh CacheFillFailedError with the
+  /// leader's message — except that a leader's RequestAbortedError is
+  /// never propagated to joiners at all: each retries and, if the entry
+  /// is still absent, runs its own `make` (hand-off).
   std::shared_ptr<const V> get_or_make(
       const Key& key, const std::function<std::shared_ptr<const V>()>& make) {
     if (max_entries_ == 0) {
@@ -68,70 +96,92 @@ class KeyedFutureCache {
       return make();
     }
 
-    std::promise<std::shared_ptr<const V>> promise;
-    ValueFuture fut;
-    bool make_here = false;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      auto it = entries_.find(key);
-      if (it != entries_.end()) {
-        ++stats_.hits;
-        if (!it->second.ready) ++stats_.inflight_joins;
-        touch(it->second);
-        fut = it->second.value;
-      } else {
-        ++stats_.misses;
-        make_here = true;
-        Entry e;
-        e.value = promise.get_future().share();
-        lru_.push_back(key);
-        e.lru_pos = std::prev(lru_.end());
-        fut = e.value;
-        entries_.emplace(key, std::move(e));
-        ++stats_.entries;
-      }
-    }
-
-    if (!make_here) return fut.get();  // rethrows if the making thread failed
-
-    try {
-      std::shared_ptr<const V> value = make();
-      const std::size_t bytes = weigh_ ? weigh_(*value) : 0;
-      promise.set_value(value);
-      std::lock_guard<std::mutex> lk(mu_);
-      auto it = entries_.find(key);
-      if (it != entries_.end()) {
-        if (max_bytes_ > 0 && bytes > max_bytes_) {
-          // The value alone exceeds the byte bound: it can never stay
-          // resident, so drop only it — running the LRU sweep instead
-          // would evict every older entry first (the newcomer sits at
-          // the MRU end) and flush the whole cache as collateral.
-          lru_.erase(it->second.lru_pos);
-          entries_.erase(it);
-          --stats_.entries;
-          ++stats_.evictions;
-        } else {
-          it->second.ready = true;
-          it->second.bytes = bytes;
-          stats_.bytes += static_cast<std::int64_t>(bytes);
-        }
-      }
-      evict_excess();
-      return value;
-    } catch (...) {
-      // Waiters blocked on the future observe the same exception; the
-      // entry is erased so the next request for this key retries.
-      promise.set_exception(std::current_exception());
+    for (;;) {
+      std::promise<FillResult> promise;
+      ValueFuture fut;
+      bool make_here = false;
       {
         std::lock_guard<std::mutex> lk(mu_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
-          lru_.erase(it->second.lru_pos);
-          entries_.erase(it);
-          --stats_.entries;
+          ++stats_.hits;
+          if (!it->second.ready) ++stats_.inflight_joins;
+          touch(it->second);
+          fut = it->second.value;
+        } else {
+          ++stats_.misses;
+          make_here = true;
+          Entry e;
+          e.value = promise.get_future().share();
+          lru_.push_back(key);
+          e.lru_pos = std::prev(lru_.end());
+          fut = e.value;
+          entries_.emplace(key, std::move(e));
+          ++stats_.entries;
         }
       }
-      throw;
+
+      if (!make_here) {
+        const FillResult& r = fut.get();  // never throws: failures are data
+        if (r.value) return r.value;
+        if (r.aborted) {
+          // The leader's request was cancelled or hit its deadline — an
+          // abort that belongs to *that* request, not this one. The dead
+          // entry is already erased (erase happens before the failure is
+          // published), so loop: this caller re-looks-up and becomes the
+          // new leader, running its own factory under its own token.
+          std::lock_guard<std::mutex> lk(mu_);
+          ++stats_.aborted_retries;
+          continue;
+        }
+        throw CacheFillFailedError(r.error);  // this joiner's own object
+      }
+
+      try {
+        std::shared_ptr<const V> value = make();
+        const std::size_t bytes = weigh_ ? weigh_(*value) : 0;
+        promise.set_value(FillResult{value, false, std::string()});
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+          if (max_bytes_ > 0 && bytes > max_bytes_) {
+            // The value alone exceeds the byte bound: it can never stay
+            // resident, so drop only it — running the LRU sweep instead
+            // would evict every older entry first (the newcomer sits at
+            // the MRU end) and flush the whole cache as collateral.
+            lru_.erase(it->second.lru_pos);
+            entries_.erase(it);
+            --stats_.entries;
+            ++stats_.evictions;
+          } else {
+            it->second.ready = true;
+            it->second.bytes = bytes;
+            stats_.bytes += static_cast<std::int64_t>(bytes);
+          }
+        }
+        evict_excess();
+        return value;
+      } catch (const std::exception& e) {
+        // Erase the entry BEFORE publishing the failure: a waiter that
+        // wakes (and, for an abort, retries) must find the key absent so
+        // its re-lookup inserts a fresh entry instead of re-joining the
+        // dead future. The failure is published as data — abort flag +
+        // message — never as this thread's exception object, so each
+        // joiner materializes its own error and no refcounted exception
+        // state is shared across threads.
+        erase_failed_entry(key);
+        FillResult r;
+        r.aborted = dynamic_cast<const RequestAbortedError*>(&e) != nullptr;
+        r.error = e.what();
+        promise.set_value(std::move(r));
+        throw;
+      } catch (...) {
+        erase_failed_entry(key);
+        FillResult r;
+        r.error = "cache fill failed: unknown exception";
+        promise.set_value(std::move(r));
+        throw;
+      }
     }
   }
 
@@ -141,7 +191,7 @@ class KeyedFutureCache {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end() || !it->second.ready) return nullptr;
-    return it->second.value.get();
+    return it->second.value.get().value;  // ready entries always hold a value
   }
 
   KeyedCacheStats stats() const {
@@ -168,13 +218,33 @@ class KeyedFutureCache {
   }
 
  private:
-  using ValueFuture = std::shared_future<std::shared_ptr<const V>>;
+  /// How a fill resolves for joiners. Failures travel as plain data (an
+  /// abort flag and a message), not as the leader's exception object:
+  /// sharing one exception across joiner threads would race its final
+  /// refcount release against another joiner's what() read.
+  struct FillResult {
+    std::shared_ptr<const V> value;  // null when the fill failed
+    bool aborted = false;            // leader abort: joiners retry, not fail
+    std::string error;               // leader's message (non-abort failures)
+  };
+  using ValueFuture = std::shared_future<FillResult>;
   struct Entry {
     ValueFuture value;
     bool ready = false;     // set once the making thread fulfilled it
     std::size_t bytes = 0;  // weighed size, valid once ready
     typename std::list<Key>::iterator lru_pos;
   };
+
+  /// Remove `key` after a failed fill (the leader is about to publish
+  /// the failure and rethrow); no-op if the entry is already gone.
+  void erase_failed_entry(const Key& key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+    --stats_.entries;
+  }
 
   /// Move to MRU end; mu_ held.
   void touch(Entry& e) {

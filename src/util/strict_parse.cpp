@@ -91,4 +91,44 @@ std::size_t parse_env_size(const char* name, std::size_t fallback) {
                     std::numeric_limits<long long>::max()));
 }
 
+std::int64_t parse_duration_ms(const std::string& v) {
+  std::string num = v;
+  double scale = 1.0;
+  bool fractional = false;
+  if (v.size() >= 2 && v.compare(v.size() - 2, 2, "ms") == 0) {
+    num = v.substr(0, v.size() - 2);
+  } else if (!v.empty() && v.back() == 's') {
+    num = v.substr(0, v.size() - 1);
+    scale = 1000.0;
+    fractional = true;  // "1.5s" is a natural spelling; "1.5ms" is not
+  }
+  if (num.empty()) throw std::invalid_argument("empty duration: \"" + v + "\"");
+  std::int64_t ms = 0;
+  if (fractional) {
+    const double seconds = strict_stod(num);
+    if (seconds < 0.0)
+      throw std::invalid_argument("negative duration: \"" + v + "\"");
+    const double as_ms = seconds * scale;
+    if (as_ms > static_cast<double>(std::numeric_limits<std::int64_t>::max()))
+      throw std::out_of_range("duration out of range: \"" + v + "\"");
+    ms = static_cast<std::int64_t>(as_ms);
+  } else {
+    ms = strict_stoll(num);
+    if (ms < 0) throw std::invalid_argument("negative duration: \"" + v + "\"");
+  }
+  return ms;
+}
+
+std::int64_t parse_env_duration_ms(const char* name, std::int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (!env || *env == '\0') return fallback;
+  try {
+    return parse_duration_ms(env);
+  } catch (const std::exception&) {
+    log_warn(name, "=\"", env, "\" is not a duration; using default ",
+             fallback, " ms");
+    return fallback;
+  }
+}
+
 }  // namespace dynasparse

@@ -44,4 +44,16 @@ long long parse_env_int(const char* name, long long fallback,
 /// bounds): any value in [0, SIZE_MAX representable as long long].
 std::size_t parse_env_size(const char* name, std::size_t fallback);
 
+/// Parse a non-negative duration into milliseconds. Accepts a bare
+/// integer ("250" = 250 ms), an "ms" suffix ("250ms"), or an "s" suffix
+/// with an optionally fractional value ("1.5s" = 1500 ms). Throws
+/// std::invalid_argument on anything else (negative values, unknown
+/// suffixes, partial tokens — the strict_stoi discipline).
+std::int64_t parse_duration_ms(const std::string& v);
+
+/// parse_env_int-style duration knob (e.g. DYNASPARSE_DEADLINE_MS): unset
+/// or empty returns `fallback` silently; set but malformed logs one
+/// warning and returns `fallback`.
+std::int64_t parse_env_duration_ms(const char* name, std::int64_t fallback);
+
 }  // namespace dynasparse

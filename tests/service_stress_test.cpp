@@ -1,18 +1,22 @@
-// Stress/soak for bounded admission control (ISSUE 4): randomized
-// interleavings of submit / try_submit / wait / shutdown from 4+ threads
-// against a bounded queue, under every admission policy, with and without
-// result memoization. The properties under test:
+// Stress/soak for bounded admission control (ISSUE 4) and the
+// deadline/cancellation layer (ISSUE 6): randomized interleavings of
+// submit / try_submit / cancel / wait / shutdown from 4+ threads against
+// a bounded queue, under every admission policy, with and without result
+// memoization, with random per-request deadlines. The properties under
+// test:
 //
 //   1. Termination: every round drains or shuts down without deadlock —
 //      a hang trips the ctest timeout. This is the regression net for
 //      the close()/bounded-push interaction (a submit blocked on a full
-//      queue must be woken by shutdown and resolve cleanly).
+//      queue must be woken by shutdown and resolve cleanly) and for the
+//      abort-shutdown path (queued slots are failed, not drained).
 //   2. Exact resolution: every id a submitter obtains resolves exactly
-//      once through wait() — a report, an AdmissionRejectedError, or a
+//      once through wait() — a report, an AdmissionRejectedError, a
+//      cooperative abort (CancelledError / DeadlineExceededError), or a
 //      shutdown failure — and the outcome counts add up to the attempts.
 //   3. Correct reports: every completed request's fingerprint equals its
-//      content's sequential reference (admission control and memoization
-//      never corrupt a result).
+//      content's sequential reference (admission control, memoization,
+//      and racing cancels never corrupt a result).
 //
 // Part of the CI TSan matrix and the forced-4-thread lane; requests are
 // deliberately tiny so the randomized schedules, not the simulator,
@@ -20,8 +24,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <optional>
 #include <random>
 #include <thread>
@@ -87,7 +93,10 @@ TEST(ServiceStressTest, RandomizedSubmitWaitShutdownInterleavings) {
       std::atomic<long> attempts{0};
       std::atomic<long> completed{0};         // wait() returned a report
       std::atomic<long> admission_failed{0};  // AdmissionRejectedError
-      std::atomic<long> shutdown_failed{0};   // slot failed by shutdown
+      std::atomic<long> aborted{0};           // CancelledError / DeadlineExceeded
+                                              // (cancel(), expiry, or
+                                              // abort-shutdown)
+      std::atomic<long> shutdown_failed{0};   // other shutdown failures
       std::atomic<long> refused_entry{0};     // submit threw / try_submit nullopt
       std::atomic<long> wrong_fingerprint{0};
 
@@ -97,7 +106,12 @@ TEST(ServiceStressTest, RandomizedSubmitWaitShutdownInterleavings) {
           std::mt19937 rng(static_cast<unsigned>(1000 * round + t));
           for (int i = 0; i < kIters; ++i) {
             const bool use_a = rng() % 2 == 0;
-            const ServiceRequest& req = use_a ? req_a : req_b;
+            ServiceRequest req = use_a ? req_a : req_b;
+            // Random deadline pressure: mostly none, sometimes generous,
+            // sometimes aggressive enough to expire in the queue.
+            const unsigned deadline_die = rng() % 8;
+            if (deadline_die == 0) req.deadline_ms = 1;
+            else if (deadline_die == 1) req.deadline_ms = 50;
             ++attempts;
             std::optional<RequestId> id;
             if (rng() % 2 == 0) {
@@ -117,6 +131,16 @@ TEST(ServiceStressTest, RandomizedSubmitWaitShutdownInterleavings) {
               }
             }
             if (rng() % 4 == 0) (void)service.done(*id);  // racing poll
+            if (rng() % 4 == 0) {
+              // Racing cancel of our own id: queued, running, or already
+              // terminal — all must be safe, and never consume the slot.
+              try {
+                (void)service.cancel(*id);
+              } catch (const std::invalid_argument&) {
+                // A racing waiter cannot exist (we own the id), but a
+                // racing shutdown path may not know it yet; tolerated.
+              }
+            }
             // An obtained id must resolve exactly once — never hang.
             try {
               InferenceReport rep = service.wait(*id);
@@ -125,6 +149,8 @@ TEST(ServiceStressTest, RandomizedSubmitWaitShutdownInterleavings) {
                 ++wrong_fingerprint;
             } catch (const AdmissionRejectedError&) {
               ++admission_failed;
+            } catch (const RequestAbortedError&) {
+              ++aborted;  // own cancel, deadline expiry, or abort-shutdown
             } catch (const std::runtime_error&) {
               ++shutdown_failed;
             }
@@ -142,7 +168,8 @@ TEST(ServiceStressTest, RandomizedSubmitWaitShutdownInterleavings) {
       for (std::thread& t : submitters) t.join();
 
       const long resolved = completed.load() + admission_failed.load() +
-                            shutdown_failed.load() + refused_entry.load();
+                            aborted.load() + shutdown_failed.load() +
+                            refused_entry.load();
       EXPECT_EQ(resolved, attempts.load())
           << "round " << round << " (" << admission_policy_name(policy)
           << "): some attempt neither resolved nor was refused";
@@ -150,21 +177,112 @@ TEST(ServiceStressTest, RandomizedSubmitWaitShutdownInterleavings) {
           << "round " << round << ": completed request returned a wrong report";
       if (policy == AdmissionPolicy::kBlock && round % 2 != 0) {
         // No shutdown race and blocking admission: every attempt either
-        // completes or was a try_submit that found the queue full —
-        // nothing fails after acceptance.
-        EXPECT_EQ(completed.load() + refused_entry.load(), attempts.load())
+        // completes, aborts cooperatively (its own cancel or deadline),
+        // or was a try_submit that found the queue full — nothing fails
+        // after acceptance for any other reason.
+        EXPECT_EQ(completed.load() + aborted.load() + refused_entry.load(),
+                  attempts.load())
             << "round " << round;
         EXPECT_EQ(admission_failed.load(), 0) << "round " << round;
         EXPECT_EQ(shutdown_failed.load(), 0) << "round " << round;
       }
       AdmissionStats as = service.admission_stats();
-      EXPECT_EQ(as.accepted,
-                completed.load() + shutdown_failed.load() + as.shed)
+      EXPECT_EQ(as.accepted, completed.load() + aborted.load() +
+                                 shutdown_failed.load() + as.shed)
           << "round " << round
-          << ": accepted requests must complete, be failed by shutdown, or "
-             "be shed";
+          << ": accepted requests must complete, abort, be failed by "
+             "shutdown, or be shed";
+      // The abort buckets agree with the service's own accounting.
+      RobustnessStats rs = service.robustness_stats();
+      EXPECT_EQ(rs.cancelled + rs.expired_in_queue + rs.expired_running,
+                aborted.load())
+          << "round " << round;
     }
   }
+}
+
+// A dedicated canceller thread racing the workers over every in-flight
+// id: cancels land on queued, running, and already-terminal slots in
+// arbitrary interleavings. Invariants: cancel() never consumes a slot
+// (the owner's wait() still resolves), every id resolves as a report or
+// a CancelledError, completed reports stay bit-identical, and the
+// service's cancelled counter equals the observed CancelledErrors.
+TEST(ServiceStressTest, CancellerRacingWorkersKeepsExactAccounting) {
+  const ServiceRequest req_a = tiny_request(204, GnnModelKind::kGcn);
+  const ServiceRequest req_b = tiny_request(205, GnnModelKind::kSgc);
+  const std::uint64_t fp_a = reference_fingerprint(req_a);
+  const std::uint64_t fp_b = reference_fingerprint(req_b);
+
+  ServiceOptions opts;
+  opts.workers = 3;
+  opts.cache_capacity = 4;
+  InferenceService service(opts);
+
+  std::mutex ids_mu;
+  std::vector<RequestId> live_ids;  // submitted, not yet waited
+  std::atomic<bool> submitting{true};
+  std::atomic<long> completed{0}, cancelled{0}, wrong_fingerprint{0};
+
+  std::thread canceller([&] {
+    std::mt19937 rng(7);
+    while (submitting.load()) {
+      RequestId victim = 0;
+      {
+        std::lock_guard<std::mutex> lk(ids_mu);
+        if (!live_ids.empty())
+          victim = live_ids[rng() % live_ids.size()];
+      }
+      if (victim != 0) {
+        try {
+          (void)service.cancel(victim);
+        } catch (const std::invalid_argument&) {
+          // The owner's wait() consumed the slot between our snapshot
+          // and the cancel — the documented race, must stay an error the
+          // canceller can absorb.
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kThreads = 4, kPerThread = 25;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(100 + t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const bool use_a = rng() % 2 == 0;
+        RequestId id = service.submit(use_a ? req_a : req_b);
+        {
+          std::lock_guard<std::mutex> lk(ids_mu);
+          live_ids.push_back(id);
+        }
+        if (rng() % 3 == 0) std::this_thread::yield();
+        try {
+          InferenceReport rep = service.wait(id);
+          ++completed;
+          if (rep.deterministic_fingerprint() != (use_a ? fp_a : fp_b))
+            ++wrong_fingerprint;
+        } catch (const CancelledError&) {
+          ++cancelled;
+        }
+        {
+          std::lock_guard<std::mutex> lk(ids_mu);
+          live_ids.erase(std::find(live_ids.begin(), live_ids.end(), id));
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  submitting = false;
+  canceller.join();
+
+  EXPECT_EQ(completed.load() + cancelled.load(),
+            static_cast<long>(kThreads * kPerThread));
+  EXPECT_EQ(wrong_fingerprint.load(), 0);
+  RobustnessStats rs = service.robustness_stats();
+  EXPECT_EQ(rs.cancelled, cancelled.load());
+  EXPECT_EQ(rs.expired_in_queue + rs.expired_running, 0);  // no deadlines
 }
 
 // Soak the blocking policy specifically: a deep burst through a depth-1

@@ -20,6 +20,7 @@
 #include "core/engine.hpp"
 #include "service/inference_service.hpp"
 #include "service/request_stream.hpp"
+#include "util/fault_injection.hpp"
 #include "util/parallel.hpp"
 
 namespace dynasparse {
@@ -216,7 +217,10 @@ TEST(ServiceTest, FailedRequestPropagatesAndServiceKeepsServing) {
   GnnModel bad = build_model(GnnModelKind::kGcn, ds.spec.feature_dim + 1,
                              ds.spec.hidden_dim, ds.spec.num_classes, rng);
   RequestId bad_id = service.submit(ServiceRequest::own(std::move(bad), ds));
-  EXPECT_THROW(service.wait(bad_id), std::invalid_argument);
+  // Asynchronous failures surface through the closed taxonomy: the
+  // worker wraps the compile error (std::invalid_argument here) in
+  // ExecutionError so wait()'s throw-set stays enumerable.
+  EXPECT_THROW(service.wait(bad_id), ExecutionError);
 
   // The failure is isolated: the next request succeeds.
   RequestId good_id = service.submit(make_request(61, GnnModelKind::kGcn));
@@ -229,7 +233,15 @@ TEST(ServiceTest, FailedRequestPropagatesAndServiceKeepsServing) {
   GnnModel bad2 = build_model(GnnModelKind::kGcn, ds.spec.feature_dim + 2,
                               ds.spec.hidden_dim, ds.spec.num_classes, rng2);
   mixed.push_back(ServiceRequest::own(std::move(bad2), small_dataset(61)));
-  EXPECT_THROW(service.run_batch(std::move(mixed)), std::invalid_argument);
+  EXPECT_THROW(service.run_batch(std::move(mixed)), ExecutionError);
+  EXPECT_EQ(service.robustness_stats().execution_failures, 2);
+
+  // The synchronous run_one path stays unwrapped: the caller holds the
+  // stack, so the original exception type is the most useful one.
+  Rng rng3(65);
+  GnnModel bad3 = build_model(GnnModelKind::kGcn, ds.spec.feature_dim + 3,
+                              ds.spec.hidden_dim, ds.spec.num_classes, rng3);
+  EXPECT_THROW(service.run_one(bad3, small_dataset(61)), std::invalid_argument);
 }
 
 TEST(ServiceTest, RequestLifecycleAndValidation) {
@@ -617,19 +629,194 @@ TEST(ServiceTest, SubmitRacingShutdownNeverHangsAWaiter) {
   }
 }
 
+/// A request heavy enough (milliseconds of compile + execute) that a
+/// test can deterministically act while it is queued behind or running.
+ServiceRequest make_slow_request(std::uint64_t seed) {
+  Dataset ds = small_dataset(seed, /*vertices=*/2500, /*h0_density=*/0.4);
+  Rng rng(seed + 1);
+  GnnModel model = build_model(GnnModelKind::kGin, ds.spec.feature_dim,
+                               ds.spec.hidden_dim, ds.spec.num_classes, rng);
+  return ServiceRequest::own(std::move(model), std::move(ds));
+}
+
+TEST(ServiceTest, CancelQueuedRunningTerminalAndUnknown) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.cache_capacity = 4;
+  InferenceService service(opts);
+
+  // Unknown id: invalid_argument, same contract as state()/wait().
+  EXPECT_THROW(service.cancel(999999), std::invalid_argument);
+
+  // Terminal: cancel() never un-completes a result.
+  RequestId done_id = service.submit(make_request(121, GnnModelKind::kSgc));
+  while (!service.done(done_id)) std::this_thread::yield();
+  EXPECT_FALSE(service.cancel(done_id));
+  EXPECT_NO_THROW((void)service.wait(done_id));
+  // cancel() does not consume the slot: wait() above still got the report.
+
+  // Queued: park the single worker on a slow head, cancel the request
+  // behind it. The worker may race past us, so accept either outcome but
+  // require consistency: cancel()==true must mean wait() throws
+  // CancelledError, and false must mean a normal report.
+  RequestId head = service.submit(make_slow_request(122));
+  RequestId parked = service.submit(make_request(123, GnnModelKind::kGcn));
+  bool cancelled = service.cancel(parked);
+  if (cancelled) {
+    EXPECT_THROW(service.wait(parked), CancelledError);
+    EXPECT_GE(service.robustness_stats().cancelled, 1);
+  } else {
+    EXPECT_NO_THROW((void)service.wait(parked));
+  }
+  EXPECT_NO_THROW((void)service.wait(head));
+
+  // Running: cancel the slow head itself mid-execution. Cooperative
+  // checks abort it at the next stage/kernel boundary, and a request
+  // that slips to completion first is discarded at publish time — so
+  // cancel()==true is a hard promise of CancelledError. false means the
+  // worker published the report before cancel() got the lock.
+  RequestId running = service.submit(make_slow_request(124));
+  while (service.state(running) == RequestState::kQueued)
+    std::this_thread::yield();
+  const std::int64_t cancelled_before = service.robustness_stats().cancelled;
+  bool aborted = service.cancel(running);
+  if (aborted) {
+    EXPECT_THROW(service.wait(running), CancelledError);
+    EXPECT_EQ(service.robustness_stats().cancelled, cancelled_before + 1);
+  } else {
+    EXPECT_NO_THROW((void)service.wait(running));
+  }
+}
+
+TEST(ServiceTest, DeadlineExpiredInQueueNeverReachesCompiler) {
+  // Requests carry a 1 ms default deadline while the queue.delay chaos
+  // site (armed at probability 1) stalls every dequeue 2 ms between pop
+  // and the deadline recheck — so each victim is deterministically
+  // expired when rechecked, independent of scheduler timing. The worker
+  // must fail those slots BEFORE compiling: one compile miss total (the
+  // generous-deadline head), and expired_in_queue counts every victim.
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.cache_capacity = 8;
+  opts.default_deadline_ms = 1;
+  opts.fault_spec = "queue.delay:1";
+  {
+    InferenceService service(opts);
+
+    ServiceRequest head = make_slow_request(131);
+    head.deadline_ms = 60'000;  // per-request value wins over the default
+    RequestId head_id = service.submit(head);
+
+    constexpr int kVictims = 4;
+    std::vector<RequestId> victims;
+    for (int i = 0; i < kVictims; ++i)
+      victims.push_back(service.submit(make_request(132, GnnModelKind::kGcn)));
+
+    EXPECT_NO_THROW((void)service.wait(head_id));
+    for (RequestId id : victims)
+      EXPECT_THROW(service.wait(id), DeadlineExceededError);
+
+    RobustnessStats rs = service.robustness_stats();
+    EXPECT_EQ(rs.expired_in_queue, kVictims);
+    EXPECT_EQ(rs.expired_running, 0);
+    // The victims' content (seed 132) was never compiled: only the head's.
+    EXPECT_EQ(service.cache_stats().misses, 1);
+    EXPECT_EQ(service.cache_stats().hits, 0);
+
+    // The service keeps serving after expiries, and a request with no
+    // deadline pressure completes normally.
+    ServiceRequest fresh = make_request(132, GnnModelKind::kGcn);
+    fresh.deadline_ms = 60'000;
+    EXPECT_NO_THROW((void)service.wait(service.submit(fresh)));
+  }
+  // The injector is process-global; don't leak the armed site into later
+  // tests in this binary.
+  FaultInjector::global().disarm();
+}
+
+TEST(ServiceTest, DeadlineExpiryMidExecutionAborts) {
+  // A slow request with a deadline shorter than its own execution: it is
+  // dequeued promptly (idle worker) and expires mid-flight, aborting at a
+  // stage/kernel boundary. Under scheduler noise the deadline can instead
+  // pass while still queued — either way it must surface as
+  // DeadlineExceededError and exactly one expiry counter must advance.
+  ServiceOptions opts;
+  opts.workers = 1;
+  InferenceService service(opts);
+
+  ServiceRequest req = make_slow_request(141);
+  req.deadline_ms = 1;
+  RequestId id = service.submit(req);
+  EXPECT_THROW(service.wait(id), DeadlineExceededError);
+  RobustnessStats rs = service.robustness_stats();
+  EXPECT_EQ(rs.expired_in_queue + rs.expired_running, 1);
+}
+
+TEST(ServiceTest, NegativeDeadlinesRejected) {
+  ServiceOptions bad;
+  bad.default_deadline_ms = -5;
+  EXPECT_THROW(InferenceService{bad}, std::invalid_argument);
+
+  ServiceOptions opts;
+  opts.workers = 1;
+  InferenceService service(opts);
+  ServiceRequest req = make_request(151, GnnModelKind::kGcn);
+  req.deadline_ms = -1;
+  EXPECT_THROW(service.submit(req), std::invalid_argument);
+  EXPECT_THROW(service.try_submit(req), std::invalid_argument);
+  // The rejection happened before a slot existed: nothing to wait on,
+  // and the service still serves.
+  req.deadline_ms = 0;
+  EXPECT_NO_THROW((void)service.wait(service.submit(req)));
+}
+
+TEST(ServiceTest, ShutdownAbortsInFlightWork) {
+  // shutdown() must not drain a long queue: queued slots fail with
+  // CancelledError, the running request aborts at its next cooperative
+  // check, and every waiter resolves promptly.
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.cache_capacity = 4;
+  InferenceService service(opts);
+
+  std::vector<RequestId> ids;
+  ids.push_back(service.submit(make_slow_request(161)));
+  for (int i = 0; i < 6; ++i)
+    ids.push_back(service.submit(make_request(162, GnnModelKind::kGcn)));
+  service.shutdown();
+
+  int completed = 0, cancelled = 0;
+  for (RequestId id : ids) {
+    try {
+      (void)service.wait(id);
+      ++completed;
+    } catch (const CancelledError&) {
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(completed + cancelled, static_cast<int>(ids.size()));
+  // The worker was parked on the slow head when shutdown fired, so the
+  // queued tail (most of the batch) must have been aborted, not drained.
+  EXPECT_GE(cancelled, 1);
+  EXPECT_EQ(service.robustness_stats().cancelled, cancelled);
+}
+
 TEST(ServiceTest, RequestStreamRoundTrip) {
   std::string text =
       "# serving workload\n"
       "dataset=CI model=gcn seed=5\n"
       "dataset=CO model=sage prune=0.5 repeat=3  # popular\n"
       "\n"
-      "dataset=PU model=sgc strategy=static2 hidden=32 scale=2\n";
+      "dataset=PU model=sgc strategy=static2 hidden=32 scale=2\n"
+      "dataset=CI model=gcn deadline_ms=250\n";
   std::istringstream in(text);
   std::vector<StreamRequestSpec> specs = parse_request_stream(in);
-  ASSERT_EQ(specs.size(), 3u);
+  ASSERT_EQ(specs.size(), 4u);
   EXPECT_EQ(specs[1].repeat, 3);
   EXPECT_EQ(specs[2].strategy, MappingStrategy::kStatic2);
-  EXPECT_EQ(expand_stream(specs).size(), 5u);
+  EXPECT_EQ(specs[3].deadline_ms, 250);
+  EXPECT_EQ(materialize_request(specs[3]).deadline_ms, 250);
+  EXPECT_EQ(expand_stream(specs).size(), 6u);
 
   // to_line -> parse is a fixpoint.
   std::ostringstream out;
@@ -645,6 +832,8 @@ TEST(ServiceTest, RequestStreamRoundTrip) {
   // Numeric values must be fully consumed ("4x2" is not scale 4).
   std::istringstream bad_num("dataset=CI scale=4x2\n");
   EXPECT_THROW(parse_request_stream(bad_num), std::runtime_error);
+  std::istringstream bad_deadline("dataset=CI deadline_ms=-3\n");
+  EXPECT_THROW(parse_request_stream(bad_deadline), std::runtime_error);
 }
 
 }  // namespace

@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "util/blocking_queue.hpp"
+#include "util/cancellation.hpp"
 #include "util/config.hpp"
+#include "util/fault_injection.hpp"
+#include "util/keyed_future_cache.hpp"
 #include "util/logging.hpp"
 #include "util/math_util.hpp"
 #include "util/parallel.hpp"
@@ -444,6 +447,207 @@ TEST(ParseEnvIntTest, ValidValuesParsedMalformedFallBackDeterministically) {
     EXPECT_EQ(parse_env_int("DYNASPARSE_TEST_KNOB", 42, 0, 100), 42) << bad;
   }
   unsetenv("DYNASPARSE_TEST_KNOB");
+}
+
+TEST(ParseDurationTest, BareMillisecondsSuffixesAndFractions) {
+  EXPECT_EQ(parse_duration_ms("250"), 250);
+  EXPECT_EQ(parse_duration_ms("250ms"), 250);
+  EXPECT_EQ(parse_duration_ms("2s"), 2000);
+  EXPECT_EQ(parse_duration_ms("1.5s"), 1500);
+  EXPECT_EQ(parse_duration_ms("0"), 0);
+  EXPECT_EQ(parse_duration_ms("0.25s"), 250);
+  // Whole-token discipline: suffix typos and trailing junk are errors,
+  // not numeric prefixes.
+  EXPECT_THROW(parse_duration_ms(""), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ms("250m"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ms("250 ms"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ms("ms"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ms("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ms("-5"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ms("-1s"), std::invalid_argument);
+  // Fractional milliseconds don't exist in this API.
+  EXPECT_THROW(parse_duration_ms("1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_ms("1.5ms"), std::invalid_argument);
+}
+
+TEST(ParseDurationTest, EnvVariantFallsBackOnMalformed) {
+  unsetenv("DYNASPARSE_TEST_DURATION");
+  EXPECT_EQ(parse_env_duration_ms("DYNASPARSE_TEST_DURATION", 7), 7);
+  setenv("DYNASPARSE_TEST_DURATION", "1.5s", 1);
+  EXPECT_EQ(parse_env_duration_ms("DYNASPARSE_TEST_DURATION", 7), 1500);
+  setenv("DYNASPARSE_TEST_DURATION", "nope", 1);
+  EXPECT_EQ(parse_env_duration_ms("DYNASPARSE_TEST_DURATION", 7), 7);
+  unsetenv("DYNASPARSE_TEST_DURATION");
+}
+
+TEST(FaultSpecTest, ParseGrammarAndRejections) {
+  EXPECT_TRUE(parse_fault_spec("").empty());
+
+  FaultSpec spec = parse_fault_spec(
+      "plan_store.disk_read:0.3,compile.alloc:0.1:5,seed:42");
+  EXPECT_EQ(spec.seed, 42u);
+  ASSERT_EQ(spec.sites.size(), 2u);
+  EXPECT_EQ(spec.sites[0].site, "plan_store.disk_read");
+  EXPECT_DOUBLE_EQ(spec.sites[0].probability, 0.3);
+  EXPECT_EQ(spec.sites[0].count, -1);
+  EXPECT_EQ(spec.sites[1].site, "compile.alloc");
+  EXPECT_EQ(spec.sites[1].count, 5);
+
+  // A typo'd site name must be loud, never a silently-unarmed chaos run.
+  EXPECT_THROW(parse_fault_spec("compile.allocx:0.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("compile.alloc"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("compile.alloc:1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("compile.alloc:-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("compile.alloc:0.5:-2"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("compile.alloc:0.5:2x"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("seed:abc"), std::invalid_argument);
+
+  // Every published site constant parses.
+  for (const std::string& site : fault_site_names())
+    EXPECT_NO_THROW(parse_fault_spec(site + ":0.5")) << site;
+}
+
+TEST(FaultInjectorTest, DeterministicPerSiteAndCountBounded) {
+  FaultInjector inj;
+  inj.arm(parse_fault_spec("queue.delay:0.5,seed:7"));
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(inj.should_inject("queue.delay"));
+
+  // Re-arming with the same spec restarts the same deterministic draw
+  // sequence — a chaos failure reproduces from its seed alone.
+  inj.arm(parse_fault_spec("queue.delay:0.5,seed:7"));
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(inj.should_inject("queue.delay"), first[i]) << "draw " << i;
+  FaultSiteStats st = inj.site_stats("queue.delay");
+  EXPECT_EQ(st.evaluations, 64);
+  EXPECT_GT(st.injected, 0);   // p=0.5 over 64 draws
+  EXPECT_LT(st.injected, 64);
+
+  // Sites not in the spec never fire and are not counted.
+  EXPECT_FALSE(inj.should_inject("compile.alloc"));
+  EXPECT_EQ(inj.site_stats("compile.alloc").evaluations, 0);
+
+  // The count budget caps injections even at probability 1.
+  inj.arm(parse_fault_spec("compile.alloc:1:3"));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += inj.should_inject("compile.alloc") ? 1 : 0;
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(inj.site_stats("compile.alloc").evaluations, 10);
+
+  // pause()/resume() suspend without losing RNG position or arming.
+  inj.arm(parse_fault_spec("compile.alloc:1"));
+  inj.pause();
+  EXPECT_FALSE(inj.should_inject("compile.alloc"));
+  inj.resume();
+  EXPECT_TRUE(inj.should_inject("compile.alloc"));
+
+  inj.disarm();
+  EXPECT_FALSE(inj.armed());
+  EXPECT_FALSE(inj.should_inject("compile.alloc"));
+}
+
+TEST(CancellationTest, TokensObserveCancelAndDeadline) {
+  // Default token: never aborts, costs nothing.
+  CancellationToken none;
+  EXPECT_FALSE(none.cancelled());
+  EXPECT_FALSE(none.expired());
+  EXPECT_FALSE(none.aborted());
+  EXPECT_FALSE(none.has_deadline());
+  EXPECT_NO_THROW(none.check());
+
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_FALSE(token.aborted());
+  EXPECT_NO_THROW(token.check());
+  source.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.aborted());
+  EXPECT_THROW(token.check(), CancelledError);
+
+  // Deadline-carrying source: expired() flips once the deadline passes.
+  CancellationSource past(std::chrono::steady_clock::now() -
+                          std::chrono::milliseconds(1));
+  EXPECT_TRUE(past.token().has_deadline());
+  EXPECT_TRUE(past.token().expired());
+  EXPECT_THROW(past.token().check(), DeadlineExceededError);
+
+  CancellationSource future(std::chrono::steady_clock::now() +
+                            std::chrono::hours(1));
+  EXPECT_FALSE(future.token().expired());
+  EXPECT_NO_THROW(future.token().check());
+  // cancel() wins over an expired deadline (checked first).
+  future.cancel();
+  EXPECT_THROW(future.token().check(), CancelledError);
+
+  // The taxonomy: both abort reasons share RequestAbortedError.
+  EXPECT_THROW(
+      { throw CancelledError("c"); }, RequestAbortedError);
+  EXPECT_THROW(
+      { throw DeadlineExceededError("d"); }, RequestAbortedError);
+}
+
+TEST(KeyedFutureCacheTest, FailedFillErasesBeforePublishSoRetrySucceeds) {
+  // Regression: a factory that throws must erase its entry BEFORE the
+  // exception reaches any waiter, so a later (or woken) caller re-runs
+  // the factory instead of observing the cached failure forever.
+  KeyedFutureCache<int, int> cache(4);
+  EXPECT_THROW(cache.get_or_make(1, []() -> std::shared_ptr<const int> {
+    throw std::runtime_error("fill failed");
+  }),
+               std::runtime_error);
+  std::shared_ptr<const int> v =
+      cache.get_or_make(1, [] { return std::make_shared<const int>(7); });
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, 7);
+  EXPECT_EQ(cache.stats().misses, 2);  // both calls ran a factory
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(KeyedFutureCacheTest, AbortedLeaderHandsOffToJoiner) {
+  // A leader whose factory aborts cooperatively must not propagate the
+  // abort to joined waiters: each retries under its own factory. The
+  // joiner here blocks on the leader's in-flight future, the leader
+  // aborts, and the joiner's retry produces the value.
+  KeyedFutureCache<int, int> cache(4);
+  std::atomic<bool> leader_entered{false};
+  std::atomic<bool> joiner_joined{false};
+
+  std::thread leader([&] {
+    EXPECT_THROW(
+        cache.get_or_make(1,
+                          [&]() -> std::shared_ptr<const int> {
+                            leader_entered = true;
+                            // Hold the entry in flight until the joiner
+                            // has actually joined it.
+                            while (!joiner_joined)
+                              std::this_thread::yield();
+                            throw CancelledError("leader cancelled");
+                          }),
+        CancelledError);
+  });
+  while (!leader_entered) std::this_thread::yield();
+
+  std::thread joiner([&] {
+    std::shared_ptr<const int> v = cache.get_or_make(1, [&] {
+      return std::make_shared<const int>(42);
+    });
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 42);
+  });
+  // The joiner must be inside fut.get() before the leader throws; the
+  // inflight_joins stat flips exactly as it joins.
+  while (cache.stats().inflight_joins == 0) std::this_thread::yield();
+  joiner_joined = true;
+  leader.join();
+  joiner.join();
+
+  KeyedCacheStats s = cache.stats();
+  EXPECT_EQ(s.aborted_retries, 1);
+  EXPECT_EQ(s.misses, 2);  // leader's run + joiner's retry
+  EXPECT_EQ(s.entries, 1);
+  std::shared_ptr<const int> v = cache.peek(1);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, 42);
 }
 
 }  // namespace

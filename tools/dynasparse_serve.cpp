@@ -31,6 +31,14 @@
 //                     snapshots under D and a restarted serve process
 //                     warm-starts from them (implies --plan-store 32 when
 //                     --plan-store is not given)
+//   --deadline-ms D   default per-request deadline (a duration: "250",
+//                     "250ms", "1.5s"; default 0 = none). A stream line's
+//                     own deadline_ms= wins over this.
+//   --cancel-after D  cancel every still-outstanding request D after the
+//                     submit burst (a duration; default off) — exercises
+//                     the cooperative-cancellation path end to end
+//   --fault SPEC      arm the fault injector (util/fault_injection.hpp
+//                     grammar, e.g. "plan_store.disk_read:0.3,seed:7")
 //   --warm            pre-compile every unique request before timing
 //   --seed S          seed for the synthetic workload     (default 2023)
 //   --baseline        also run the sequential uncached run_inference-style
@@ -40,18 +48,24 @@
 // Requests are submitted asynchronously up front; per-request latency is
 // submit->completion (includes queueing), the honest serving number.
 // Under --admission reject/shed some requests resolve as admission
-// rejections (counted and excluded from the latency percentiles); under
-// block the submit loop itself is backpressured.
+// rejections; under --deadline-ms / --cancel-after / --fault some resolve
+// as deadline expiries, cancellations, or execution failures. Every
+// non-completed outcome is counted by its type (the service's closed
+// error taxonomy) and excluded from the latency percentiles; under block
+// the submit loop itself is backpressured.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/request_stream.hpp"
+#include "util/fault_injection.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strict_parse.hpp"
 
@@ -78,13 +92,14 @@ double percentile(const std::vector<double>& sorted_ms, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string stream_path, json_path, plan_store_dir;
+  std::string stream_path, json_path, plan_store_dir, fault_spec;
   int requests = 16, workers = 0, intra_op = 0;
   std::size_t cache_capacity = 16, memoize = 0, memoize_mb = 256, max_queue = 0;
   std::size_t plan_store = 0;
   bool plan_store_given = false;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
   std::uint64_t seed = 2023;
+  std::int64_t deadline_ms = 0, cancel_after_ms = -1;  // -1 = no cancellation
   bool warm = false, baseline = false;
 
   // Strict whole-token parsing (util/strict_parse.hpp): "--requests 16abc"
@@ -115,6 +130,9 @@ int main(int argc, char** argv) {
       else if (key == "--plan-store") { plan_store = size_value(need_value()); plan_store_given = true; }
       else if (key == "--plan-store-dir") plan_store_dir = need_value();
       else if (key == "--admission") admission = parse_admission_policy(need_value());
+      else if (key == "--deadline-ms") deadline_ms = parse_duration_ms(need_value());
+      else if (key == "--cancel-after") cancel_after_ms = parse_duration_ms(need_value());
+      else if (key == "--fault") fault_spec = need_value();
       else if (key == "--seed") seed = strict_stoull(need_value());
       else if (key == "--json") json_path = need_value();
       else if (key == "--warm") warm = true;
@@ -127,6 +145,15 @@ int main(int argc, char** argv) {
   if (!plan_store_dir.empty() && !plan_store_given) plan_store = 32;
   if (memoize_mb > (std::numeric_limits<std::size_t>::max() >> 20))
     usage("--memoize-mb too large");  // << 20 below would overflow
+  if (!fault_spec.empty()) {
+    // Validate here so a typo is a usage error, not a service-constructor
+    // throw after the workload has already been materialized.
+    try {
+      (void)parse_fault_spec(fault_spec);
+    } catch (const std::exception& e) {
+      usage(std::string("bad value for --fault: ") + e.what());
+    }
+  }
 
   // Parse and materialize outside the timed region: dataset/model
   // generation stands in for request decoding, which a real frontend does
@@ -157,6 +184,8 @@ int main(int argc, char** argv) {
   opts.admission = admission;
   opts.plan_store_capacity = plan_store;
   opts.plan_store_dir = plan_store_dir;
+  opts.default_deadline_ms = deadline_ms;
+  opts.fault_spec = fault_spec;
   // Options are validated/resolved by the service; report the effective
   // worker count (no hidden cap).
   InferenceService service(opts);
@@ -171,6 +200,14 @@ int main(int argc, char** argv) {
     std::printf("plan store: up to %zu plans%s%s\n", plan_store,
                 plan_store_dir.empty() ? "" : ", disk tier ",
                 plan_store_dir.c_str());
+  if (deadline_ms > 0)
+    std::printf("deadline: %lld ms per request (default)\n",
+                static_cast<long long>(deadline_ms));
+  if (cancel_after_ms >= 0)
+    std::printf("cancellation: cancelling outstanding requests %lld ms after submit\n",
+                static_cast<long long>(cancel_after_ms));
+  if (!fault_spec.empty())
+    std::printf("fault injection: %s\n", fault_spec.c_str());
 
   if (warm) {
     for (const ServiceRequest& req : pool)
@@ -184,12 +221,32 @@ int main(int argc, char** argv) {
   ids.reserve(pool.size());
   for (const ServiceRequest& req : pool) ids.push_back(service.submit(req));
 
+  // --cancel-after: a client-side canceller racing the workers, the way a
+  // frontend cancels on client disconnect. cancel() on an already-terminal
+  // request returns false, which is the common case for a late canceller.
+  std::thread canceller;
+  if (cancel_after_ms >= 0) {
+    canceller = std::thread([&service, &ids, cancel_after_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(cancel_after_ms));
+      for (RequestId id : ids) {
+        try {
+          service.cancel(id);
+        } catch (const std::invalid_argument&) {
+          // id unknown (e.g. slot consumed by a racing wait) — fine.
+        }
+      }
+    });
+  }
+
   std::vector<double> latencies_ms;
   latencies_ms.reserve(ids.size());
   double sim_latency_ms = 0.0;
-  std::size_t completed = 0, admission_rejected = 0;
+  std::size_t completed = 0, admission_rejected = 0, cancelled = 0,
+              deadline_expired = 0, execution_failed = 0;
   for (RequestId id : ids) {
     RequestTiming timing;
+    // The service's closed error taxonomy: every non-completed outcome is
+    // one of these four types, so an uncaught throw here is a bug.
     try {
       InferenceReport rep = service.wait(id, &timing);
       latencies_ms.push_back(timing.total_ms);
@@ -197,8 +254,15 @@ int main(int argc, char** argv) {
       ++completed;
     } catch (const AdmissionRejectedError&) {
       ++admission_rejected;  // refused under --max-queue reject/shed
+    } catch (const DeadlineExceededError&) {
+      ++deadline_expired;  // --deadline-ms / deadline_ms= expiry
+    } catch (const CancelledError&) {
+      ++cancelled;  // --cancel-after (or shutdown abort)
+    } catch (const ExecutionError&) {
+      ++execution_failed;  // compile/execute failure, incl. injected faults
     }
   }
+  if (canceller.joinable()) canceller.join();
   double service_wall_ms = wall.elapsed_ms();
 
   CacheStats cs = service.cache_stats();
@@ -211,6 +275,21 @@ int main(int argc, char** argv) {
   if (max_queue > 0)
     std::printf("admission: %zu completed, %zu rejected (policy %s)\n", completed,
                 admission_rejected, admission_policy_name(admission));
+  RobustnessStats rs = service.robustness_stats();
+  if (cancelled + deadline_expired + execution_failed > 0 ||
+      deadline_ms > 0 || cancel_after_ms >= 0 || !fault_spec.empty())
+    std::printf(
+        "robustness: %zu cancelled, %zu deadline-expired (%lld in queue / %lld "
+        "running), %zu failed\n",
+        cancelled, deadline_expired, static_cast<long long>(rs.expired_in_queue),
+        static_cast<long long>(rs.expired_running), execution_failed);
+  if (!fault_spec.empty()) {
+    for (const auto& [site, st] : FaultInjector::global().all_stats())
+      if (st.evaluations > 0)
+        std::printf("fault %s: injected %lld / %lld evaluations\n", site.c_str(),
+                    static_cast<long long>(st.injected),
+                    static_cast<long long>(st.evaluations));
+  }
   std::printf("cache: %lld hits / %lld misses / %lld evictions (%lld in-flight joins)\n",
               static_cast<long long>(cs.hits), static_cast<long long>(cs.misses),
               static_cast<long long>(cs.evictions),
@@ -258,6 +337,13 @@ int main(int argc, char** argv) {
       << "  \"requests\": " << ids.size() << ",\n"
       << "  \"completed\": " << completed << ",\n"
       << "  \"admission_rejected\": " << admission_rejected << ",\n"
+      << "  \"cancelled\": " << cancelled << ",\n"
+      << "  \"deadline_expired\": " << deadline_expired << ",\n"
+      << "  \"execution_failed\": " << execution_failed << ",\n"
+      << "  \"expired_in_queue\": " << rs.expired_in_queue << ",\n"
+      << "  \"expired_running\": " << rs.expired_running << ",\n"
+      << "  \"deadline_ms\": " << deadline_ms << ",\n"
+      << "  \"fault_spec\": \"" << fault_spec << "\",\n"
       << "  \"admission_policy\": \"" << admission_policy_name(admission) << "\",\n"
       << "  \"max_queue_depth\": " << max_queue << ",\n"
       << "  \"workers\": " << service.options().workers << ",\n"
