@@ -1,0 +1,221 @@
+#include "net/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace dynasparse {
+
+namespace {
+
+[[noreturn]] void throw_net(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+NetClient::NetClient(const std::string& host, std::uint16_t port,
+                     std::int64_t io_timeout_ms) {
+  if (io_timeout_ms < 0)
+    throw std::invalid_argument("NetClient: io_timeout_ms must be >= 0");
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_net("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw NetError("NetClient: bad host " + host);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    throw_net("connect " + host + ":" + std::to_string(port));
+  if (io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = io_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = std::move(fd);
+}
+
+void NetClient::send_all(const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_.get(), bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_net("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+WireFrame NetClient::next_frame() {
+  // recv_mu_ is held by the caller.
+  WireFrame frame;
+  std::size_t consumed = 0;
+  while (true) {
+    if (try_extract_frame(rbuf_.data(), rbuf_.size(), frame, consumed)) {
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      return frame;
+    }
+    std::uint8_t chunk[4096];
+    ssize_t n = ::recv(fd_.get(), chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw NetError("receive timed out waiting for a frame");
+      throw_net("recv");
+    }
+    if (n == 0)
+      throw NetError("connection closed by server while awaiting a frame");
+    rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+  }
+}
+
+std::uint64_t NetClient::submit(const StreamRequestSpec& spec) {
+  std::lock_guard<std::mutex> lk(send_mu_);
+  const std::uint64_t corr = next_corr_++;
+  send_all(encode_submit(corr, spec));
+  return corr;
+}
+
+NetClient::Outcome NetClient::to_outcome(const WireFrame& f) {
+  Outcome out;
+  out.corr = f.corr;
+  if (f.type == FrameType::kResult) {
+    out.ok = true;
+    out.result = decode_result(f);
+  } else if (f.type == FrameType::kError) {
+    out.ok = false;
+    out.error = decode_error(f);
+  } else {
+    throw WireProtocolError(
+        std::string("expected RESULT/ERROR, server sent ") +
+        frame_type_name(f.type));
+  }
+  return out;
+}
+
+NetClient::Outcome NetClient::await(std::uint64_t corr) {
+  std::lock_guard<std::mutex> lk(recv_mu_);
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i].corr == corr && (stash_[i].type == FrameType::kResult ||
+                                   stash_[i].type == FrameType::kError)) {
+      WireFrame f = std::move(stash_[i]);
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+      return to_outcome(f);
+    }
+  }
+  while (true) {
+    WireFrame f = next_frame();
+    if (f.corr == corr &&
+        (f.type == FrameType::kResult || f.type == FrameType::kError))
+      return to_outcome(f);
+    stash_.push_back(std::move(f));
+  }
+}
+
+NetClient::Outcome NetClient::await_any() {
+  std::lock_guard<std::mutex> lk(recv_mu_);
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i].type == FrameType::kResult ||
+        stash_[i].type == FrameType::kError) {
+      WireFrame f = std::move(stash_[i]);
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+      return to_outcome(f);
+    }
+  }
+  while (true) {
+    WireFrame f = next_frame();
+    if (f.type == FrameType::kResult || f.type == FrameType::kError)
+      return to_outcome(f);
+    stash_.push_back(std::move(f));
+  }
+}
+
+WireResult NetClient::request(const StreamRequestSpec& spec) {
+  Outcome out = await(submit(spec));
+  if (!out.ok) out.rethrow();
+  return out.result;
+}
+
+WireFrame NetClient::control_reply(std::uint64_t corr) {
+  // A control reply is a kState frame, or a kUnknownRequest ERROR. A
+  // terminal RESULT / other-code ERROR that races in for the same corr
+  // belongs to the awaiter: stash it.
+  std::lock_guard<std::mutex> lk(recv_mu_);
+  auto is_reply = [&](const WireFrame& f) {
+    if (f.corr != corr) return false;
+    if (f.type == FrameType::kState) return true;
+    if (f.type != FrameType::kError) return false;
+    return decode_error(f).code == WireErrorCode::kUnknownRequest;
+  };
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    if (is_reply(stash_[i])) {
+      WireFrame f = std::move(stash_[i]);
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+      return f;
+    }
+  }
+  while (true) {
+    WireFrame f = next_frame();
+    if (is_reply(f)) return f;
+    stash_.push_back(std::move(f));
+  }
+}
+
+std::uint8_t NetClient::poll_state(std::uint64_t corr) {
+  {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    send_all(encode_poll(corr));
+  }
+  WireFrame f = control_reply(corr);
+  if (f.type == FrameType::kState) return decode_state(f);
+  throw std::invalid_argument(decode_error(f).message);
+}
+
+bool NetClient::cancel(std::uint64_t corr) {
+  {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    send_all(encode_cancel(corr));
+  }
+  WireFrame f = control_reply(corr);
+  if (f.type == FrameType::kState) return decode_state(f) != 0;
+  throw std::invalid_argument(decode_error(f).message);
+}
+
+std::string NetClient::stats() {
+  std::uint64_t corr = 0;
+  {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    corr = next_corr_++;
+    send_all(encode_stats(corr));
+  }
+  std::lock_guard<std::mutex> lk(recv_mu_);
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i].corr == corr && stash_[i].type == FrameType::kStatsReply) {
+      WireFrame f = std::move(stash_[i]);
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+      return decode_stats_reply(f);
+    }
+  }
+  while (true) {
+    WireFrame f = next_frame();
+    if (f.corr == corr && f.type == FrameType::kStatsReply)
+      return decode_stats_reply(f);
+    stash_.push_back(std::move(f));
+  }
+}
+
+void NetClient::shutdown_send() { ::shutdown(fd_.get(), SHUT_WR); }
+
+}  // namespace dynasparse

@@ -1,0 +1,120 @@
+#pragma once
+// NetClient — blocking client for the dynasparse wire protocol
+// (net/wire.hpp), used by tools/dynasparse_loadgen and the loopback
+// tests. Deliberately simple: one TCP connection, blocking sends and
+// receives, correlation ids assigned from a per-client counter.
+//
+// Pipelining: submit() returns immediately after the SUBMIT frame is on
+// the wire; many requests may be in flight at once. Responses are read
+// by await(corr) / await_any(); frames that answer a *different*
+// correlation id are stashed and handed out when their turn comes, so
+// out-of-order completion (the normal case for a concurrent service)
+// costs nothing.
+//
+// Error surfaces, kept strictly apart:
+//   NetError          — the transport failed (connect refused, EOF,
+//                       recv timeout). The conversation is over.
+//   WireProtocolError — the server sent malformed bytes. Also fatal.
+//   Outcome.error     — the *request* failed; the wire code maps 1:1 to
+//                       the service taxonomy, and rethrow() raises the
+//                       very exception type a local wait() would have.
+//
+// Thread-safety: sends and receives are internally serialized (two
+// mutexes), so ONE submitter thread plus ONE awaiter thread — the
+// loadgen's open-loop shape — is safe: submit() only takes the send
+// lock, await()/await_any() only the receive lock. The composite calls
+// (request, poll_state, cancel, stats) take both in sequence and must
+// not run concurrently with an awaiter, since they could steal each
+// other's replies.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"  // ScopedFd
+#include "net/wire.hpp"
+
+namespace dynasparse {
+
+/// Transport-level failure: the socket, not the request.
+struct NetError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class NetClient {
+ public:
+  /// Connect (blocking) to host:port. `io_timeout_ms` > 0 bounds every
+  /// subsequent blocking receive (SO_RCVTIMEO); a timeout surfaces as
+  /// NetError. Throws NetError if the connection cannot be established.
+  NetClient(const std::string& host, std::uint16_t port,
+            std::int64_t io_timeout_ms = 10000);
+  ~NetClient() = default;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// How one request ended: exactly one of result/error is meaningful.
+  struct Outcome {
+    std::uint64_t corr = 0;
+    bool ok = false;
+    WireResult result;  // valid when ok
+    WireError error;    // valid when !ok
+    /// For !ok: throw the exception a local InferenceService::wait would
+    /// have thrown (wire.hpp rethrow_wire_error).
+    [[noreturn]] void rethrow() const { rethrow_wire_error(error.code, error.message); }
+  };
+
+  /// Send one SUBMIT; returns the correlation id to await. spec.repeat
+  /// must be 1 (one frame = one request).
+  std::uint64_t submit(const StreamRequestSpec& spec);
+
+  /// Block until `corr`'s terminal RESULT/ERROR arrives (other frames
+  /// are stashed for their own awaiters).
+  Outcome await(std::uint64_t corr);
+  /// Block until *any* terminal RESULT/ERROR arrives — stashed frames
+  /// first, in arrival order.
+  Outcome await_any();
+
+  /// submit + await + rethrow-on-error, in one call.
+  WireResult request(const StreamRequestSpec& spec);
+
+  /// POLL a live correlation id: 0=queued 1=running 2=done 3=failed.
+  /// Throws std::invalid_argument if the server no longer knows the id
+  /// (it already answered, or it never existed).
+  std::uint8_t poll_state(std::uint64_t corr);
+  /// CANCEL a live correlation id; true iff the abort took (the terminal
+  /// frame for `corr` will then be a kCancelled ERROR). Throws
+  /// std::invalid_argument for an unknown id — mirroring the local
+  /// InferenceService::cancel contract.
+  bool cancel(std::uint64_t corr);
+  /// STATS: the server's key=value counters line.
+  std::string stats();
+
+  /// Half-close our sending side (the server sees EOF and reaps the
+  /// connection, cancelling anything still in flight — the disconnect
+  /// path the tests drive deliberately).
+  void shutdown_send();
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  void send_all(const std::vector<std::uint8_t>& bytes);
+  /// Read exactly one frame off the socket (blocking).
+  WireFrame next_frame();
+  static Outcome to_outcome(const WireFrame& f);
+  /// The reply to a POLL/CANCEL on `corr`: kState, or a kUnknownRequest
+  /// ERROR. A racing terminal RESULT/ERROR for the same corr is stashed,
+  /// not consumed — the awaiter still gets it.
+  WireFrame control_reply(std::uint64_t corr);
+
+  ScopedFd fd_;
+  std::mutex send_mu_;
+  std::mutex recv_mu_;
+  std::uint64_t next_corr_ = 1;  // guarded by send_mu_
+  std::vector<std::uint8_t> rbuf_;          // guarded by recv_mu_
+  std::vector<WireFrame> stash_;            // guarded by recv_mu_
+};
+
+}  // namespace dynasparse

@@ -1,0 +1,129 @@
+#include "net/connection.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/fault_injection.hpp"
+
+namespace dynasparse {
+
+Connection::Connection(int fd, std::uint64_t id)
+    : fd_(fd), id_(id), last_progress_(std::chrono::steady_clock::now()) {}
+
+Connection::~Connection() = default;
+
+void Connection::on_readable(std::vector<WireFrame>& frames) {
+  if (state_ != State::kOpen) return;
+  // Chaos site: a fired net.read is a transport fault on this connection
+  // — the same teardown path a peer reset takes, so the chaos lane
+  // drives connection-death handling (cancel in-flight, reap) without a
+  // real network misbehaving.
+  if (fault_point(kFaultNetRead)) {
+    close();
+    return;
+  }
+  char buf[4096];
+  while (state_ == State::kOpen) {
+    ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      if (in_.size() + static_cast<std::size_t>(n) > kMaxInboundBytes) {
+        // More buffered bytes than any valid frame can need: hostile.
+        protocol_error_ = "inbound buffer overflow (no frame within " +
+                          std::to_string(kMaxInboundBytes) + " bytes)";
+        return;
+      }
+      in_.insert(in_.end(), buf, buf + n);
+      last_progress_ = std::chrono::steady_clock::now();
+      extract_frames(frames);
+      if (state_ != State::kOpen || protocol_error_) return;
+      continue;
+    }
+    if (n == 0) {  // orderly EOF
+      close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+    if (errno == EINTR) continue;
+    close();  // ECONNRESET and friends
+    return;
+  }
+}
+
+void Connection::extract_frames(std::vector<WireFrame>& frames) {
+  std::size_t offset = 0;
+  try {
+    WireFrame frame;
+    std::size_t consumed = 0;
+    while (try_extract_frame(in_.data() + offset, in_.size() - offset, frame,
+                             consumed)) {
+      offset += consumed;
+      ++frames_in_;
+      frames.push_back(std::move(frame));
+      frame = WireFrame{};
+    }
+  } catch (const WireProtocolError& e) {
+    protocol_error_ = e.what();
+  }
+  if (offset > 0) in_.erase(in_.begin(), in_.begin() + offset);
+}
+
+void Connection::on_writable() {
+  while (out_pos_ < out_.size()) {
+    ssize_t n = ::send(fd_.get(), out_.data() + out_pos_, out_.size() - out_pos_,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close();  // EPIPE/ECONNRESET: the response is undeliverable
+    return;
+  }
+  if (out_pos_ == out_.size()) {
+    out_.clear();
+    out_pos_ = 0;
+    if (state_ == State::kDraining) close();
+  } else if (out_pos_ > (out_.size() >> 1)) {
+    // Reclaim the flushed prefix once it dominates the buffer.
+    out_.erase(out_.begin(), out_.begin() + out_pos_);
+    out_pos_ = 0;
+  }
+}
+
+void Connection::send(const std::vector<std::uint8_t>& frame) {
+  if (state_ == State::kClosed) return;
+  if (out_.size() - out_pos_ + frame.size() > kMaxOutboundBytes) {
+    close();  // peer stopped reading; don't buffer without bound
+    return;
+  }
+  out_.insert(out_.end(), frame.begin(), frame.end());
+  on_writable();
+}
+
+void Connection::begin_drain() {
+  if (state_ != State::kOpen) return;
+  state_ = State::kDraining;
+  in_.clear();
+  if (out_.empty()) close();
+}
+
+void Connection::close() {
+  // Mark only — the fd stays open (and registered) until the server
+  // reaps this connection. Closing here would free the fd number while
+  // the event loop still holds it, and a same-round accept() could then
+  // reuse the number and collide with the stale registration.
+  state_ = State::kClosed;
+}
+
+std::uint32_t Connection::interest() const {
+  std::uint32_t mask = 0;
+  if (state_ == State::kOpen) mask |= EventLoop::kRead;
+  if (wants_write() && state_ != State::kClosed) mask |= EventLoop::kWrite;
+  return mask;
+}
+
+}  // namespace dynasparse

@@ -1,0 +1,124 @@
+#pragma once
+// Per-connection protocol state machine for the network front-end — the
+// codec/FSM layer between one client socket and the NetServer (the idiom
+// RIOT's packet codecs + control-protocol FSMs use: a connection is a
+// small explicit state machine fed by the event loop, never a thread).
+//
+// States:
+//
+//   kOpen     normal duplex operation: inbound bytes accumulate until
+//             whole frames extract (net/wire.hpp), outbound frames queue
+//             and flush as the socket accepts them.
+//   kDraining a fatal condition was answered (protocol error frame,
+//             server shutdown notice): no more input is read; the
+//             connection closes once the write buffer flushes (so the
+//             peer actually receives the diagnosis — close-before-flush
+//             is how servers produce undebuggable resets).
+//   kClosed   torn down; the owner reaps it.
+//
+// Hardening mirrors util/strict_parse: the inbound buffer is bounded by
+// the maximum frame size (a peer that sends more without ever completing
+// a frame is hostile by definition), a hostile length prefix surfaces as
+// a protocol error before any allocation (wire.hpp contract), and the
+// outbound buffer is bounded so a non-reading peer cannot balloon server
+// memory. The connection itself never interprets frame *bodies* — it
+// extracts validated frames; the server decodes and acts.
+//
+// Single-threaded: every method runs on the event-loop thread.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/wire.hpp"
+
+namespace dynasparse {
+
+class Connection {
+ public:
+  enum class State { kOpen, kDraining, kClosed };
+
+  /// Caps chosen against frame-size facts: inbound only ever needs one
+  /// maximal frame (+ prefix); outbound allows a deep response backlog
+  /// before declaring the peer dead.
+  static constexpr std::size_t kMaxInboundBytes =
+      kFrameLenBytes + kMaxFramePayload;
+  static constexpr std::size_t kMaxOutboundBytes = 4u << 20;
+
+  /// Takes ownership of `fd` (closes it on destruction / close()).
+  Connection(int fd, std::uint64_t id);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_.get(); }
+  std::uint64_t id() const { return id_; }
+  State state() const { return state_; }
+  bool closed() const { return state_ == State::kClosed; }
+
+  /// Pump readable bytes: recv() until drained, extract every complete
+  /// frame into `frames`. On EOF, a socket error, or a wire protocol
+  /// violation the connection transitions: EOF/error -> kClosed;
+  /// protocol violation -> protocol_error() is set and the caller is
+  /// expected to answer it and begin_drain(). A kDraining/kClosed
+  /// connection reads nothing (input after a fatal answer is noise).
+  void on_readable(std::vector<WireFrame>& frames);
+
+  /// Flush pending outbound bytes. kDraining connections transition to
+  /// kClosed once the buffer empties; a write error closes immediately
+  /// (the response is undeliverable — nothing further to say).
+  void on_writable();
+
+  /// Queue a complete frame and opportunistically flush (the common case
+  /// — a response fitting the socket buffer — completes here, with no
+  /// extra loop round-trip). Overflowing kMaxOutboundBytes closes the
+  /// connection: the peer is not reading.
+  void send(const std::vector<std::uint8_t>& frame);
+
+  /// Stop reading; close once the write buffer drains.
+  void begin_drain();
+  /// Immediate teardown: marks kClosed. The fd itself stays open until
+  /// the owner destroys the Connection (after unregistering it from the
+  /// event loop), so the fd number cannot be reused while the loop still
+  /// references it.
+  void close();
+
+  bool wants_write() const { return !out_.empty(); }
+  /// The event-loop interest mask this connection currently needs.
+  std::uint32_t interest() const;
+
+  /// First wire-protocol violation observed on this connection, if any
+  /// (sticky; one strike ends the conversation).
+  const std::optional<std::string>& protocol_error() const {
+    return protocol_error_;
+  }
+
+  /// Slow-loris accounting: a partial frame is sitting in the inbound
+  /// buffer, and this is when its newest byte arrived. The server times
+  /// out connections whose partial frame stops making progress.
+  bool has_partial_frame() const { return state_ == State::kOpen && !in_.empty(); }
+  std::chrono::steady_clock::time_point last_progress() const {
+    return last_progress_;
+  }
+
+  /// Bytes/frames counters for the server's stats.
+  std::int64_t frames_in() const { return frames_in_; }
+
+ private:
+  void extract_frames(std::vector<WireFrame>& frames);
+
+  ScopedFd fd_;
+  const std::uint64_t id_;
+  State state_ = State::kOpen;
+  std::vector<std::uint8_t> in_;
+  std::vector<std::uint8_t> out_;
+  std::size_t out_pos_ = 0;  // flushed prefix of out_
+  std::optional<std::string> protocol_error_;
+  std::chrono::steady_clock::time_point last_progress_;
+  std::int64_t frames_in_ = 0;
+};
+
+}  // namespace dynasparse

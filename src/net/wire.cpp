@@ -1,0 +1,435 @@
+#include "net/wire.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+#include "service/inference_service.hpp"
+#include "util/cancellation.hpp"
+
+namespace dynasparse {
+
+namespace {
+
+// ---- little-endian primitives ----------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "f64 must be 8 bytes");
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint64_t read_u64_raw(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Bounds-checked cursor over a frame body. Every getter validates the
+/// remaining length BEFORE touching (or allocating for) the bytes, and
+/// finish() rejects trailing garbage — the whole-token discipline.
+class Reader {
+ public:
+  Reader(const WireFrame& f, const char* what)
+      : p_(f.body.data()), n_(f.body.size()), what_(what) {}
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return p_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2, "u16");
+    std::uint16_t v = static_cast<std::uint16_t>(
+        p_[pos_] | (static_cast<std::uint16_t>(p_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = read_u64_raw(p_ + pos_);
+    pos_ += 8;
+    return v;
+  }
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  /// A length-prefixed string: the declared length is checked against
+  /// both `cap` and the bytes actually present before the string is
+  /// allocated.
+  std::string str(std::size_t len, std::size_t cap, const char* field) {
+    if (len > cap)
+      throw WireProtocolError(std::string(what_) + ": " + field + " length " +
+                              std::to_string(len) + " exceeds bound " +
+                              std::to_string(cap));
+    need(len, field);
+    std::string s(reinterpret_cast<const char*>(p_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  void finish() const {
+    if (pos_ != n_)
+      throw WireProtocolError(std::string(what_) + ": " +
+                              std::to_string(n_ - pos_) +
+                              " trailing bytes after body");
+  }
+
+ private:
+  void need(std::size_t k, const char* field) const {
+    if (n_ - pos_ < k)
+      throw WireProtocolError(std::string(what_) + ": truncated body (need " +
+                              std::to_string(k) + " bytes for " + field +
+                              ", have " + std::to_string(n_ - pos_) + ")");
+  }
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+/// Start a frame: length placeholder + header. finish_frame backfills
+/// the length prefix.
+std::vector<std::uint8_t> begin_frame(FrameType type, std::uint64_t corr) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, 0);  // payload length, backfilled
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u64(out, corr);
+  return out;
+}
+
+std::vector<std::uint8_t> finish_frame(std::vector<std::uint8_t> out) {
+  std::uint64_t payload = out.size() - kFrameLenBytes;
+  for (int i = 0; i < 8; ++i)
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload >> (8 * i));
+  return out;
+}
+
+// ---- enum <-> wire byte maps (explicit, not static_cast round-trips, so
+// ---- a reordered C++ enum can never silently change the wire format) ------
+
+std::uint8_t model_code(GnnModelKind k) {
+  switch (k) {
+    case GnnModelKind::kGcn: return 0;
+    case GnnModelKind::kSage: return 1;
+    case GnnModelKind::kGin: return 2;
+    case GnnModelKind::kSgc: return 3;
+  }
+  return 0;
+}
+
+GnnModelKind model_from_code(std::uint8_t c) {
+  switch (c) {
+    case 0: return GnnModelKind::kGcn;
+    case 1: return GnnModelKind::kSage;
+    case 2: return GnnModelKind::kGin;
+    case 3: return GnnModelKind::kSgc;
+  }
+  throw WireProtocolError("SUBMIT: unknown model code " + std::to_string(c));
+}
+
+std::uint8_t strategy_code(MappingStrategy s) {
+  switch (s) {
+    case MappingStrategy::kStatic1: return 0;
+    case MappingStrategy::kStatic2: return 1;
+    case MappingStrategy::kDynamic: return 2;
+  }
+  return 2;
+}
+
+MappingStrategy strategy_from_code(std::uint8_t c) {
+  switch (c) {
+    case 0: return MappingStrategy::kStatic1;
+    case 1: return MappingStrategy::kStatic2;
+    case 2: return MappingStrategy::kDynamic;
+  }
+  throw WireProtocolError("SUBMIT: unknown strategy code " + std::to_string(c));
+}
+
+bool known_frame_type(std::uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kSubmit:
+    case FrameType::kPoll:
+    case FrameType::kCancel:
+    case FrameType::kStats:
+    case FrameType::kResult:
+    case FrameType::kError:
+    case FrameType::kState:
+    case FrameType::kStatsReply:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kSubmit: return "SUBMIT";
+    case FrameType::kPoll: return "POLL";
+    case FrameType::kCancel: return "CANCEL";
+    case FrameType::kStats: return "STATS";
+    case FrameType::kResult: return "RESULT";
+    case FrameType::kError: return "ERROR";
+    case FrameType::kState: return "STATE";
+    case FrameType::kStatsReply: return "STATS_REPLY";
+  }
+  return "?";
+}
+
+const char* wire_error_name(WireErrorCode c) {
+  switch (c) {
+    case WireErrorCode::kProtocol: return "protocol";
+    case WireErrorCode::kCancelled: return "cancelled";
+    case WireErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case WireErrorCode::kAdmissionRejected: return "admission_rejected";
+    case WireErrorCode::kExecutionError: return "execution_error";
+    case WireErrorCode::kShuttingDown: return "shutting_down";
+    case WireErrorCode::kUnknownRequest: return "unknown_request";
+    case WireErrorCode::kInvalidRequest: return "invalid_request";
+  }
+  return "?";
+}
+
+void rethrow_wire_error(WireErrorCode code, const std::string& message) {
+  switch (code) {
+    case WireErrorCode::kCancelled: throw CancelledError(message);
+    case WireErrorCode::kDeadlineExceeded: throw DeadlineExceededError(message);
+    case WireErrorCode::kAdmissionRejected:
+      throw AdmissionRejectedError(message);
+    case WireErrorCode::kExecutionError: throw ExecutionError(message);
+    case WireErrorCode::kShuttingDown: throw std::runtime_error(message);
+    case WireErrorCode::kUnknownRequest:
+    case WireErrorCode::kInvalidRequest:
+      throw std::invalid_argument(message);
+    case WireErrorCode::kProtocol: break;
+  }
+  throw WireProtocolError(message);
+}
+
+bool try_extract_frame(const std::uint8_t* data, std::size_t size,
+                       WireFrame& out, std::size_t& consumed) {
+  if (size < kFrameLenBytes) return false;
+  // The raw prefix is validated as a u64 BEFORE it is narrowed or used
+  // to size anything: 2^63, SIZE_MAX, and 0 all die right here.
+  const std::uint64_t payload = read_u64_raw(data);
+  if (payload > kMaxFramePayload)
+    throw WireProtocolError("frame payload length " + std::to_string(payload) +
+                            " exceeds bound " +
+                            std::to_string(kMaxFramePayload));
+  if (payload < kFrameHeaderBytes)
+    throw WireProtocolError("frame payload length " + std::to_string(payload) +
+                            " shorter than the " +
+                            std::to_string(kFrameHeaderBytes) +
+                            "-byte frame header");
+  if (size - kFrameLenBytes < payload) return false;  // need more bytes
+  const std::uint8_t* p = data + kFrameLenBytes;
+  const std::uint8_t version = p[0];
+  if (version != kWireVersion)
+    throw WireProtocolError("unsupported wire version " +
+                            std::to_string(version) + " (expected " +
+                            std::to_string(kWireVersion) + ")");
+  const std::uint8_t type = p[1];
+  if (!known_frame_type(type))
+    throw WireProtocolError("unknown frame type " + std::to_string(type));
+  out.version = version;
+  out.type = static_cast<FrameType>(type);
+  out.corr = read_u64_raw(p + 2);
+  out.body.assign(p + kFrameHeaderBytes, p + payload);
+  consumed = kFrameLenBytes + static_cast<std::size_t>(payload);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_submit(std::uint64_t corr,
+                                        const StreamRequestSpec& spec) {
+  if (spec.dataset.empty() || spec.dataset.size() > kMaxDatasetTagBytes)
+    throw std::invalid_argument("SUBMIT: dataset tag length must be in [1, " +
+                                std::to_string(kMaxDatasetTagBytes) + "]");
+  if (spec.repeat != 1)
+    throw std::invalid_argument("SUBMIT: repeat must be 1 (one frame = one "
+                                "request; expand the stream first)");
+  std::vector<std::uint8_t> out = begin_frame(FrameType::kSubmit, corr);
+  put_u8(out, static_cast<std::uint8_t>(spec.dataset.size()));
+  out.insert(out.end(), spec.dataset.begin(), spec.dataset.end());
+  put_u8(out, model_code(spec.model));
+  put_u8(out, strategy_code(spec.strategy));
+  put_u32(out, static_cast<std::uint32_t>(spec.scale));
+  put_u64(out, static_cast<std::uint64_t>(spec.hidden));
+  put_f64(out, spec.prune);
+  put_u64(out, spec.seed);
+  put_u64(out, static_cast<std::uint64_t>(spec.deadline_ms));
+  return finish_frame(std::move(out));
+}
+
+std::vector<std::uint8_t> encode_poll(std::uint64_t corr) {
+  return finish_frame(begin_frame(FrameType::kPoll, corr));
+}
+
+std::vector<std::uint8_t> encode_cancel(std::uint64_t corr) {
+  return finish_frame(begin_frame(FrameType::kCancel, corr));
+}
+
+std::vector<std::uint8_t> encode_stats(std::uint64_t corr) {
+  return finish_frame(begin_frame(FrameType::kStats, corr));
+}
+
+std::vector<std::uint8_t> encode_result(std::uint64_t corr,
+                                        const WireResult& result) {
+  std::vector<std::uint8_t> out = begin_frame(FrameType::kResult, corr);
+  put_u64(out, result.fingerprint);
+  put_f64(out, result.sim_latency_ms);
+  put_f64(out, result.server_ms);
+  return finish_frame(std::move(out));
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t corr, WireErrorCode code,
+                                       const std::string& message) {
+  std::string msg = message.substr(0, kMaxErrorMessageBytes);
+  std::vector<std::uint8_t> out = begin_frame(FrameType::kError, corr);
+  put_u8(out, static_cast<std::uint8_t>(code));
+  put_u16(out, static_cast<std::uint16_t>(msg.size()));
+  out.insert(out.end(), msg.begin(), msg.end());
+  return finish_frame(std::move(out));
+}
+
+std::vector<std::uint8_t> encode_state(std::uint64_t corr, std::uint8_t value) {
+  std::vector<std::uint8_t> out = begin_frame(FrameType::kState, corr);
+  put_u8(out, value);
+  return finish_frame(std::move(out));
+}
+
+std::vector<std::uint8_t> encode_stats_reply(std::uint64_t corr,
+                                             const std::string& text) {
+  // The frame bound is the real limit; truncate rather than build an
+  // unsendable frame (stats text is diagnostic, not data).
+  const std::size_t cap = kMaxFramePayload - kFrameHeaderBytes - 4;
+  std::string body = text.substr(0, cap);
+  std::vector<std::uint8_t> out = begin_frame(FrameType::kStatsReply, corr);
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return finish_frame(std::move(out));
+}
+
+StreamRequestSpec decode_submit(const WireFrame& f) {
+  if (f.type != FrameType::kSubmit)
+    throw WireProtocolError("decode_submit on a non-SUBMIT frame");
+  Reader r(f, "SUBMIT");
+  StreamRequestSpec spec;
+  const std::uint8_t tag_len = r.u8();
+  if (tag_len == 0)
+    throw WireProtocolError("SUBMIT: empty dataset tag");
+  spec.dataset = r.str(tag_len, kMaxDatasetTagBytes, "dataset tag");
+  for (char c : spec.dataset)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-'))
+      throw WireProtocolError("SUBMIT: dataset tag contains byte " +
+                              std::to_string(static_cast<unsigned char>(c)) +
+                              " outside [A-Za-z0-9_-]");
+  spec.model = model_from_code(r.u8());
+  spec.strategy = strategy_from_code(r.u8());
+  const std::uint32_t scale = r.u32();
+  if (scale > kMaxWireScale)
+    throw WireProtocolError("SUBMIT: scale " + std::to_string(scale) +
+                            " exceeds bound " + std::to_string(kMaxWireScale));
+  spec.scale = static_cast<int>(scale);
+  const std::uint64_t hidden = r.u64();
+  if (hidden > kMaxWireHidden)
+    throw WireProtocolError("SUBMIT: hidden " + std::to_string(hidden) +
+                            " exceeds bound " + std::to_string(kMaxWireHidden));
+  spec.hidden = static_cast<std::int64_t>(hidden);
+  spec.prune = r.f64();
+  if (!(spec.prune >= 0.0 && spec.prune < 1.0) || std::isnan(spec.prune))
+    throw WireProtocolError("SUBMIT: prune outside [0, 1)");
+  spec.seed = r.u64();
+  const std::uint64_t deadline = r.u64();
+  if (deadline > kMaxWireDeadlineMs)
+    throw WireProtocolError("SUBMIT: deadline_ms " + std::to_string(deadline) +
+                            " exceeds bound " +
+                            std::to_string(kMaxWireDeadlineMs));
+  spec.deadline_ms = static_cast<std::int64_t>(deadline);
+  spec.repeat = 1;
+  r.finish();
+  return spec;
+}
+
+WireResult decode_result(const WireFrame& f) {
+  if (f.type != FrameType::kResult)
+    throw WireProtocolError("decode_result on a non-RESULT frame");
+  Reader r(f, "RESULT");
+  WireResult out;
+  out.fingerprint = r.u64();
+  out.sim_latency_ms = r.f64();
+  out.server_ms = r.f64();
+  r.finish();
+  return out;
+}
+
+WireError decode_error(const WireFrame& f) {
+  if (f.type != FrameType::kError)
+    throw WireProtocolError("decode_error on a non-ERROR frame");
+  Reader r(f, "ERROR");
+  WireError out;
+  const std::uint8_t code = r.u8();
+  if (code < static_cast<std::uint8_t>(WireErrorCode::kProtocol) ||
+      code > static_cast<std::uint8_t>(WireErrorCode::kInvalidRequest))
+    throw WireProtocolError("ERROR: unknown error code " + std::to_string(code));
+  out.code = static_cast<WireErrorCode>(code);
+  const std::uint16_t len = r.u16();
+  out.message = r.str(len, kMaxErrorMessageBytes, "message");
+  r.finish();
+  return out;
+}
+
+std::uint8_t decode_state(const WireFrame& f) {
+  if (f.type != FrameType::kState)
+    throw WireProtocolError("decode_state on a non-STATE frame");
+  Reader r(f, "STATE");
+  std::uint8_t v = r.u8();
+  r.finish();
+  return v;
+}
+
+std::string decode_stats_reply(const WireFrame& f) {
+  if (f.type != FrameType::kStatsReply)
+    throw WireProtocolError("decode_stats_reply on a non-STATS_REPLY frame");
+  Reader r(f, "STATS_REPLY");
+  const std::uint32_t len = r.u32();
+  std::string text = r.str(len, kMaxFramePayload, "stats text");
+  r.finish();
+  return text;
+}
+
+void decode_empty(const WireFrame& f) {
+  Reader r(f, frame_type_name(f.type));
+  r.finish();
+}
+
+}  // namespace dynasparse

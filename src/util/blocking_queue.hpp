@@ -19,6 +19,12 @@
 // draining shutdown observes every accepted item exactly once. After
 // close(), try_push() returns kClosed and push_shed_oldest() returns
 // false without shedding anything.
+//
+// Every refusal is REPORTED, never silent: callers that race close()
+// must translate a false/kClosed/kFull push into a typed failure for
+// whoever handed them the item (InferenceService::submit maps kFull to
+// AdmissionRejectedError and a closed-queue refusal to its shutdown
+// error; see ServiceStressTest.SubmitRacingShutdownAlwaysGetsATypedAnswer).
 
 #include <condition_variable>
 #include <cstddef>

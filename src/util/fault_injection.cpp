@@ -11,6 +11,7 @@ const std::vector<std::string>& fault_site_names() {
   static const std::vector<std::string> kNames = {
       kFaultCompileAlloc,   kFaultPlanStoreDiskRead, kFaultPlanStoreDiskWrite,
       kFaultQueueDelay,     kFaultRuntimeKernelFault,
+      kFaultNetAccept,      kFaultNetRead,
   };
   return kNames;
 }

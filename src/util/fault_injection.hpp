@@ -57,6 +57,13 @@ inline constexpr const char* kFaultPlanStoreDiskRead = "plan_store.disk_read";
 inline constexpr const char* kFaultPlanStoreDiskWrite = "plan_store.disk_write";
 inline constexpr const char* kFaultQueueDelay = "queue.delay";
 inline constexpr const char* kFaultRuntimeKernelFault = "runtime.kernel_fault";
+/// Network front-end sites (net/server.cpp, net/connection.cpp): a fired
+/// net.accept drops the just-accepted connection (the client sees an
+/// immediate close), a fired net.read kills an established connection as
+/// if the transport reset it — driving the teardown-cancels-in-flight
+/// path the same way the service sites drive the request pipeline.
+inline constexpr const char* kFaultNetAccept = "net.accept";
+inline constexpr const char* kFaultNetRead = "net.read";
 
 /// All known site names, for spec validation and exhaustive chaos tests.
 const std::vector<std::string>& fault_site_names();

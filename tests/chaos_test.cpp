@@ -19,13 +19,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "service/inference_service.hpp"
 #include "service/request_stream.hpp"
 #include "util/fault_injection.hpp"
@@ -281,6 +285,122 @@ TEST(ChaosTest, EverySiteArmedMixedStreamKeepsTheContract) {
     ASSERT_NO_THROW(rep = service.wait(service.submit(fresh)));
     EXPECT_EQ(rep.deterministic_fingerprint(), fp);
   }
+}
+
+TEST(ChaosTest, NetFaultsKillConnectionsNotTheContract) {
+  DisarmGuard guard;
+  // net.accept drops fresh connections at the door, net.read kills
+  // established ones mid-conversation. Clients observe transport
+  // failures (NetError) — never malformed frames — and every response
+  // that does arrive is bit-identical to a fault-free run or one typed
+  // wire error. The server itself must survive arbitrarily many dead
+  // connections.
+  const std::vector<StreamRequestSpec> specs = {
+      [] { StreamRequestSpec s; s.dataset = "CI"; s.seed = 61; return s; }(),
+      [] { StreamRequestSpec s; s.dataset = "CO"; s.seed = 62; return s; }(),
+      [] { StreamRequestSpec s; s.dataset = "PU"; s.seed = 63; return s; }(),
+  };
+  // References before arming: the same content through run_batch.
+  std::map<std::string, std::uint64_t> expect;
+  {
+    InferenceService local(ServiceOptions{});
+    std::vector<ServiceRequest> reqs;
+    for (const StreamRequestSpec& s : specs) reqs.push_back(materialize_request(s));
+    std::vector<InferenceReport> reps = local.run_batch(std::move(reqs));
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      expect[specs[i].to_line()] = reps[i].deterministic_fingerprint();
+  }
+
+  InferenceService service(ServiceOptions{});
+  NetServer server(service);
+  server.start();
+  FaultInjector::global().arm(
+      parse_fault_spec("net.accept:0.25,net.read:0.15,seed:31"));
+
+  constexpr int kClients = 3, kRounds = 6;
+  std::atomic<int> completed{0}, transport_failures{0}, wire_errors{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        const StreamRequestSpec& spec =
+            specs[static_cast<std::size_t>(round) % specs.size()];
+        try {
+          NetClient client("127.0.0.1", server.port(), 15000);
+          NetClient::Outcome out = client.await(client.submit(spec));
+          if (out.ok) {
+            if (out.result.fingerprint != expect[spec.to_line()])
+              ++mismatches;
+            ++completed;
+          } else {
+            ++wire_errors;  // typed — decode_error validated the code
+          }
+        } catch (const NetError&) {
+          ++transport_failures;  // the chaos did its job; try again
+        }
+        // WireProtocolError or an unexpected exception type escapes the
+        // thread and aborts the test: chaos must never corrupt framing.
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches, 0) << "a surviving response was not bit-identical";
+  EXPECT_EQ(completed + transport_failures + wire_errors, kClients * kRounds);
+  // The storm actually happened, through both sites' own draws.
+  const FaultSiteStats accept_stats =
+      FaultInjector::global().site_stats(kFaultNetAccept);
+  const FaultSiteStats read_stats =
+      FaultInjector::global().site_stats(kFaultNetRead);
+  EXPECT_GT(accept_stats.evaluations + read_stats.evaluations, 0);
+  EXPECT_GT(accept_stats.injected + read_stats.injected, 0)
+      << "seed 31 must fire at least once over " << kClients * kRounds
+      << " connections";
+  EXPECT_GT(completed.load(), 0) << "some connections must survive p=0.25";
+
+  // Dead connections cancelled their in-flight work instead of leaking
+  // it; the server and service survive the storm and still serve.
+  FaultInjector::global().disarm();
+  NetClient fresh("127.0.0.1", server.port());
+  NetClient::Outcome out = fresh.await(fresh.submit(specs[0]));
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.result.fingerprint, expect[specs[0].to_line()]);
+  server.stop();
+  service.shutdown();
+}
+
+TEST(ChaosTest, NetAcceptChaosReproducesFromItsSeed) {
+  DisarmGuard guard;
+  // One sequential client, one accept per connection attempt: the k-th
+  // connection lives or dies by the k-th net.accept draw, which the
+  // per-site seeded RNG fixes. Same seed, same kill pattern.
+  InferenceService service(ServiceOptions{});
+  NetServer server(service);
+  server.start();
+  StreamRequestSpec spec;
+  spec.dataset = "CI";
+  spec.seed = 71;
+
+  auto run_once = [&] {
+    // arm() resets the site RNGs: each run replays the same draws.
+    FaultInjector::global().arm(parse_fault_spec("net.accept:0.5,seed:13"));
+    std::vector<bool> survived;
+    for (int i = 0; i < 10; ++i) {
+      try {
+        NetClient client("127.0.0.1", server.port());
+        survived.push_back(client.await(client.submit(spec)).ok);
+      } catch (const NetError&) {
+        survived.push_back(false);
+      }
+    }
+    return survived;
+  };
+  std::vector<bool> first = run_once();
+  std::vector<bool> second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+  server.stop();
 }
 
 TEST(ChaosTest, ChaosRunReproducesFromItsSeed) {

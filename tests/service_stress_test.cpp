@@ -319,5 +319,103 @@ TEST(ServiceStressTest, BlockingPolicyDrainsDeepBurstThroughDepthOneQueue) {
   EXPECT_EQ(service.admission_stats().shed, 0);
 }
 
+// Regression for the submit/shutdown race behind the network listener
+// (ISSUE 7 satellite): a submit racing shutdown() must ALWAYS surface a
+// typed answer — a report, an AdmissionRejectedError, a cooperative
+// CancelledError, or the shutdown runtime_error — and never a silently
+// dropped request. This is the service-side contract the wire layer
+// leans on when it maps these outcomes to RESULT/ERROR frames: if any
+// path here could swallow a request, a connected client would hang
+// forever on a frame that never comes.
+TEST(ServiceStressTest, SubmitRacingShutdownAlwaysGetsATypedAnswer) {
+  const ServiceRequest req = tiny_request(204, GnnModelKind::kGcn);
+  const std::uint64_t fp = reference_fingerprint(req);
+
+  std::atomic<long> completed{0}, rejected{0}, cancelled{0}, refused{0};
+  std::atomic<long> untyped{0};  // any escape from the closed outcome set
+  std::mt19937_64 seq(0x5d0ffULL);
+
+  int round = 0;
+  for (AdmissionPolicy policy :
+       {AdmissionPolicy::kReject, AdmissionPolicy::kShedOldest,
+        AdmissionPolicy::kBlock}) {
+    for (int variant = 0; variant < 4; ++variant, ++round) {
+      ServiceOptions opts;
+      opts.workers = 2;
+      opts.cache_capacity = 1;
+      opts.max_queue_depth = 1;
+      opts.admission = policy;
+      opts.result_cache_capacity = variant % 2 ? 4 : 0;
+      InferenceService service(opts);
+
+      constexpr int kThreads = 4, kPerThread = 6;
+      std::atomic<long> attempts{0}, resolved{0};
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&] {
+          for (int i = 0; i < kPerThread; ++i) {
+            ++attempts;
+            RequestId id = 0;
+            try {
+              id = service.submit(req);
+            } catch (const std::runtime_error&) {
+              ++refused;  // "InferenceService is shutting down"
+              ++resolved;
+              continue;
+            } catch (...) {
+              ++untyped;
+              ++resolved;
+              continue;
+            }
+            try {
+              InferenceReport rep = service.wait(id);
+              EXPECT_EQ(rep.deterministic_fingerprint(), fp);
+              ++completed;
+            } catch (const AdmissionRejectedError&) {
+              ++rejected;
+            } catch (const CancelledError&) {
+              ++cancelled;  // queued at shutdown, failed cooperatively
+            } catch (const DeadlineExceededError&) {
+              ++untyped;  // no deadlines configured: must not appear
+            } catch (...) {
+              ++untyped;
+            }
+            ++resolved;
+          }
+        });
+      }
+      // Shut down somewhere inside the burst; jitter the delay so the
+      // close lands before, between, and after individual pushes across
+      // rounds (including mid-push for blocked kBlock submitters).
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(200 + seq() % 4000));
+      service.shutdown();
+      for (std::thread& t : submitters) t.join();
+      EXPECT_EQ(resolved.load(), attempts.load()) << "policy round " << round;
+    }
+  }
+  // Two deterministic rounds pin each side of the race, since a loaded
+  // machine can push every jittered round onto the same side.
+  {
+    InferenceService service({.workers = 2});
+    InferenceReport rep = service.wait(service.submit(req));
+    EXPECT_EQ(rep.deterministic_fingerprint(), fp);
+    ++completed;
+    service.shutdown();
+  }
+  {
+    InferenceService service({.workers = 2});
+    service.shutdown();
+    EXPECT_THROW((void)service.submit(req), std::runtime_error);
+    ++refused;
+  }
+  EXPECT_EQ(untyped.load(), 0);
+  EXPECT_EQ(completed.load() + rejected.load() + cancelled.load() +
+                refused.load(),
+            static_cast<long>(3 * 4 * 4 * 6 + 2));
+  EXPECT_GT(completed.load(), 0);
+  EXPECT_GT(refused.load() + cancelled.load() + rejected.load(), 0);
+}
+
 }  // namespace
 }  // namespace dynasparse

@@ -1,0 +1,357 @@
+// Wire-protocol codec tests (src/net/wire.hpp): round-trips for every
+// frame type, truncation sweeps (every proper prefix of a valid frame is
+// "need more bytes", never garbage), hostile length prefixes rejected
+// before any allocation, and seeded random-corruption fuzz — run under
+// ASan in CI, where an out-of-bounds read in the decoder would be fatal
+// rather than flaky.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "service/inference_service.hpp"
+#include "util/cancellation.hpp"
+
+namespace dynasparse {
+namespace {
+
+StreamRequestSpec sample_spec() {
+  StreamRequestSpec spec;
+  spec.dataset = "synth-rmat_16";
+  spec.scale = 256;
+  spec.model = GnnModelKind::kSage;
+  spec.hidden = 64;
+  spec.prune = 0.25;
+  spec.strategy = MappingStrategy::kDynamic;
+  spec.seed = 77;
+  spec.repeat = 1;
+  spec.deadline_ms = 1500;
+  return spec;
+}
+
+/// Extract exactly one frame from a complete encoded buffer.
+WireFrame extract_one(const std::vector<std::uint8_t>& bytes) {
+  WireFrame f;
+  std::size_t consumed = 0;
+  EXPECT_TRUE(try_extract_frame(bytes.data(), bytes.size(), f, consumed));
+  EXPECT_EQ(consumed, bytes.size());
+  return f;
+}
+
+/// Patch the u64 length prefix of an otherwise valid frame.
+std::vector<std::uint8_t> with_length_prefix(std::vector<std::uint8_t> bytes,
+                                             std::uint64_t payload_len) {
+  for (int i = 0; i < 8; ++i)
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload_len >> (8 * i));
+  return bytes;
+}
+
+// ---- round-trips, every frame type -----------------------------------------
+
+TEST(WireCodec, SubmitRoundTrip) {
+  const StreamRequestSpec spec = sample_spec();
+  WireFrame f = extract_one(encode_submit(42, spec));
+  EXPECT_EQ(f.type, FrameType::kSubmit);
+  EXPECT_EQ(f.corr, 42u);
+  StreamRequestSpec back = decode_submit(f);
+  EXPECT_EQ(back.dataset, spec.dataset);
+  EXPECT_EQ(back.scale, spec.scale);
+  EXPECT_EQ(back.model, spec.model);
+  EXPECT_EQ(back.hidden, spec.hidden);
+  EXPECT_DOUBLE_EQ(back.prune, spec.prune);
+  EXPECT_EQ(back.strategy, spec.strategy);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.repeat, 1);
+  EXPECT_EQ(back.deadline_ms, spec.deadline_ms);
+  // The spec's canonical text form is the materialization key — equality
+  // there means the server regenerates bit-identical content.
+  EXPECT_EQ(back.to_line(), spec.to_line());
+}
+
+TEST(WireCodec, SubmitRoundTripsEveryModelAndStrategy) {
+  for (GnnModelKind m : {GnnModelKind::kGcn, GnnModelKind::kSage,
+                         GnnModelKind::kGin, GnnModelKind::kSgc}) {
+    for (MappingStrategy s : {MappingStrategy::kStatic1,
+                              MappingStrategy::kStatic2,
+                              MappingStrategy::kDynamic}) {
+      StreamRequestSpec spec = sample_spec();
+      spec.model = m;
+      spec.strategy = s;
+      StreamRequestSpec back = decode_submit(extract_one(encode_submit(1, spec)));
+      EXPECT_EQ(back.model, m);
+      EXPECT_EQ(back.strategy, s);
+    }
+  }
+}
+
+TEST(WireCodec, EmptyBodiedRequestsRoundTrip) {
+  for (const auto& bytes :
+       {encode_poll(7), encode_cancel(8), encode_stats(9)}) {
+    WireFrame f = extract_one(bytes);
+    EXPECT_NO_THROW(decode_empty(f));
+  }
+  EXPECT_EQ(extract_one(encode_poll(7)).type, FrameType::kPoll);
+  EXPECT_EQ(extract_one(encode_cancel(8)).type, FrameType::kCancel);
+  EXPECT_EQ(extract_one(encode_stats(9)).type, FrameType::kStats);
+}
+
+TEST(WireCodec, ResultRoundTrip) {
+  WireResult result;
+  result.fingerprint = 0xDEADBEEFCAFEF00Dull;
+  result.sim_latency_ms = 3.25;
+  result.server_ms = 17.75;
+  WireResult back = decode_result(extract_one(encode_result(5, result)));
+  EXPECT_EQ(back.fingerprint, result.fingerprint);
+  EXPECT_DOUBLE_EQ(back.sim_latency_ms, result.sim_latency_ms);
+  EXPECT_DOUBLE_EQ(back.server_ms, result.server_ms);
+}
+
+TEST(WireCodec, ErrorRoundTripEveryCode) {
+  for (WireErrorCode code :
+       {WireErrorCode::kProtocol, WireErrorCode::kCancelled,
+        WireErrorCode::kDeadlineExceeded, WireErrorCode::kAdmissionRejected,
+        WireErrorCode::kExecutionError, WireErrorCode::kShuttingDown,
+        WireErrorCode::kUnknownRequest, WireErrorCode::kInvalidRequest}) {
+    WireError back = decode_error(
+        extract_one(encode_error(11, code, wire_error_name(code))));
+    EXPECT_EQ(back.code, code);
+    EXPECT_EQ(back.message, wire_error_name(code));
+  }
+}
+
+TEST(WireCodec, ErrorMessageTruncatedAtBound) {
+  const std::string huge(10000, 'x');
+  WireError back = decode_error(
+      extract_one(encode_error(1, WireErrorCode::kExecutionError, huge)));
+  EXPECT_EQ(back.message.size(), kMaxErrorMessageBytes);
+}
+
+TEST(WireCodec, StateAndStatsReplyRoundTrip) {
+  EXPECT_EQ(decode_state(extract_one(encode_state(3, 2))), 2);
+  const std::string text = "submits=12 results=11 errors=1";
+  EXPECT_EQ(decode_stats_reply(extract_one(encode_stats_reply(4, text))), text);
+}
+
+TEST(WireCodec, RethrowMapsCodesToTaxonomyTypes) {
+  EXPECT_THROW(rethrow_wire_error(WireErrorCode::kCancelled, "m"),
+               CancelledError);
+  EXPECT_THROW(rethrow_wire_error(WireErrorCode::kDeadlineExceeded, "m"),
+               DeadlineExceededError);
+  EXPECT_THROW(rethrow_wire_error(WireErrorCode::kAdmissionRejected, "m"),
+               AdmissionRejectedError);
+  EXPECT_THROW(rethrow_wire_error(WireErrorCode::kExecutionError, "m"),
+               ExecutionError);
+  EXPECT_THROW(rethrow_wire_error(WireErrorCode::kShuttingDown, "m"),
+               std::runtime_error);
+  EXPECT_THROW(rethrow_wire_error(WireErrorCode::kUnknownRequest, "m"),
+               std::invalid_argument);
+  EXPECT_THROW(rethrow_wire_error(WireErrorCode::kInvalidRequest, "m"),
+               std::invalid_argument);
+  EXPECT_THROW(rethrow_wire_error(WireErrorCode::kProtocol, "m"),
+               WireProtocolError);
+}
+
+// ---- truncation sweeps -----------------------------------------------------
+
+TEST(WireCodec, EveryPrefixOfAValidFrameIsIncompleteNotGarbage) {
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode_submit(1, sample_spec()),
+      encode_poll(2),
+      encode_result(3, WireResult{1, 2.0, 3.0}),
+      encode_error(4, WireErrorCode::kCancelled, "cancelled by test"),
+      encode_state(5, 1),
+      encode_stats_reply(6, "a=1 b=2"),
+  };
+  for (const auto& frame : frames) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      WireFrame out;
+      std::size_t consumed = 99;
+      // A prefix of well-formed bytes must never throw and never consume:
+      // the codec just asks for more.
+      EXPECT_FALSE(try_extract_frame(frame.data(), len, out, consumed))
+          << "prefix of " << len << "/" << frame.size() << " bytes";
+    }
+  }
+}
+
+TEST(WireCodec, BackToBackFramesExtractInOrder) {
+  std::vector<std::uint8_t> stream = encode_poll(10);
+  const std::vector<std::uint8_t> second = encode_cancel(11);
+  stream.insert(stream.end(), second.begin(), second.end());
+  WireFrame f;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(try_extract_frame(stream.data(), stream.size(), f, consumed));
+  EXPECT_EQ(f.type, FrameType::kPoll);
+  stream.erase(stream.begin(), stream.begin() + static_cast<std::ptrdiff_t>(consumed));
+  ASSERT_TRUE(try_extract_frame(stream.data(), stream.size(), f, consumed));
+  EXPECT_EQ(f.type, FrameType::kCancel);
+  EXPECT_EQ(consumed, stream.size());
+}
+
+// ---- hostile length prefixes: rejected before allocation -------------------
+
+TEST(WireCodec, HostileLengthPrefixesThrowBeforeAllocation) {
+  const std::vector<std::uint8_t> valid = encode_poll(1);
+  // 2^63, "negative" lengths as unsigned, SIZE_MAX, just-over-bound: all
+  // must throw from the 8 prefix bytes alone — the body is never touched,
+  // so nothing is allocated (the ASan lane would catch a read past the
+  // 8-byte buffer passed here).
+  for (std::uint64_t hostile :
+       {std::uint64_t{1} << 63, ~std::uint64_t{0},
+        static_cast<std::uint64_t>(-42), kMaxFramePayload + 1}) {
+    std::vector<std::uint8_t> prefix_only = with_length_prefix(valid, hostile);
+    prefix_only.resize(kFrameLenBytes);
+    WireFrame out;
+    std::size_t consumed = 0;
+    EXPECT_THROW(
+        try_extract_frame(prefix_only.data(), prefix_only.size(), out, consumed),
+        WireProtocolError)
+        << "hostile length " << hostile;
+  }
+  // Too-short payloads (0 can't even hold the version/type/corr header).
+  for (std::uint64_t tiny = 0; tiny < kFrameHeaderBytes; ++tiny) {
+    std::vector<std::uint8_t> bytes = with_length_prefix(valid, tiny);
+    WireFrame out;
+    std::size_t consumed = 0;
+    EXPECT_THROW(try_extract_frame(bytes.data(), bytes.size(), out, consumed),
+                 WireProtocolError)
+        << "tiny length " << tiny;
+  }
+}
+
+TEST(WireCodec, BadVersionAndUnknownTypeThrow) {
+  std::vector<std::uint8_t> bytes = encode_poll(1);
+  bytes[kFrameLenBytes] = kWireVersion + 1;  // version byte
+  WireFrame out;
+  std::size_t consumed = 0;
+  EXPECT_THROW(try_extract_frame(bytes.data(), bytes.size(), out, consumed),
+               WireProtocolError);
+  bytes = encode_poll(1);
+  bytes[kFrameLenBytes + 1] = 0x7F;  // type byte nobody defines
+  EXPECT_THROW(try_extract_frame(bytes.data(), bytes.size(), out, consumed),
+               WireProtocolError);
+}
+
+// ---- body validation -------------------------------------------------------
+
+TEST(WireCodec, TrailingBytesInBodyAreRejected) {
+  // Grow a POLL body by one byte (and fix the prefix): the decoder must
+  // reject the slack, not shrug it off.
+  std::vector<std::uint8_t> bytes = encode_poll(1);
+  bytes.push_back(0);
+  bytes = with_length_prefix(std::move(bytes), kFrameHeaderBytes + 1);
+  WireFrame f;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(try_extract_frame(bytes.data(), bytes.size(), f, consumed));
+  EXPECT_THROW(decode_empty(f), WireProtocolError);
+}
+
+TEST(WireCodec, SubmitRejectsHostileFieldValues) {
+  // Hostile tag charset: encode manually via a valid frame, then corrupt
+  // the first tag byte to a space.
+  std::vector<std::uint8_t> bytes = encode_submit(1, sample_spec());
+  bytes[kFrameLenBytes + kFrameHeaderBytes + 1] = ' ';
+  WireFrame f = extract_one(bytes);
+  EXPECT_THROW(decode_submit(f), WireProtocolError);
+
+  // Declared tag length larger than the cap dies before the string
+  // allocates (str() checks cap first).
+  bytes = encode_submit(1, sample_spec());
+  bytes[kFrameLenBytes + kFrameHeaderBytes] = 255;
+  f = extract_one(bytes);
+  EXPECT_THROW(decode_submit(f), WireProtocolError);
+
+  // Out-of-range numeric fields are caught by the encoder's caller-side
+  // contract checks in decode_submit; craft them through a valid frame
+  // with a patched prune (NaN).
+  bytes = encode_submit(1, sample_spec());
+  // prune is the f64 right after tag(1+13) + model(1) + strategy(1) + scale(4)
+  // + hidden(8); patch all 8 bytes to an all-ones NaN pattern.
+  const std::size_t prune_off = kFrameLenBytes + kFrameHeaderBytes +
+                                (1 + sample_spec().dataset.size()) + 1 + 1 + 4 + 8;
+  for (std::size_t i = 0; i < 8; ++i) bytes[prune_off + i] = 0xFF;
+  f = extract_one(bytes);
+  EXPECT_THROW(decode_submit(f), WireProtocolError);
+}
+
+TEST(WireCodec, SubmitEncoderRejectsUnsendableSpecs) {
+  StreamRequestSpec spec = sample_spec();
+  spec.repeat = 2;
+  EXPECT_THROW(encode_submit(1, spec), std::invalid_argument);
+  spec = sample_spec();
+  spec.dataset.clear();
+  EXPECT_THROW(encode_submit(1, spec), std::invalid_argument);
+  spec = sample_spec();
+  spec.dataset.assign(kMaxDatasetTagBytes + 1, 'a');
+  EXPECT_THROW(encode_submit(1, spec), std::invalid_argument);
+}
+
+// ---- seeded corruption fuzz ------------------------------------------------
+
+TEST(WireCodec, RandomCorruptionNeverEscapesTheProtocolErrorType) {
+  std::mt19937_64 rng(20230807);
+  const std::vector<std::vector<std::uint8_t>> seeds = {
+      encode_submit(1, sample_spec()),
+      encode_result(2, WireResult{99, 1.0, 2.0}),
+      encode_error(3, WireErrorCode::kDeadlineExceeded, "late"),
+      encode_stats_reply(4, "k=v"),
+      encode_state(5, 1),
+      encode_poll(6),
+  };
+  int extracted = 0, rejected = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<std::uint8_t> bytes = seeds[iter % seeds.size()];
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int k = 0; k < flips; ++k)
+      bytes[rng() % bytes.size()] = static_cast<std::uint8_t>(rng());
+    WireFrame f;
+    std::size_t consumed = 0;
+    // The only acceptable outcomes: a clean extraction (+ decode that
+    // either succeeds or throws WireProtocolError), "need more bytes",
+    // or WireProtocolError. Anything else — a crash, an OOB read under
+    // ASan, a std::bad_alloc from a hostile length — fails the test.
+    try {
+      if (!try_extract_frame(bytes.data(), bytes.size(), f, consumed)) continue;
+      ++extracted;
+      try {
+        switch (f.type) {
+          case FrameType::kSubmit: (void)decode_submit(f); break;
+          case FrameType::kResult: (void)decode_result(f); break;
+          case FrameType::kError: (void)decode_error(f); break;
+          case FrameType::kState: (void)decode_state(f); break;
+          case FrameType::kStatsReply: (void)decode_stats_reply(f); break;
+          default: decode_empty(f); break;
+        }
+      } catch (const WireProtocolError&) {
+      }
+    } catch (const WireProtocolError&) {
+      ++rejected;
+    }
+  }
+  // The sweep must actually exercise both paths.
+  EXPECT_GT(extracted, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+/// Pure random bytes: the extractor must never read past `size` (ASan)
+/// and must only ever say false / frame / WireProtocolError.
+TEST(WireCodec, RandomBytesAreHandledWithoutOverread) {
+  std::mt19937_64 rng(424242);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> bytes(rng() % 64);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    WireFrame f;
+    std::size_t consumed = 0;
+    try {
+      (void)try_extract_frame(bytes.data(), bytes.size(), f, consumed);
+    } catch (const WireProtocolError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynasparse

@@ -1,0 +1,279 @@
+// dynasparse_loadgen — open-loop load generator for `dynasparse_serve
+// --listen` (the wire protocol in src/net/wire.hpp).
+//
+//   dynasparse_serve --listen 7411 --workers 4 &
+//   dynasparse_loadgen --port 7411 --rate 50 --requests 200
+//
+// Open loop means arrivals are *scheduled*, not paced by responses: a
+// seeded Poisson process (exponential inter-arrival gaps at --rate
+// req/s) fixes every request's send time up front, and each request's
+// latency is measured from its SCHEDULED arrival to its response. A
+// stalled server therefore inflates the latencies of every request that
+// should have been sent meanwhile — the coordinated-omission-free
+// number — rather than quietly slowing the offered load the way a
+// closed loop (send, wait, repeat) does.
+//
+// Flags:
+//   --port P          server port (required)
+//   --host H          server address           (default 127.0.0.1)
+//   --rate R          offered load, requests/s (default 50)
+//   --requests N      total requests to send   (default 200)
+//   --connections C   client connections; arrivals round-robin across
+//                     them, one submitter + one reaper thread each
+//                     (default 4)
+//   --deadline-ms D   per-request deadline carried in each SUBMIT
+//                     (duration; default 0 = server default)
+//   --seed S          seed for workload + arrival process (default 2023)
+//   --timeout D       per-connection receive timeout (default 30s)
+//   --json PATH       write the metrics as JSON
+//   --slo-p99-ms X    exit 1 if completed-request p99 exceeds X ms
+//   --slo-error-rate F  exit 1 if (errors / requests) exceeds F
+//                     (deadline/cancel/admission/execution errors count;
+//                     a transport failure is always exit 2)
+//
+// The workload cycles the same deterministic synthetic roster the
+// replay mode uses (service/request_stream.hpp synthetic_stream), so
+// server-side caches behave as they would under `--requests` replay.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "service/request_stream.hpp"
+#include "util/strict_parse.hpp"
+
+using namespace dynasparse;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr,
+               "error: %s\n(see header of tools/dynasparse_loadgen.cpp)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+double percentile(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(sorted_ms.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+/// One request's plan and fate, owned by its connection's two threads.
+struct Shot {
+  StreamRequestSpec spec;
+  double sched_ms = 0.0;  // scheduled arrival, relative to test start
+};
+
+struct ConnTally {
+  std::vector<double> latencies_ms;  // completed only, from sched time
+  std::int64_t completed = 0;
+  std::map<std::string, std::int64_t> errors;  // wire_error_name -> count
+  std::string transport_error;                 // non-empty = conn died
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1", json_path;
+  int port = -1, total_requests = 200, connections = 4;
+  double rate = 50.0, slo_p99_ms = -1.0, slo_error_rate = -1.0;
+  std::uint64_t seed = 2023;
+  std::int64_t deadline_ms = 0, timeout_ms = 30000;
+
+  std::string current_key;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      current_key = key;
+      auto need_value = [&]() -> std::string {
+        if (i + 1 >= argc) usage("missing value for " + key);
+        return argv[++i];
+      };
+      if (key == "--port") port = strict_stoi(need_value());
+      else if (key == "--host") host = need_value();
+      else if (key == "--rate") rate = strict_stod(need_value());
+      else if (key == "--requests") total_requests = strict_stoi(need_value());
+      else if (key == "--connections") connections = strict_stoi(need_value());
+      else if (key == "--deadline-ms") deadline_ms = parse_duration_ms(need_value());
+      else if (key == "--seed") seed = strict_stoull(need_value());
+      else if (key == "--timeout") timeout_ms = parse_duration_ms(need_value());
+      else if (key == "--json") json_path = need_value();
+      else if (key == "--slo-p99-ms") slo_p99_ms = strict_stod(need_value());
+      else if (key == "--slo-error-rate") slo_error_rate = strict_stod(need_value());
+      else usage("unknown flag: " + key);
+    }
+  } catch (const std::exception& e) {
+    usage("bad value for " + current_key + ": " + e.what());
+  }
+  if (port < 0 || port > 65535) usage("--port is required (0..65535)");
+  if (rate <= 0.0 || !std::isfinite(rate)) usage("--rate must be > 0");
+  if (total_requests <= 0) usage("--requests must be > 0");
+  if (connections <= 0) usage("--connections must be > 0");
+  if (connections > total_requests) connections = total_requests;
+
+  // Schedule every arrival up front: Poisson process, exponential gaps.
+  // Seeded, so a run is reproducible end to end (same specs, same times).
+  std::vector<StreamRequestSpec> roster =
+      expand_stream(synthetic_stream(total_requests, seed));
+  std::mt19937_64 rng(seed ^ 0x10adc0deULL);
+  std::exponential_distribution<double> gap_s(rate);
+  std::vector<std::vector<Shot>> plan(static_cast<std::size_t>(connections));
+  double arrival_ms = 0.0;
+  for (int i = 0; i < total_requests; ++i) {
+    arrival_ms += gap_s(rng) * 1000.0;
+    Shot shot;
+    shot.spec = roster[static_cast<std::size_t>(i) % roster.size()];
+    shot.spec.repeat = 1;
+    if (deadline_ms > 0) shot.spec.deadline_ms = deadline_ms;
+    shot.sched_ms = arrival_ms;
+    plan[static_cast<std::size_t>(i) % plan.size()].push_back(shot);
+  }
+  std::printf(
+      "offering %d requests at %.1f req/s over %d connections (~%.1f s, "
+      "seed %llu)\n",
+      total_requests, rate, connections, arrival_ms / 1000.0,
+      static_cast<unsigned long long>(seed));
+
+  std::vector<ConnTally> tallies(plan.size());
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    threads.emplace_back([&, c] {
+      ConnTally& tally = tallies[c];
+      try {
+        NetClient client(host, static_cast<std::uint16_t>(port), timeout_ms);
+        // corr -> scheduled arrival; written by the submitter below,
+        // read by this (reaper) thread.
+        std::map<std::uint64_t, double> sched;
+        std::mutex sched_mu;
+        std::thread submitter([&] {
+          for (const Shot& shot : plan[c]) {
+            const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                         std::chrono::duration<double, std::milli>(
+                                             shot.sched_ms));
+            std::this_thread::sleep_until(due);  // open loop: never waits
+                                                 // for responses
+            const std::uint64_t corr = client.submit(shot.spec);
+            std::lock_guard<std::mutex> lk(sched_mu);
+            sched.emplace(corr, shot.sched_ms);
+          }
+        });
+        for (std::size_t n = 0; n < plan[c].size(); ++n) {
+          NetClient::Outcome out = client.await_any();
+          const double now_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count();
+          double sched_ms = 0.0;
+          {
+            std::lock_guard<std::mutex> lk(sched_mu);
+            auto it = sched.find(out.corr);
+            sched_ms = it == sched.end() ? now_ms : it->second;
+          }
+          if (out.ok) {
+            // Coordinated-omission-free: from when the request SHOULD
+            // have been sent, not from when it actually was.
+            tally.latencies_ms.push_back(now_ms - sched_ms);
+            ++tally.completed;
+          } else {
+            ++tally.errors[wire_error_name(out.error.code)];
+          }
+        }
+        submitter.join();
+      } catch (const std::exception& e) {
+        tally.transport_error = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  std::vector<double> latencies;
+  std::int64_t completed = 0;
+  std::map<std::string, std::int64_t> errors;
+  std::vector<std::string> transport_errors;
+  for (const ConnTally& t : tallies) {
+    latencies.insert(latencies.end(), t.latencies_ms.begin(),
+                     t.latencies_ms.end());
+    completed += t.completed;
+    for (const auto& [name, n] : t.errors) errors[name] += n;
+    if (!t.transport_error.empty())
+      transport_errors.push_back(t.transport_error);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 50.0);
+  const double p90 = percentile(latencies, 90.0);
+  const double p99 = percentile(latencies, 99.0);
+  const double pmax = latencies.empty() ? 0.0 : latencies.back();
+  std::int64_t errored = 0;
+  for (const auto& [name, n] : errors) errored += n;
+  const double error_rate =
+      static_cast<double>(errored) / static_cast<double>(total_requests);
+  const double achieved =
+      static_cast<double>(completed) / (wall_ms / 1000.0);
+
+  std::printf(
+      "wall %.1f ms  completed %lld/%d  achieved %.1f req/s  error rate "
+      "%.4f\n",
+      wall_ms, static_cast<long long>(completed), total_requests, achieved,
+      error_rate);
+  std::printf("latency from scheduled arrival: p50 %.1f  p90 %.1f  p99 %.1f  "
+              "max %.1f ms\n",
+              p50, p90, p99, pmax);
+  for (const auto& [name, n] : errors)
+    std::printf("error %s: %lld\n", name.c_str(), static_cast<long long>(n));
+  for (const std::string& e : transport_errors)
+    std::printf("transport failure: %s\n", e.c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) usage("cannot write --json file");
+    f << "{\n"
+      << "  \"requests\": " << total_requests << ",\n"
+      << "  \"rate_req_per_s\": " << rate << ",\n"
+      << "  \"connections\": " << connections << ",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"deadline_ms\": " << deadline_ms << ",\n"
+      << "  \"wall_ms\": " << wall_ms << ",\n"
+      << "  \"completed\": " << completed << ",\n"
+      << "  \"errored\": " << errored << ",\n"
+      << "  \"error_rate\": " << error_rate << ",\n"
+      << "  \"achieved_req_per_s\": " << achieved << ",\n"
+      << "  \"latency_p50_ms\": " << p50 << ",\n"
+      << "  \"latency_p90_ms\": " << p90 << ",\n"
+      << "  \"latency_p99_ms\": " << p99 << ",\n"
+      << "  \"latency_max_ms\": " << pmax << ",\n"
+      << "  \"transport_failures\": " << transport_errors.size() << "\n"
+      << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!transport_errors.empty()) return 2;
+  int rc = 0;
+  if (slo_p99_ms >= 0.0 && p99 > slo_p99_ms) {
+    std::printf("SLO VIOLATION: p99 %.1f ms > %.1f ms\n", p99, slo_p99_ms);
+    rc = 1;
+  }
+  if (slo_error_rate >= 0.0 && error_rate > slo_error_rate) {
+    std::printf("SLO VIOLATION: error rate %.4f > %.4f\n", error_rate,
+                slo_error_rate);
+    rc = 1;
+  }
+  if (rc == 0 && (slo_p99_ms >= 0.0 || slo_error_rate >= 0.0))
+    std::printf("SLO ok\n");
+  return rc;
+}

@@ -4,8 +4,23 @@
 //
 //   dynasparse_serve --requests 16 --workers 4
 //   dynasparse_serve --stream workload.txt --cache 32 --json serve.json
+//   dynasparse_serve --listen 7411 --workers 4 --max-queue 64 --admission shed
 //
 // Flags:
+//   --listen PORT     serve the wire protocol (src/net/wire.hpp) on this
+//                     TCP port instead of replaying a file: accepts
+//                     connections until SIGINT/SIGTERM, then prints (and
+//                     with --json, writes) the serving counters. PORT 0
+//                     binds an ephemeral port and prints the choice. All
+//                     service knobs below (--workers, --max-queue,
+//                     --admission, --deadline-ms, --fault, ...) apply to
+//                     the networked service unchanged; --stream/--requests
+//                     are ignored in this mode.
+//   --host H          listen address (default 127.0.0.1)
+//   --max-conns N     concurrent-connection cap (default 256); further
+//                     accepts are refused with an immediate close
+//   --frame-timeout D slow-loris bound: close a connection whose partial
+//                     frame stalls this long (duration; default 2s, 0 off)
 //   --stream PATH     request-stream file (see src/service/request_stream.hpp)
 //   --requests N      synthetic mixed workload of N requests (default 16;
 //                     ignored when --stream is given)
@@ -56,6 +71,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,6 +80,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/server.hpp"
 #include "service/request_stream.hpp"
 #include "util/fault_injection.hpp"
 #include "util/stopwatch.hpp"
@@ -72,6 +89,9 @@
 using namespace dynasparse;
 
 namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void request_stop(int) { g_stop_requested = 1; }
 
 [[noreturn]] void usage(const std::string& msg) {
   std::fprintf(stderr, "error: %s\n(see header of tools/dynasparse_serve.cpp)\n",
@@ -101,6 +121,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 2023;
   std::int64_t deadline_ms = 0, cancel_after_ms = -1;  // -1 = no cancellation
   bool warm = false, baseline = false;
+  int listen_port = -1;  // -1 = replay mode; 0 = ephemeral
+  std::string listen_host = "127.0.0.1";
+  std::size_t max_conns = 256;
+  std::int64_t frame_timeout_ms = 2000;
 
   // Strict whole-token parsing (util/strict_parse.hpp): "--requests 16abc"
   // must be a usage error, not a silent 16, and "--requests foo" a clean
@@ -137,6 +161,14 @@ int main(int argc, char** argv) {
       else if (key == "--json") json_path = need_value();
       else if (key == "--warm") warm = true;
       else if (key == "--baseline") baseline = true;
+      else if (key == "--listen") {
+        listen_port = strict_stoi(need_value());
+        if (listen_port < 0 || listen_port > 65535)
+          usage("--listen port must be in [0, 65535]");
+      }
+      else if (key == "--host") listen_host = need_value();
+      else if (key == "--max-conns") max_conns = size_value(need_value());
+      else if (key == "--frame-timeout") frame_timeout_ms = parse_duration_ms(need_value());
       else usage("unknown flag: " + key);
     }
   } catch (const std::exception& e) {
@@ -160,18 +192,20 @@ int main(int argc, char** argv) {
   // off the hot path. Any workload error (bad stream line, unknown
   // dataset tag) reports through usage() instead of an uncaught throw.
   std::vector<ServiceRequest> pool;
-  try {
-    std::vector<StreamRequestSpec> specs =
-        stream_path.empty() ? synthetic_stream(requests, seed)
-                            : expand_stream(read_request_stream_file(stream_path));
-    if (specs.empty()) usage("empty request stream");
-    std::printf("replaying %zu requests (%s)\n", specs.size(),
-                stream_path.empty() ? "synthetic mix" : stream_path.c_str());
-    pool.reserve(specs.size());
-    for (const StreamRequestSpec& spec : specs)
-      pool.push_back(materialize_request(spec));
-  } catch (const std::exception& e) {
-    usage(e.what());
+  if (listen_port < 0) {
+    try {
+      std::vector<StreamRequestSpec> specs =
+          stream_path.empty() ? synthetic_stream(requests, seed)
+                              : expand_stream(read_request_stream_file(stream_path));
+      if (specs.empty()) usage("empty request stream");
+      std::printf("replaying %zu requests (%s)\n", specs.size(),
+                  stream_path.empty() ? "synthetic mix" : stream_path.c_str());
+      pool.reserve(specs.size());
+      for (const StreamRequestSpec& spec : specs)
+        pool.push_back(materialize_request(spec));
+    } catch (const std::exception& e) {
+      usage(e.what());
+    }
   }
 
   ServiceOptions opts;
@@ -208,6 +242,85 @@ int main(int argc, char** argv) {
                 static_cast<long long>(cancel_after_ms));
   if (!fault_spec.empty())
     std::printf("fault injection: %s\n", fault_spec.c_str());
+
+  if (listen_port >= 0) {
+    NetServerOptions net;
+    net.host = listen_host;
+    net.port = static_cast<std::uint16_t>(listen_port);
+    net.max_connections = max_conns;
+    net.frame_timeout_ms = frame_timeout_ms;
+    NetServer server(service, net);
+    try {
+      server.start();
+    } catch (const std::exception& e) {
+      usage(e.what());
+    }
+    std::printf("listening on %s:%u (max %zu connections, frame timeout %lld ms)\n",
+                listen_host.c_str(), server.port(), max_conns,
+                static_cast<long long>(frame_timeout_ms));
+    std::fflush(stdout);
+    std::signal(SIGINT, request_stop);
+    std::signal(SIGTERM, request_stop);
+    while (!g_stop_requested)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::printf("stop requested, draining\n");
+    server.stop();
+    service.shutdown();
+
+    NetServerStats ns = server.stats();
+    CacheStats cs = service.cache_stats();
+    RobustnessStats rs = service.robustness_stats();
+    AdmissionStats as = service.admission_stats();
+    std::printf(
+        "net: %lld accepted / %lld refused, %lld frames, %lld submits, "
+        "%lld results, %lld errors, %lld protocol errors, %lld timeouts, "
+        "%lld disconnect cancels\n",
+        static_cast<long long>(ns.accepted), static_cast<long long>(ns.refused),
+        static_cast<long long>(ns.frames), static_cast<long long>(ns.submits),
+        static_cast<long long>(ns.results),
+        static_cast<long long>(ns.errors_sent),
+        static_cast<long long>(ns.protocol_errors),
+        static_cast<long long>(ns.timeouts),
+        static_cast<long long>(ns.disconnect_cancels));
+    std::printf(
+        "service: cache %lld hits / %lld misses; admission %lld accepted / "
+        "%lld rejected / %lld shed; %lld cancelled, %lld+%lld expired, %lld "
+        "failed\n",
+        static_cast<long long>(cs.hits), static_cast<long long>(cs.misses),
+        static_cast<long long>(as.accepted), static_cast<long long>(as.rejected),
+        static_cast<long long>(as.shed), static_cast<long long>(rs.cancelled),
+        static_cast<long long>(rs.expired_in_queue),
+        static_cast<long long>(rs.expired_running),
+        static_cast<long long>(rs.execution_failures));
+    if (!json_path.empty()) {
+      std::ofstream f(json_path);
+      if (!f) usage("cannot write --json file");
+      f << "{\n"
+        << "  \"mode\": \"listen\",\n"
+        << "  \"port\": " << server.port() << ",\n"
+        << "  \"accepted\": " << ns.accepted << ",\n"
+        << "  \"refused\": " << ns.refused << ",\n"
+        << "  \"frames\": " << ns.frames << ",\n"
+        << "  \"submits\": " << ns.submits << ",\n"
+        << "  \"results\": " << ns.results << ",\n"
+        << "  \"errors_sent\": " << ns.errors_sent << ",\n"
+        << "  \"protocol_errors\": " << ns.protocol_errors << ",\n"
+        << "  \"timeouts\": " << ns.timeouts << ",\n"
+        << "  \"disconnect_cancels\": " << ns.disconnect_cancels << ",\n"
+        << "  \"cache_hits\": " << cs.hits << ",\n"
+        << "  \"cache_misses\": " << cs.misses << ",\n"
+        << "  \"admission_accepted\": " << as.accepted << ",\n"
+        << "  \"admission_rejected\": " << as.rejected << ",\n"
+        << "  \"admission_shed\": " << as.shed << ",\n"
+        << "  \"cancelled\": " << rs.cancelled << ",\n"
+        << "  \"expired_in_queue\": " << rs.expired_in_queue << ",\n"
+        << "  \"expired_running\": " << rs.expired_running << ",\n"
+        << "  \"execution_failures\": " << rs.execution_failures << "\n"
+        << "}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+  }
 
   if (warm) {
     for (const ServiceRequest& req : pool)
