@@ -1,0 +1,168 @@
+// Memory-pool bench (PR 8): measure what the dataset-keyed TilePool
+// does to the resident footprint of a warm serving process.
+//
+// Workload: a 12-request stream over 3 datasets — CI/CO/PU, each served
+// as {GCN, GraphSAGE} x {unpruned, 50%-pruned weights}. Every request is
+// a distinct CompileKey (pruning changes the model content), so the
+// compilation cache ends up holding 12 programs — but only 3 distinct
+// datasets back them. Without the pool each program carries private
+// partitioned copies of its dataset's adjacency + H0 tiles; with it,
+// programs compiled from one dataset under one geometry share a single
+// immutable copy, so cached bytes grow with datasets, not programs.
+//
+// The stream runs twice through each configuration (cold then warm) and
+// the metric is cached-bytes-per-program at quiesce:
+//
+//   (compilation-cache bytes + tile-pool bytes) / cached programs
+//
+// Gates (exit code, recorded in BENCH_pr8.json):
+//   - pooling reduces cached-bytes-per-program by >= 30%;
+//   - every report is bit-identical between the pool-off and pool-on
+//     runs (deterministic_fingerprint) — sharing is invisible to results.
+//
+// The budget runs track-only here (no limit) so the recorded high-water
+// numbers measure the true demand of each configuration.
+//
+//   memory_pool [--seed S] [--scale N] [--out PATH]
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/inference_service.hpp"
+
+using namespace dynasparse;
+using bench::JsonWriter;
+
+namespace {
+
+struct RunResult {
+  std::vector<std::uint64_t> fingerprints;
+  double wall_ms = 0.0;
+  CacheStats cache;
+  TilePoolStats pool;
+  MemoryBudgetStats budget;
+};
+
+RunResult run_stream(const std::vector<ServiceRequest>& pool_requests,
+                     std::size_t tile_pool_capacity) {
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.cache_capacity = 16;  // holds all 12 programs: byte growth is real
+  opts.tile_pool_capacity = tile_pool_capacity;
+  InferenceService service(opts);
+
+  RunResult r;
+  Stopwatch sw;
+  for (int round = 0; round < 2; ++round) {  // cold pass, then warm pass
+    std::vector<RequestId> ids;
+    ids.reserve(pool_requests.size());
+    for (const ServiceRequest& req : pool_requests)
+      ids.push_back(service.submit(req));
+    for (RequestId id : ids) {
+      InferenceReport rep = service.wait(id);
+      if (round == 0) r.fingerprints.push_back(rep.deterministic_fingerprint());
+    }
+  }
+  r.wall_ms = sw.elapsed_ms();
+  r.cache = service.cache_stats();
+  r.pool = service.tile_pool_stats();
+  r.budget = service.memory_budget_stats();
+  return r;
+}
+
+double bytes_per_program(const RunResult& r) {
+  if (r.cache.entries <= 0) return 0.0;
+  return static_cast<double>(r.cache.bytes + r.pool.bytes) /
+         static_cast<double>(r.cache.entries);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  const char* out_path = "BENCH_pr8.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+
+  const std::vector<std::string> tags = {"CI", "CO", "PU"};
+  std::vector<ServiceRequest> requests;
+  for (const std::string& tag : tags) {
+    Dataset ds = bench::load_dataset(tag, args);
+    for (GnnModelKind kind : {GnnModelKind::kGcn, GnnModelKind::kSage}) {
+      for (double prune : {0.0, 0.5}) {
+        GnnModel model = bench::make_model(kind, ds, args.seed, prune);
+        Dataset ds_copy = ds;  // each request owns its dataset copy
+        requests.push_back(
+            ServiceRequest::own(std::move(model), std::move(ds_copy), {}));
+      }
+    }
+  }
+  std::printf("memory pool bench: %zu requests over %zu datasets\n",
+              requests.size(), tags.size());
+
+  RunResult off = run_stream(requests, 0);
+  RunResult on = run_stream(requests, 64);
+
+  bool identical = off.fingerprints == on.fingerprints;
+  const double bpp_off = bytes_per_program(off);
+  const double bpp_on = bytes_per_program(on);
+  const double reduction = bpp_off > 0.0 ? 1.0 - bpp_on / bpp_off : 0.0;
+
+  std::printf("pool off: %lld programs, %.2f MiB cached (%.1f KiB/program), "
+              "high water %.2f MiB\n",
+              static_cast<long long>(off.cache.entries),
+              static_cast<double>(off.cache.bytes) / (1024.0 * 1024.0),
+              bpp_off / 1024.0,
+              static_cast<double>(off.budget.high_water) / (1024.0 * 1024.0));
+  std::printf("pool on:  %lld programs + %lld pooled operands, %.2f MiB cached "
+              "(%.1f KiB/program), high water %.2f MiB\n",
+              static_cast<long long>(on.cache.entries),
+              static_cast<long long>(on.pool.entries),
+              static_cast<double>(on.cache.bytes + on.pool.bytes) /
+                  (1024.0 * 1024.0),
+              bpp_on / 1024.0,
+              static_cast<double>(on.budget.high_water) / (1024.0 * 1024.0));
+  std::printf("cached bytes per program: %.1f KiB -> %.1f KiB (%.1f%% reduction)"
+              "  # gate: >=30%%\n",
+              bpp_off / 1024.0, bpp_on / 1024.0, reduction * 100.0);
+  std::printf("pool sharing: %lld hits / %lld misses, %lld shared refs\n",
+              static_cast<long long>(on.pool.hits),
+              static_cast<long long>(on.pool.misses),
+              static_cast<long long>(on.pool.shared_refs));
+  std::printf("reports bit-identical across configurations: %s\n",
+              identical ? "yes" : "NO");
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(std::string("memory_pool"));
+  w.key("requests").value(static_cast<std::int64_t>(requests.size()));
+  w.key("datasets").value(static_cast<std::int64_t>(tags.size()));
+  for (const auto& [name, r] : {std::pair<const char*, const RunResult&>{"pool_off", off},
+                                std::pair<const char*, const RunResult&>{"pool_on", on}}) {
+    w.key(name).begin_object();
+    w.key("wall_ms").value(r.wall_ms);
+    w.key("cache_entries").value(r.cache.entries);
+    w.key("cache_bytes").value(r.cache.bytes);
+    w.key("pool_entries").value(r.pool.entries);
+    w.key("pool_bytes").value(r.pool.bytes);
+    w.key("pool_hits").value(r.pool.hits);
+    w.key("pool_misses").value(r.pool.misses);
+    w.key("pool_shared_refs").value(r.pool.shared_refs);
+    w.key("bytes_per_program").value(bytes_per_program(r));
+    w.key("budget_high_water").value(r.budget.high_water);
+    w.end_object();
+  }
+  w.key("bytes_per_program_reduction").value(reduction);
+  w.key("reports_bit_identical").value(identical);
+  const bool pass = identical && reduction >= 0.30;
+  w.key("pass").value(pass);
+  w.end_object();
+  std::ofstream f(out_path);
+  f << w.str() << "\n";
+  std::printf("wrote %s\n", out_path);
+
+  return pass ? 0 : 1;
+}

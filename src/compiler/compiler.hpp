@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "compiler/computation_graph.hpp"
@@ -26,6 +27,18 @@
 #include "util/config.hpp"
 
 namespace dynasparse {
+
+class TilePool;
+
+/// Where compilation materializes the dataset-derived operands
+/// (adjacency operators, H0). Default: privately, as always. With a pool
+/// and the dataset's content signature, materialization routes through
+/// TilePool::get_or_build so programs compiled from the same dataset
+/// under the same partition geometry share one immutable copy.
+struct OperandSource {
+  TilePool* pool = nullptr;
+  std::uint64_t dataset_sig = 0;  // dataset_signature(ds); 0 = don't pool
+};
 
 struct CompileStats {
   double ir_ms = 0.0;          // IR + computation-graph generation
@@ -56,10 +69,23 @@ struct CompiledProgram {
   std::vector<KernelIR> kernels; // scheme metadata attached
   PartitionPlan plan;
 
-  // Partitioned operands known at compile time.
-  std::map<AdjOperatorKey, PartitionedMatrix> adjacency;  // N1 x N1 tiles
-  PartitionedMatrix h0;                                   // N1 x N2 tiles
-  std::vector<PartitionedMatrix> weights;                 // N2 x N2 tiles
+  // Partitioned operands known at compile time. Adjacency and H0 derive
+  // from the dataset alone and are immutable post-compile, so they are
+  // held by shared_ptr: with a TilePool in play (OperandSource), every
+  // program compiled from the same dataset under the same geometry
+  // holds the SAME objects. Weights derive from the model (distinct per
+  // program) and stay private values.
+  std::map<AdjOperatorKey, std::shared_ptr<const PartitionedMatrix>>
+      adjacency;                                 // N1 x N1 tiles
+  std::shared_ptr<const PartitionedMatrix> h0;   // N1 x N2 tiles
+  std::vector<PartitionedMatrix> weights;        // N2 x N2 tiles
+
+  /// Host bytes of the dataset-derived operands (adjacency + h0), and
+  /// whether they are pool-shared. When pooled, those bytes are the
+  /// pool tier's to account — approx_footprint_bytes() excludes them so
+  /// one resident copy is never charged to the budget twice.
+  std::size_t operand_bytes = 0;
+  bool operands_pooled = false;
 
   // Compile-time sparsity info (Step 1.3).
   SparsityProfile h0_profile;
@@ -68,15 +94,24 @@ struct CompiledProgram {
   CompileStats stats;
 
   const PartitionedMatrix& adjacency_for(const KernelSpec& spec) const;
+
+  /// Approximate host-resident bytes this program is uniquely
+  /// responsible for: model weights (dense + partitioned), IR, and —
+  /// only when privately owned — the dataset operands. Feeds the
+  /// CompilationCache's byte-LRU and its budget tier.
+  std::size_t approx_footprint_bytes() const;
 };
 
 /// Compile `model` over `ds` for the platform `cfg`. `token` (optional)
 /// is checked at stage boundaries and inside the partitioning loops: a
 /// cancelled or deadline-expired request aborts compilation with the
 /// typed error (util/cancellation.hpp). A default token never aborts —
-/// non-service callers keep the unconditional behavior.
+/// non-service callers keep the unconditional behavior. `operands`
+/// (optional) routes dataset-operand materialization through a shared
+/// TilePool; the default builds private copies.
 CompiledProgram compile(const GnnModel& model, const Dataset& ds, const SimConfig& cfg,
-                        const CancellationToken& token = {});
+                        const CancellationToken& token = {},
+                        const OperandSource& operands = {});
 
 /// Recompile with a previously planned partitioning (paper Section
 /// VIII-A: "the optimized IR can be stored and reused if the sparsity of
@@ -86,6 +121,7 @@ CompiledProgram compile(const GnnModel& model, const Dataset& ds, const SimConfi
 /// and graph *shapes* must match what the plan was made for.
 CompiledProgram compile_with_plan(const GnnModel& model, const Dataset& ds,
                                   const SimConfig& cfg, const PartitionPlan& plan,
-                                  const CancellationToken& token = {});
+                                  const CancellationToken& token = {},
+                                  const OperandSource& operands = {});
 
 }  // namespace dynasparse

@@ -15,8 +15,8 @@ InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& 
 
   // End-to-end latency (paper Section VIII-D): preprocessing + PCIe data
   // movement of the partitioned operands + accelerator execution.
-  std::size_t moved_bytes = prog.h0.ddr_bytes(prog.config);
-  for (const auto& [key, adj] : prog.adjacency) moved_bytes += adj.ddr_bytes(prog.config);
+  std::size_t moved_bytes = prog.h0->ddr_bytes(prog.config);
+  for (const auto& [key, adj] : prog.adjacency) moved_bytes += adj->ddr_bytes(prog.config);
   for (const PartitionedMatrix& w : prog.weights) moved_bytes += w.ddr_bytes(prog.config);
   rep.data_movement_ms =
       static_cast<double>(moved_bytes) / kPcieBytesPerSecond * 1e3;

@@ -23,6 +23,18 @@ std::size_t Tile::ddr_bytes(const SimConfig& cfg) const {
   return 0;
 }
 
+std::size_t Tile::approx_footprint_bytes() const {
+  // Host-resident bytes of the stored representation. Lazily cached
+  // views (dense_view/coo_view/csr_view) are deliberately excluded:
+  // they are shared across tile copies and bounded by a small multiple
+  // of this number, and counting them would make a footprint change as
+  // a side effect of reads.
+  std::size_t b = sizeof(Tile);
+  b += dense.data().size() * sizeof(float);
+  b += coo.entries().size() * sizeof(CooEntry);
+  return b;
+}
+
 DenseMatrix Tile::to_dense() const {
   switch (format) {
     case TileFormat::kEmpty:
@@ -340,6 +352,12 @@ double PartitionedMatrix::density() const {
 std::size_t PartitionedMatrix::ddr_bytes(const SimConfig& cfg) const {
   std::size_t b = 0;
   for (const Tile& t : tiles_) b += t.ddr_bytes(cfg);
+  return b;
+}
+
+std::size_t PartitionedMatrix::approx_footprint_bytes() const {
+  std::size_t b = sizeof(PartitionedMatrix);
+  for (const Tile& t : tiles_) b += t.approx_footprint_bytes();
   return b;
 }
 

@@ -49,6 +49,11 @@ struct Tile {
   /// Bytes this tile occupies in external memory under its storage format.
   std::size_t ddr_bytes(const SimConfig& cfg) const;
 
+  /// Approximate host-resident bytes of the stored representation (dense
+  /// buffer + COO entries; lazily cached views excluded). Feeds the
+  /// cache tiers' byte accounting, not the simulated DDR model.
+  std::size_t approx_footprint_bytes() const;
+
   /// Materialize as dense / COO regardless of current format (fresh copy).
   DenseMatrix to_dense() const;
   CooMatrix to_coo() const;
@@ -134,6 +139,8 @@ class PartitionedMatrix {
   double density() const;
   /// Total external-memory footprint of all tiles.
   std::size_t ddr_bytes(const SimConfig& cfg) const;
+  /// Host-resident bytes across all tiles (cache accounting, not DDR).
+  std::size_t approx_footprint_bytes() const;
 
   /// Reassemble the full logical matrix (tests / small matrices only).
   DenseMatrix to_dense() const;

@@ -1,0 +1,170 @@
+#include "matrix/tile_pool.hpp"
+
+#include <utility>
+
+#include "util/cancellation.hpp"
+
+namespace dynasparse {
+
+TilePool::TilePool(std::size_t max_entries,
+                   std::shared_ptr<MemoryBudget::Tier> tier)
+    : max_entries_(max_entries), tier_(std::move(tier)) {}
+
+std::shared_ptr<const PartitionedMatrix> TilePool::get_or_build(
+    const Key& key, const Builder& build) {
+  if (max_entries_ == 0) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.misses;
+    }
+    return std::make_shared<const PartitionedMatrix>(build());
+  }
+
+  for (;;) {
+    std::promise<FillResult> promise;
+    std::shared_future<FillResult> fut;
+    bool build_here = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++stats_.hits;
+        if (it->second.ready) {
+          lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+          it->second.lru_pos = std::prev(lru_.end());
+          return it->second.value;
+        }
+        ++stats_.inflight_joins;
+        fut = it->second.pending;
+      } else {
+        ++stats_.misses;
+        build_here = true;
+        Entry e;
+        e.pending = promise.get_future().share();
+        lru_.push_back(key);
+        e.lru_pos = std::prev(lru_.end());
+        entries_.emplace(key, std::move(e));
+        ++stats_.entries;
+      }
+    }
+
+    if (!build_here) {
+      const FillResult& r = fut.get();  // never throws: failures are data
+      if (r.value) return r.value;
+      if (r.aborted) {
+        // The leader's request was cancelled or hit its deadline; the
+        // dead entry is already erased. Retry: this caller becomes the
+        // new leader under its own token.
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.aborted_retries;
+        continue;
+      }
+      throw CacheFillFailedError(r.error);  // this joiner's own object
+    }
+
+    try {
+      auto value = std::make_shared<const PartitionedMatrix>(build());
+      const std::size_t bytes = value->approx_footprint_bytes();
+      promise.set_value(FillResult{value, false, std::string()});
+      bool need_rebalance = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+          it->second.value = value;
+          it->second.ready = true;
+          it->second.bytes = bytes;
+          // Drop the future now that the value is published: its shared
+          // state holds a value copy that would otherwise keep
+          // use_count >= 2 forever and defeat the use_count == 1
+          // eviction rule. Joiners already in fut.get() hold their own
+          // shared_future copy, which keeps the state alive for them.
+          it->second.pending = {};
+          stats_.bytes += static_cast<std::int64_t>(bytes);
+          if (tier_) need_rebalance = tier_->charge(bytes);
+        }
+        evict_locked(max_entries_, kNoByteBound);
+      }
+      if (need_rebalance) tier_->owner().rebalance();
+      return value;
+    } catch (const std::exception& e) {
+      // Erase before publishing so a retrying joiner finds the key
+      // absent; publish the failure as data, never as this thread's
+      // exception object (see keyed_future_cache.hpp).
+      erase_failed_entry(key);
+      FillResult r;
+      r.aborted = dynamic_cast<const RequestAbortedError*>(&e) != nullptr;
+      r.error = e.what();
+      promise.set_value(std::move(r));
+      throw;
+    } catch (...) {
+      erase_failed_entry(key);
+      FillResult r;
+      r.error = "tile pool build failed: unknown exception";
+      promise.set_value(std::move(r));
+      throw;
+    }
+  }
+}
+
+void TilePool::erase_failed_entry(const Key& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  --stats_.entries;
+}
+
+void TilePool::evict_locked(std::size_t entry_limit, std::int64_t byte_target) {
+  auto over = [&] {
+    return entries_.size() > entry_limit || stats_.bytes > byte_target;
+  };
+  auto pos = lru_.begin();
+  while (over() && pos != lru_.end()) {
+    auto it = entries_.find(*pos);
+    if (it == entries_.end() || !it->second.ready) {  // in-flight: skip
+      ++pos;
+      continue;
+    }
+    if (it->second.value.use_count() > 1) {
+      // Pinned by a live program (or a caller mid-return): evicting
+      // would not free the tiles, only force the next sharer to rebuild
+      // duplicates. Leave it resident.
+      ++stats_.pinned_skips;
+      ++pos;
+      continue;
+    }
+    stats_.bytes -= static_cast<std::int64_t>(it->second.bytes);
+    if (tier_) tier_->credit(it->second.bytes);
+    entries_.erase(it);
+    --stats_.entries;
+    ++stats_.evictions;
+    pos = lru_.erase(pos);
+  }
+}
+
+void TilePool::shrink_to_bytes(std::size_t target) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // entry_limit = current size: only the byte bound drives this pass.
+  evict_locked(entries_.size(), static_cast<std::int64_t>(target));
+}
+
+void TilePool::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  evict_locked(0, 0);
+}
+
+TilePoolStats TilePool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  TilePoolStats out = stats_;
+  out.shared_refs = 0;
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    if (e.ready)
+      out.shared_refs += static_cast<std::int64_t>(e.value.use_count()) - 1;
+  }
+  return out;
+}
+
+}  // namespace dynasparse

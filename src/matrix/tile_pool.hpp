@@ -1,0 +1,163 @@
+#pragma once
+// TilePool — dataset-keyed shared pool of reorganized operands.
+//
+// Every CompiledProgram carries partitioned copies of its dataset's
+// operands: the adjacency operator(s) reorganized into N1 x N1 tiles and
+// the feature matrix H0 into N1 x N2 tiles. These are immutable once
+// built (the compiler profiles them and the runtime only reads), and two
+// programs compiled from the same dataset under the same partition
+// geometry produce bit-identical tiles — `from_csr`/`from_coo` are pure
+// functions of (operand bytes, n1, n2, threshold). Yet before this pool
+// each cached program held private copies, so the resident footprint of
+// the compilation cache grew with cached *programs* instead of with
+// distinct *datasets* (a GCN and a GraphSAGE variant over Citeseer
+// duplicated every Citeseer tile).
+//
+// The pool fixes that: compilation routes operand materialization
+// through get_or_build(key, build) where the key is
+//
+//   (dataset_signature, geometry_signature, operand_signature)
+//
+// - dataset_signature: content hash of the dataset (spec + CSR arrays +
+//   feature nonzeros, src/compiler/signature.hpp) — equal signatures
+//   mean byte-equal source operands;
+// - geometry_signature: hash of everything that shapes the partitioned
+//   result (n1, n2, sparse_storage_threshold bits) — the plan fields
+//   that change tile content;
+// - operand_signature: which operand of the dataset this is (h0, or an
+//   adjacency operator hashed over AdjKind + epsilon bits).
+//
+// Equal keys therefore guarantee bit-identical `PartitionedMatrix`
+// payloads, which is what makes handing the same shared_ptr to many
+// programs safe under the determinism contract (fingerprint-verified in
+// tests/tile_pool_test.cpp).
+//
+// Unlike KeyedFutureCache, eviction here must be REFCOUNT-AWARE: a
+// pooled operand referenced by a live CompiledProgram (use_count > 1)
+// must not leave the pool, or the next program compiled from that
+// dataset would rebuild — and re-account — bytes that are still
+// resident anyway. shrink/evict therefore skip pinned entries; an entry
+// only leaves once every program holding it has itself been evicted.
+// That is also why the pool registers FIRST with the MemoryBudget: the
+// budget shrinks tiers in reverse registration order, so the program
+// caches drop their references before the pool is asked to free the
+// now-unpinned tiles.
+//
+// In-flight dedup, cancelled-leader hand-off, and failure semantics
+// mirror KeyedFutureCache (see keyed_future_cache.hpp): concurrent
+// builders of one key join a shared future; a leader whose request
+// aborts hands the fill to a joiner; other failures surface to joiners
+// as their own CacheFillFailedError. One structural difference: the
+// entry's future is RESET once the value is ready. Keeping it would pin
+// use_count at 2 forever (the future's shared state holds a value copy),
+// making every entry look referenced and the use_count==1 eviction rule
+// vacuous.
+//
+// capacity 0 disables pooling: every call runs `build` privately, which
+// keeps the pool-off baseline measurable through the same call sites.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <limits>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "matrix/partitioned_matrix.hpp"
+#include "util/keyed_future_cache.hpp"  // CacheFillFailedError
+#include "util/memory_budget.hpp"
+
+namespace dynasparse {
+
+struct TilePoolStats {
+  std::int64_t hits = 0;            // key found (ready or in-flight)
+  std::int64_t misses = 0;          // this call built the operand
+  std::int64_t evictions = 0;       // unpinned entries dropped
+  std::int64_t inflight_joins = 0;  // hits that waited on a build in flight
+  std::int64_t aborted_retries = 0; // joins retried after a leader abort
+  std::int64_t pinned_skips = 0;    // eviction passes over referenced entries
+  std::int64_t entries = 0;         // resident operands
+  std::int64_t bytes = 0;           // approx_footprint_bytes of residents
+  std::int64_t shared_refs = 0;     // sum over residents of (use_count - 1):
+                                    // live program references beyond the pool's
+};
+
+class TilePool {
+ public:
+  /// (dataset, geometry, operand) — see file comment for what each
+  /// component must hash so equal keys imply bit-identical payloads.
+  struct Key {
+    std::uint64_t dataset_sig = 0;
+    std::uint64_t geometry_sig = 0;
+    std::uint64_t operand_sig = 0;
+    bool operator<(const Key& o) const {
+      return std::tie(dataset_sig, geometry_sig, operand_sig) <
+             std::tie(o.dataset_sig, o.geometry_sig, o.operand_sig);
+    }
+  };
+
+  using Builder = std::function<PartitionedMatrix()>;
+
+  /// `max_entries` 0 disables pooling (every call builds privately).
+  /// `tier` (optional) mirrors resident bytes into the shared budget.
+  explicit TilePool(std::size_t max_entries,
+                    std::shared_ptr<MemoryBudget::Tier> tier = nullptr);
+
+  /// Return the pooled operand for `key`, running `build` at most once
+  /// per key. Concurrent callers for one key join the builder in
+  /// flight; the failure/abort semantics match
+  /// KeyedFutureCache::get_or_make. The returned shared_ptr is the
+  /// pin: the entry stays resident while any caller (or program) holds it.
+  std::shared_ptr<const PartitionedMatrix> get_or_build(const Key& key,
+                                                        const Builder& build);
+
+  /// Evict unpinned (use_count == 1) ready entries, LRU first, until
+  /// resident bytes are at most `target`. The budget's shrinker hook;
+  /// pinned entries are skipped and counted in stats().pinned_skips.
+  void shrink_to_bytes(std::size_t target);
+
+  /// Drop every unpinned ready entry.
+  void clear();
+
+  TilePoolStats stats() const;
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  struct FillResult {
+    std::shared_ptr<const PartitionedMatrix> value;
+    bool aborted = false;
+    std::string error;
+  };
+  struct Entry {
+    // Exactly one of the two is set: `pending` while the builder runs
+    // (joiners wait on it), `value` once ready. The future is reset at
+    // publish time so its shared state's value copy dies with the last
+    // joiner — see file comment on refcount-aware eviction.
+    std::shared_future<FillResult> pending;
+    std::shared_ptr<const PartitionedMatrix> value;
+    bool ready = false;
+    std::size_t bytes = 0;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  /// Erase `key` after a failed build; mu_ taken inside.
+  void erase_failed_entry(const Key& key);
+  /// Drop unpinned ready LRU entries while over `entry_limit` entries or
+  /// `byte_target` bytes (kNoByteBound = count-only pass); mu_ held.
+  static constexpr std::int64_t kNoByteBound =
+      std::numeric_limits<std::int64_t>::max();
+  void evict_locked(std::size_t entry_limit, std::int64_t byte_target);
+
+  const std::size_t max_entries_;
+  const std::shared_ptr<MemoryBudget::Tier> tier_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = least recently used
+  TilePoolStats stats_;
+};
+
+}  // namespace dynasparse

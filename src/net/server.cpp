@@ -291,6 +291,8 @@ void NetServer::dispatch_frame(Connection& conn, const WireFrame& frame) {
       CacheStats cs = service_.cache_stats();
       RobustnessStats rs = service_.robustness_stats();
       AdmissionStats as = service_.admission_stats();
+      MemoryBudgetStats ms = service_.memory_budget_stats();
+      TilePoolStats ps = service_.tile_pool_stats();
       NetServerStats ns = stats();
       std::ostringstream os;
       os << "connections=" << conns_.size() << " accepted=" << ns.accepted
@@ -306,7 +308,11 @@ void NetServer::dispatch_frame(Connection& conn, const WireFrame& frame) {
          << " admission_shed=" << as.shed << " cancelled=" << rs.cancelled
          << " expired_in_queue=" << rs.expired_in_queue
          << " expired_running=" << rs.expired_running
-         << " execution_failures=" << rs.execution_failures;
+         << " execution_failures=" << rs.execution_failures
+         << " budget_limit=" << ms.limit_bytes << " budget_bytes=" << ms.bytes
+         << " budget_high_water=" << ms.high_water
+         << " pool_entries=" << ps.entries << " pool_bytes=" << ps.bytes
+         << " pool_shared_refs=" << ps.shared_refs;
       conn.send(encode_stats_reply(frame.corr, os.str()));
       return;
     }

@@ -27,7 +27,7 @@ KernelOperands resolve_operands(const CompiledProgram& prog, const KernelIR& ir,
                                 const std::vector<PartitionedMatrix>& node_outputs) {
   const PartitionedMatrix& h =
       ir.spec.input == kFromFeatures
-          ? prog.h0
+          ? *prog.h0
           : node_outputs[static_cast<std::size_t>(ir.spec.input)];
   KernelOperands ops;
   if (ir.spec.kind == KernelKind::kAggregate) {

@@ -21,17 +21,23 @@
 
 #include "compiler/compiler.hpp"
 #include "compiler/signature.hpp"
+#include "matrix/tile_pool.hpp"
 #include "service/plan_store.hpp"
 #include "util/keyed_future_cache.hpp"
+#include "util/memory_budget.hpp"
 
 namespace dynasparse {
 
 struct CacheStats {
   std::int64_t hits = 0;        // key found (ready or in-flight)
   std::int64_t misses = 0;      // key absent; this call compiled
-  std::int64_t evictions = 0;   // entries dropped by LRU
+  std::int64_t evictions = 0;   // entries dropped by LRU (count or bytes)
   std::int64_t inflight_joins = 0;  // hits that waited on a compile in flight
   std::int64_t entries = 0;     // current resident entries
+  std::int64_t bytes = 0;       // approx resident program bytes
+                                // (CompiledProgram::approx_footprint_bytes;
+                                // pooled operands excluded — the TilePool
+                                // tier accounts those once)
 };
 
 class CompilationCache {
@@ -41,10 +47,20 @@ class CompilationCache {
   /// snapshot (service/plan_store.hpp) and routes through
   /// compile_with_plan, re-planning from scratch only for never-seen plan
   /// shapes. Null = every miss plans from scratch (the pre-PlanStore
-  /// behavior).
+  /// behavior). `max_bytes` bounds the approximate resident program
+  /// footprint (0 = count-only LRU, the pre-budget behavior); `tier`
+  /// mirrors those bytes into a shared MemoryBudget; `pool` routes the
+  /// dataset operands of every miss-compile through the shared TilePool
+  /// (null = private copies).
   explicit CompilationCache(std::size_t capacity = 16,
-                            std::shared_ptr<PlanStore> plans = nullptr)
-      : impl_(capacity), plans_(std::move(plans)) {}
+                            std::shared_ptr<PlanStore> plans = nullptr,
+                            std::size_t max_bytes = 0,
+                            std::shared_ptr<MemoryBudget::Tier> tier = nullptr,
+                            std::shared_ptr<TilePool> pool = nullptr)
+      : impl_(capacity, max_bytes,
+              [](const CompiledProgram& p) { return p.approx_footprint_bytes(); },
+              std::move(tier)),
+        plans_(std::move(plans)), pool_(std::move(pool)) {}
 
   /// Return the program for (model, ds, cfg), compiling at most once per
   /// content key. May block while another thread compiles the same key.
@@ -74,17 +90,26 @@ class CompilationCache {
   std::size_t capacity() const { return impl_.max_entries(); }
   /// The plan store seeding this cache's misses, or null.
   const std::shared_ptr<PlanStore>& plan_store() const { return plans_; }
+  /// The tile pool sharing this cache's dataset operands, or null.
+  const std::shared_ptr<TilePool>& tile_pool() const { return pool_; }
   /// Drop every ready entry (in-flight compiles complete unobserved).
   void clear() { impl_.clear(); }
+  /// Budget shrinker hook: evict ready programs down to `target` bytes.
+  /// Dropping a program also drops its pool-operand references, which is
+  /// what lets the TilePool's own shrink pass (it runs after this one —
+  /// reverse registration order) collect the unpinned tiles.
+  void shrink_to_bytes(std::size_t target) { impl_.shrink_to_bytes(target); }
 
  private:
-  /// compile(), optionally plan-seeded through the store.
+  /// compile(), optionally plan-seeded through the store and
+  /// operand-pooled. `dataset_sig` keys the pool (0 = don't pool).
   CompiledProgram compile_miss(const GnnModel& model, const Dataset& ds,
-                               const SimConfig& cfg,
-                               const CancellationToken& token) const;
+                               const SimConfig& cfg, const CancellationToken& token,
+                               std::uint64_t dataset_sig) const;
 
   KeyedFutureCache<CompileKey, CompiledProgram> impl_;
   std::shared_ptr<PlanStore> plans_;
+  std::shared_ptr<TilePool> pool_;
 };
 
 }  // namespace dynasparse

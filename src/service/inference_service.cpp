@@ -28,15 +28,16 @@ ServiceOptions default_engine_options() {
   // Result memoization stays off unless explicitly enabled: run_inference
   // callers did not opt into retaining output matrices.
   opts.result_cache_capacity = parse_env_size("DYNASPARSE_RESULT_CACHE", 0);
-  // Bound the MB knob so the <<20 below cannot overflow size_t (2^44 MB
-  // would silently wrap the byte cap to 0 = unbounded).
-  const long long max_mb =
-      static_cast<long long>(std::numeric_limits<std::size_t>::max() >> 20);
-  opts.result_cache_bytes =
-      static_cast<std::size_t>(parse_env_int(
-          "DYNASPARSE_RESULT_CACHE_MB",
-          static_cast<long long>(opts.result_cache_bytes >> 20), 0, max_mb))
-      << 20;
+  // Byte-size knobs share one suffix-aware parser (parse_size_bytes —
+  // "512m", "2g", strict about trailing garbage, overflow-checked). The
+  // legacy MB knob keeps its bare unit: a suffixless "256" still means
+  // 256 MiB; the budget knob's bare unit is bytes.
+  opts.result_cache_bytes = parse_env_size_bytes(
+      "DYNASPARSE_RESULT_CACHE_MB", opts.result_cache_bytes, std::size_t{1} << 20);
+  opts.memory_budget_bytes =
+      parse_env_size_bytes("DYNASPARSE_MEM_BUDGET", opts.memory_budget_bytes);
+  opts.tile_pool_capacity =
+      parse_env_size("DYNASPARSE_TILE_POOL", opts.tile_pool_capacity);
   opts.plan_store_capacity = parse_env_size("DYNASPARSE_PLAN_STORE", 0);
   if (const char* dir = std::getenv("DYNASPARSE_PLAN_STORE_DIR"))
     opts.plan_store_dir = dir;
@@ -46,12 +47,16 @@ ServiceOptions default_engine_options() {
   return opts;
 }
 
-/// The PlanStore for `opts`, or null when plan reuse is disabled.
-std::shared_ptr<PlanStore> make_plan_store(const ServiceOptions& opts) {
+/// The PlanStore for `opts`, or null when plan reuse is disabled. Plans
+/// are small (kilobytes against the caches' megabytes), so their tier
+/// weight is a fixed 32 MiB rather than a knob.
+std::shared_ptr<PlanStore> make_plan_store(const ServiceOptions& opts,
+                                           MemoryBudget& budget) {
   if (opts.plan_store_capacity == 0) return nullptr;
   PlanStoreOptions po;
   po.capacity = opts.plan_store_capacity;
   po.dir = opts.plan_store_dir;
+  po.tier = budget.register_tier("plans", static_cast<double>(32u << 20));
   return std::make_shared<PlanStore>(std::move(po));
 }
 
@@ -125,10 +130,40 @@ ServiceRequest ServiceRequest::borrow(const GnnModel& model, const Dataset& data
 
 InferenceService::InferenceService(ServiceOptions options)
     : options_(validate_and_resolve(options)),
-      plan_store_(make_plan_store(options_)),
-      cache_(options_.cache_capacity, plan_store_),
-      result_cache_(options_.result_cache_capacity, options_.result_cache_bytes),
+      budget_(std::make_shared<MemoryBudget>(options_.memory_budget_bytes)),
+      // Tier registration order (pool, plans, compile, result) is the
+      // reverse of shrink order — see the member-declaration comment.
+      // Under a budget (> 0) the private per-tier byte ceilings switch
+      // off and the byte knobs act as tier weights instead.
+      tile_pool_(std::make_shared<TilePool>(
+          options_.tile_pool_capacity,
+          budget_->register_tier(
+              "tile_pool", static_cast<double>(options_.compilation_cache_bytes)))),
+      plan_store_(make_plan_store(options_, *budget_)),
+      cache_(options_.cache_capacity, plan_store_,
+             options_.memory_budget_bytes > 0 ? 0 : options_.compilation_cache_bytes,
+             budget_->register_tier(
+                 "compile", static_cast<double>(options_.compilation_cache_bytes)),
+             tile_pool_),
+      result_cache_(options_.result_cache_capacity,
+                    options_.memory_budget_bytes > 0 ? 0 : options_.result_cache_bytes,
+                    budget_->register_tier(
+                        "result", static_cast<double>(options_.result_cache_bytes))),
       queue_(options_.max_queue_depth) {
+  // Shrinkers bind after the caches exist; they capture raw pointers to
+  // members of this object, which is safe because the budget never calls
+  // them spontaneously — only from rebalance(), which only runs from
+  // inside a live cache's charge path.
+  budget_->bind_shrinker("tile_pool",
+                         [p = tile_pool_.get()](std::size_t t) { p->shrink_to_bytes(t); });
+  if (plan_store_)
+    budget_->bind_shrinker("plans", [p = plan_store_.get()](std::size_t t) {
+      p->shrink_to_bytes(t);
+    });
+  budget_->bind_shrinker("compile",
+                         [this](std::size_t t) { cache_.shrink_to_bytes(t); });
+  budget_->bind_shrinker("result",
+                         [this](std::size_t t) { result_cache_.shrink_to_bytes(t); });
   // Requests executed (or joined) by this service's destructor use the
   // shared pool; constructing the pool first pins its static lifetime
   // beyond this object's.

@@ -210,6 +210,30 @@ struct ServiceOptions {
   int workers = 0;
   /// CompilationCache capacity (programs). 0 disables caching.
   std::size_t cache_capacity = 16;
+  /// ONE process-wide byte budget spanning every reuse tier — tile pool,
+  /// plan store, compilation cache, result cache (util/memory_budget.hpp).
+  /// 0 (default) keeps the pre-budget behavior: each tier enforces its
+  /// own private byte ceiling and the budget only tracks totals and
+  /// high-water stats. > 0: the private ceilings switch off, the
+  /// per-tier byte knobs (compilation_cache_bytes, result_cache_bytes)
+  /// become soft WEIGHTS deciding each tier's fair share, and crossing
+  /// the limit triggers weighted cross-tier eviction. The invariant is
+  /// "quiesced total <= limit" — a charge may transiently overshoot
+  /// until the rebalance it requests runs.
+  std::size_t memory_budget_bytes = 0;
+  /// Approximate byte bound for resident compiled programs
+  /// (CompiledProgram::approx_footprint_bytes; pooled operands counted
+  /// in the tile pool instead). Private LRU ceiling while
+  /// memory_budget_bytes is 0 (0 = count-only LRU); the compile tier's
+  /// weight under a budget. Also the tile-pool tier's weight — the pool
+  /// holds what programs used to.
+  std::size_t compilation_cache_bytes = 512u << 20;
+  /// TilePool capacity in pooled operands (src/matrix/tile_pool.hpp):
+  /// programs compiled from the same dataset under the same partition
+  /// geometry share one immutable copy of the reorganized adjacency/H0
+  /// tiles instead of each holding a private one. 0 disables sharing
+  /// (every compile builds private operands — the pre-pool behavior).
+  std::size_t tile_pool_capacity = 64;
   /// Per-request intra-op parallelism cap: the most pool threads one
   /// request's compile + execute may fan out on, *in total* (nested
   /// parallel calls inside a capped request run inline rather than
@@ -350,6 +374,14 @@ class InferenceService {
   PlanStoreStats plan_store_stats() const {
     return plan_store_ ? plan_store_->stats() : PlanStoreStats{};
   }
+  /// The process-wide byte arbiter all reuse tiers register with. Always
+  /// present; track-only while ServiceOptions::memory_budget_bytes is 0.
+  MemoryBudget& memory_budget() { return *budget_; }
+  MemoryBudgetStats memory_budget_stats() const { return budget_->stats(); }
+  /// The shared operand pool (capacity 0 = sharing disabled, but the
+  /// object always exists so stats read zero instead of faulting).
+  TilePool& tile_pool() { return *tile_pool_; }
+  TilePoolStats tile_pool_stats() const { return tile_pool_->stats(); }
   AdmissionStats admission_stats() const;
   RobustnessStats robustness_stats() const;
   /// Resolved options: workers is the effective worker count (never 0).
@@ -361,9 +393,14 @@ class InferenceService {
   /// restores the pre-service always-recompile behavior). Result
   /// memoization is off by default; DYNASPARSE_RESULT_CACHE=N enables an
   /// N-report ResultCache and DYNASPARSE_RESULT_CACHE_MB bounds its
-  /// approximate resident bytes (default 256 MiB when enabled). Plan
+  /// approximate resident bytes (default 256 MiB when enabled; suffixes
+  /// "512m"/"2g" accepted, a bare number is MiB). Plan
   /// reuse is off by default; DYNASPARSE_PLAN_STORE=N enables an N-plan
   /// PlanStore and DYNASPARSE_PLAN_STORE_DIR adds its disk tier.
+  /// DYNASPARSE_MEM_BUDGET (bytes; "512m"/"2g" suffixes) sets the
+  /// process-wide memory budget across all tiers, and
+  /// DYNASPARSE_TILE_POOL=N sizes the shared operand pool (0 disables
+  /// operand sharing).
   /// DYNASPARSE_DEADLINE_MS (a duration: "250", "250ms", "1.5s") sets
   /// default_deadline_ms for submitted requests; run_inference routes
   /// through run_one and stays deadline-free. All integer knobs parse
@@ -416,6 +453,13 @@ class InferenceService {
   void erase_unobserved_slot_locked(RequestId id);
 
   const ServiceOptions options_;
+  // Declaration order is load-bearing twice over: the budget must outlive
+  // every tier handle (so it is first), and tiers register with it in
+  // member-init order — pool, plans, compile, result — which is the order
+  // rebalance() shrinks in REVERSE, so the program/report caches drop
+  // their pool-operand references before the pool is asked to free them.
+  std::shared_ptr<MemoryBudget> budget_;
+  std::shared_ptr<TilePool> tile_pool_;
   std::shared_ptr<PlanStore> plan_store_;  // null when disabled; outlives cache_
   CompilationCache cache_;
   ResultCache result_cache_;

@@ -23,6 +23,13 @@ std::string hex16(std::uint64_t v) {
   return buf;
 }
 
+/// Approximate host bytes of a memory-tier snapshot: the kernel IRs and
+/// the plan are small fixed-size structs; this feeds the budget tier, so
+/// coarse is fine as long as it is monotone in entry count.
+std::size_t stored_plan_bytes(const StoredPlan& p) {
+  return sizeof(StoredPlan) + p.snap.kernels.size() * sizeof(KernelIR);
+}
+
 }  // namespace
 
 bool plan_snapshot_compatible(const IrSnapshot& snap, const GnnModel& model,
@@ -38,7 +45,8 @@ bool plan_snapshot_compatible(const IrSnapshot& snap, const GnnModel& model,
 }
 
 PlanStore::PlanStore(PlanStoreOptions options)
-    : options_(std::move(options)), impl_(options_.capacity) {
+    : options_(std::move(options)),
+      impl_(options_.capacity, 0, stored_plan_bytes, options_.tier) {
   if (!options_.dir.empty() && enabled()) {
     std::error_code ec;
     std::filesystem::create_directories(options_.dir, ec);
@@ -188,14 +196,15 @@ std::shared_ptr<const StoredPlan> PlanStore::get_or_plan(
 
 CompiledProgram PlanStore::compile_seeded(const GnnModel& model, const Dataset& ds,
                                           const SimConfig& cfg,
-                                          const CancellationToken& token) {
-  if (!enabled()) return compile(model, ds, cfg, token);
+                                          const CancellationToken& token,
+                                          const OperandSource& operands) {
+  if (!enabled()) return compile(model, ds, cfg, token, operands);
   // compile_impl validates the config BEFORE planning; this path must
   // too. An invalid config (psys = 0, dense_elem_bytes = 0) would SIGFPE
   // inside the planner's divisions — a signal no catch turns back into
   // the std::invalid_argument the cold path throws, killing the whole
   // service instead of failing one request in isolation.
-  if (!cfg.valid()) return compile(model, ds, cfg, token);
+  if (!cfg.valid()) return compile(model, ds, cfg, token, operands);
   std::shared_ptr<const StoredPlan> plan;
   bool planned_here = false;
   try {
@@ -208,7 +217,7 @@ CompiledProgram PlanStore::compile_seeded(const GnnModel& model, const Dataset& 
   } catch (...) {
     // Invalid inputs (or an allocation failure mid-planning): let the
     // cold path produce its canonical diagnostics.
-    return compile(model, ds, cfg, token);
+    return compile(model, ds, cfg, token, operands);
   }
   if (!plan_snapshot_compatible(plan->snap, model, ds.graph.num_vertices())) {
     // Signature collision or a stale/foreign snapshot that still carried a
@@ -218,9 +227,10 @@ CompiledProgram PlanStore::compile_seeded(const GnnModel& model, const Dataset& 
       std::lock_guard<std::mutex> lk(side_mu_);
       ++rejected_;
     }
-    return compile(model, ds, cfg, token);
+    return compile(model, ds, cfg, token, operands);
   }
-  CompiledProgram prog = compile_with_plan(model, ds, cfg, plan->snap.plan, token);
+  CompiledProgram prog =
+      compile_with_plan(model, ds, cfg, plan->snap.plan, token, operands);
   if (!planned_here) {
     // This compile skipped the planner: it was seeded by a plan some
     // earlier request (or a previous process, via the disk tier) paid for.
@@ -243,6 +253,7 @@ PlanStoreStats PlanStore::stats() const {
   out.inflight_joins = s.inflight_joins;
   out.entries = s.entries;
   out.evictions = s.evictions;
+  out.bytes = s.bytes;
   std::lock_guard<std::mutex> lk(side_mu_);
   out.planned = planned_;
   out.seeded = seeded_;

@@ -57,6 +57,8 @@ struct PlanStoreOptions {
   /// are written as plan-<signature>.ir files; a fresh process pointed at
   /// the same directory reloads them instead of re-planning.
   std::string dir;
+  /// Shared memory-budget tier for the memory-tier snapshots (optional).
+  std::shared_ptr<MemoryBudget::Tier> tier;
 };
 
 struct PlanStoreStats {
@@ -72,6 +74,7 @@ struct PlanStoreStats {
   std::int64_t disk_hits = 0;       // plans loaded from the disk tier
   std::int64_t disk_writes = 0;     // snapshots persisted
   std::int64_t disk_errors = 0;     // unreadable/corrupt/unwritable snapshots
+  std::int64_t bytes = 0;           // approx resident bytes of memory-tier plans
   double planning_ms = 0.0;         // wall-clock inside plan_partitions (cold plans)
 };
 
@@ -113,7 +116,8 @@ class PlanStore {
   /// compile nobody will consume.
   CompiledProgram compile_seeded(const GnnModel& model, const Dataset& ds,
                                  const SimConfig& cfg,
-                                 const CancellationToken& token = {});
+                                 const CancellationToken& token = {},
+                                 const OperandSource& operands = {});
 
   /// The stored snapshot for `key`: memory tier, then disk, else plan
   /// from scratch and store (and persist) the result. `planned_here` (if
@@ -131,6 +135,8 @@ class PlanStore {
   PlanStoreStats stats() const;
   /// Drop every ready memory-tier entry (disk files stay).
   void clear() { impl_.clear(); }
+  /// Budget shrinker hook: evict memory-tier plans down to `target` bytes.
+  void shrink_to_bytes(std::size_t target) { impl_.shrink_to_bytes(target); }
 
   /// Disk-tier file path for a plan signature (inside options().dir).
   std::string disk_path(std::uint64_t key) const;

@@ -40,9 +40,12 @@ class ResultCache {
  public:
   /// max_entries 0 disables memoization. max_bytes bounds the approximate
   /// resident footprint of ready entries (0 = unbounded by bytes).
-  explicit ResultCache(std::size_t max_entries = 0, std::size_t max_bytes = 0)
+  /// `tier` (optional) mirrors those bytes into a shared MemoryBudget.
+  explicit ResultCache(std::size_t max_entries = 0, std::size_t max_bytes = 0,
+                       std::shared_ptr<MemoryBudget::Tier> tier = nullptr)
       : impl_(max_entries, max_bytes,
-              [](const InferenceReport& r) { return r.approx_footprint_bytes(); }) {}
+              [](const InferenceReport& r) { return r.approx_footprint_bytes(); },
+              std::move(tier)) {}
 
   bool enabled() const { return impl_.max_entries() > 0; }
 
@@ -71,6 +74,8 @@ class ResultCache {
   std::size_t max_bytes() const { return impl_.max_bytes(); }
   /// Drop every ready entry (in-flight runs complete unobserved).
   void clear() { impl_.clear(); }
+  /// Budget shrinker hook: evict ready reports down to `target` bytes.
+  void shrink_to_bytes(std::size_t target) { impl_.shrink_to_bytes(target); }
 
  private:
   KeyedFutureCache<ResultKey, InferenceReport> impl_;

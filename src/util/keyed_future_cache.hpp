@@ -1,6 +1,7 @@
 #pragma once
-// Shared core of the service's caches (CompilationCache, ResultCache): a
-// thread-safe content-keyed cache of shared_ptr<const V> with
+// Shared core of the service's caches (CompilationCache, ResultCache,
+// PlanStore): a thread-safe content-keyed cache of shared_ptr<const V>
+// with
 //
 //   - in-flight dedup: the first requester of an absent key runs the
 //     factory; concurrent requesters for the same key block on a
@@ -8,6 +9,13 @@
 //   - LRU eviction bounded by entry count and, when a weigher is
 //     provided, by the approximate resident bytes of ready entries
 //     (whichever bound is exceeded evicts);
+//   - shared-budget accounting: with a MemoryBudget tier attached, every
+//     byte the private accounting tracks is mirrored into the
+//     process-wide budget (charge on entry-ready, credit on
+//     evict/clear/failed-fill), and a charge that pushes the budget over
+//     its limit triggers a cross-tier rebalance AFTER this cache's lock
+//     is released (lock order is always cache -> budget). The budget
+//     drives evictions back through shrink_to_bytes();
 //   - poisoned-entry erase: a factory that throws fails every joined
 //     waiter and removes the entry *before* the failure is published, so
 //     a later request for that key retries instead of observing the
@@ -31,9 +39,12 @@
 //
 // In-flight entries are never evicted (their requesters hold the
 // future), so the cache may briefly exceed max_entries while more keys
-// run concurrently than fit. With a weigher, a lone value heavier than
-// max_bytes is dropped by its own insertion — returned to the caller,
-// never resident, and without evicting any other entry as collateral.
+// run concurrently than fit. A lone value heavier than the hard byte
+// ceiling — the private max_bytes, or the whole shared budget when the
+// cache runs under one without a private bound — is dropped by its own
+// insertion: returned to the caller, never resident, never charged, and
+// without evicting any other entry as collateral (admit-then-drop,
+// pinned by tests/memory_budget_test.cpp).
 
 #include <cstdint>
 #include <functional>
@@ -47,6 +58,7 @@
 #include <utility>
 
 #include "util/cancellation.hpp"
+#include "util/memory_budget.hpp"
 
 namespace dynasparse {
 
@@ -73,11 +85,16 @@ template <typename Key, typename V>
 class KeyedFutureCache {
  public:
   using Weigher = std::function<std::size_t(const V&)>;
+  using BudgetTier = std::shared_ptr<MemoryBudget::Tier>;
 
-  /// max_bytes 0 = unbounded by bytes; `weigh` empty = no byte accounting.
+  /// max_bytes 0 = unbounded by bytes; `weigh` empty = no byte
+  /// accounting. `tier` (optional) mirrors the byte accounting into a
+  /// shared MemoryBudget — pass max_bytes 0 alongside it to let the
+  /// budget, not a private ceiling, bound this cache.
   explicit KeyedFutureCache(std::size_t max_entries, std::size_t max_bytes = 0,
-                            Weigher weigh = {})
-      : max_entries_(max_entries), max_bytes_(max_bytes), weigh_(std::move(weigh)) {}
+                            Weigher weigh = {}, BudgetTier tier = nullptr)
+      : max_entries_(max_entries), max_bytes_(max_bytes),
+        weigh_(std::move(weigh)), tier_(std::move(tier)) {}
 
   /// Return the value for `key`, running `make` at most once per key. May
   /// block while another thread runs the same key. The caller that ran
@@ -141,25 +158,36 @@ class KeyedFutureCache {
         std::shared_ptr<const V> value = make();
         const std::size_t bytes = weigh_ ? weigh_(*value) : 0;
         promise.set_value(FillResult{value, false, std::string()});
-        std::lock_guard<std::mutex> lk(mu_);
-        auto it = entries_.find(key);
-        if (it != entries_.end()) {
-          if (max_bytes_ > 0 && bytes > max_bytes_) {
-            // The value alone exceeds the byte bound: it can never stay
-            // resident, so drop only it — running the LRU sweep instead
-            // would evict every older entry first (the newcomer sits at
-            // the MRU end) and flush the whole cache as collateral.
-            lru_.erase(it->second.lru_pos);
-            entries_.erase(it);
-            --stats_.entries;
-            ++stats_.evictions;
-          } else {
-            it->second.ready = true;
-            it->second.bytes = bytes;
-            stats_.bytes += static_cast<std::int64_t>(bytes);
+        bool need_rebalance = false;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          auto it = entries_.find(key);
+          if (it != entries_.end()) {
+            if (std::size_t hard = hard_byte_cap(); hard > 0 && bytes > hard) {
+              // The value alone exceeds the byte bound (the private
+              // ceiling, or the whole shared budget): it can never stay
+              // resident, so drop only it — running the LRU sweep instead
+              // would evict every older entry first (the newcomer sits at
+              // the MRU end) and flush the whole cache as collateral. It
+              // is never charged to the budget either: the caller-held
+              // copy is transient request state, not cache residency.
+              lru_.erase(it->second.lru_pos);
+              entries_.erase(it);
+              --stats_.entries;
+              ++stats_.evictions;
+            } else {
+              it->second.ready = true;
+              it->second.bytes = bytes;
+              stats_.bytes += static_cast<std::int64_t>(bytes);
+              if (tier_) need_rebalance = tier_->charge(bytes);
+            }
           }
+          evict_excess();
         }
-        evict_excess();
+        // Cross-tier pressure runs with no cache lock held: the budget's
+        // shrinkers re-enter caches (this one included) through
+        // shrink_to_bytes, which takes mu_ itself.
+        if (need_rebalance) tier_->owner().rebalance();
         return value;
       } catch (const std::exception& e) {
         // Erase the entry BEFORE publishing the failure: a waiter that
@@ -201,16 +229,36 @@ class KeyedFutureCache {
 
   std::size_t max_entries() const { return max_entries_; }
   std::size_t max_bytes() const { return max_bytes_; }
+  const BudgetTier& budget_tier() const { return tier_; }
+
+  /// Evict ready LRU entries until the weighed bytes are at most
+  /// `target`. The MemoryBudget's shrinker hook: invoked with no budget
+  /// lock held, takes mu_ itself, credits the tier per eviction.
+  /// In-flight entries are skipped (their requesters hold the future),
+  /// so the result is best-effort under concurrency.
+  void shrink_to_bytes(std::size_t target) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto pos = lru_.begin();
+    while (stats_.bytes > static_cast<std::int64_t>(target) && pos != lru_.end()) {
+      auto it = entries_.find(*pos);
+      if (it != entries_.end() && it->second.ready) {
+        drop_ready_locked(it);
+        pos = lru_.erase(pos);
+        ++stats_.evictions;
+      } else {
+        ++pos;
+      }
+    }
+  }
 
   /// Drop every ready entry (in-flight runs complete unobserved).
   void clear() {
     std::lock_guard<std::mutex> lk(mu_);
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->second.ready) {
-        stats_.bytes -= static_cast<std::int64_t>(it->second.bytes);
         lru_.erase(it->second.lru_pos);
-        it = entries_.erase(it);
-        --stats_.entries;
+        auto victim = it++;
+        drop_ready_locked(victim);
       } else {
         ++it;
       }
@@ -235,8 +283,26 @@ class KeyedFutureCache {
     typename std::list<Key>::iterator lru_pos;
   };
 
+  /// The ceiling a single value must fit under to stay resident: the
+  /// private max_bytes when set, else the shared budget's limit.
+  std::size_t hard_byte_cap() const {
+    if (max_bytes_ > 0) return max_bytes_;
+    if (tier_) return tier_->owner().limit_bytes();
+    return 0;
+  }
+
+  /// Erase a ready entry and release its byte accounting (private stats
+  /// and budget tier); mu_ held. Does not touch lru_.
+  void drop_ready_locked(typename std::map<Key, Entry>::iterator it) {
+    stats_.bytes -= static_cast<std::int64_t>(it->second.bytes);
+    if (tier_) tier_->credit(it->second.bytes);
+    entries_.erase(it);
+    --stats_.entries;
+  }
+
   /// Remove `key` after a failed fill (the leader is about to publish
-  /// the failure and rethrow); no-op if the entry is already gone.
+  /// the failure and rethrow); no-op if the entry is already gone. The
+  /// entry never became ready, so no bytes were charged.
   void erase_failed_entry(const Key& key) {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = entries_.find(key);
@@ -252,7 +318,9 @@ class KeyedFutureCache {
     e.lru_pos = std::prev(lru_.end());
   }
 
-  /// Drop ready LRU entries while either bound is exceeded; mu_ held.
+  /// Drop ready LRU entries while either private bound is exceeded; mu_
+  /// held. (The shared budget's bound is enforced by rebalance ->
+  /// shrink_to_bytes, never from under this lock.)
   void evict_excess() {
     auto over = [&] {
       return entries_.size() > max_entries_ ||
@@ -263,10 +331,8 @@ class KeyedFutureCache {
     while (over() && pos != lru_.end()) {
       auto it = entries_.find(*pos);
       if (it != entries_.end() && it->second.ready) {
-        stats_.bytes -= static_cast<std::int64_t>(it->second.bytes);
+        drop_ready_locked(it);
         pos = lru_.erase(pos);
-        entries_.erase(it);
-        --stats_.entries;
         ++stats_.evictions;
       } else {
         ++pos;
@@ -277,6 +343,7 @@ class KeyedFutureCache {
   const std::size_t max_entries_;
   const std::size_t max_bytes_;
   const Weigher weigh_;
+  const BudgetTier tier_;
   mutable std::mutex mu_;
   std::map<Key, Entry> entries_;
   std::list<Key> lru_;  // front = least recently used

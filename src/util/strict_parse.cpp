@@ -91,6 +91,55 @@ std::size_t parse_env_size(const char* name, std::size_t fallback) {
                     std::numeric_limits<long long>::max()));
 }
 
+std::size_t parse_size_bytes(const std::string& v, std::size_t bare_multiplier) {
+  std::string num = v;
+  std::size_t mult = bare_multiplier;
+  // Longest suffix first so "mb" is not consumed as a bare "b" with a
+  // dangling 'm'. Case-insensitive: both "512M" and "512m" are common.
+  auto ends_with_ci = [&](const char* suffix) {
+    const std::size_t n = std::char_traits<char>::length(suffix);
+    if (v.size() < n) return false;
+    for (std::size_t i = 0; i < n; ++i)
+      if (std::tolower(static_cast<unsigned char>(v[v.size() - n + i])) != suffix[i])
+        return false;
+    return true;
+  };
+  struct Unit { const char* suffix; std::size_t mult; };
+  static constexpr Unit kUnits[] = {
+      {"kb", std::size_t{1} << 10}, {"mb", std::size_t{1} << 20},
+      {"gb", std::size_t{1} << 30}, {"k", std::size_t{1} << 10},
+      {"m", std::size_t{1} << 20},  {"g", std::size_t{1} << 30},
+      {"b", 1},
+  };
+  for (const Unit& u : kUnits)
+    if (ends_with_ci(u.suffix)) {
+      num = v.substr(0, v.size() - std::char_traits<char>::length(u.suffix));
+      mult = u.mult;
+      break;
+    }
+  if (num.empty()) throw std::invalid_argument("empty size: \"" + v + "\"");
+  const std::uint64_t base = strict_stoull(num);  // whole-token, rejects "-"
+  if (mult != 0 && base > std::numeric_limits<std::uint64_t>::max() / mult)
+    throw std::out_of_range("size out of range: \"" + v + "\"");
+  const std::uint64_t bytes = base * static_cast<std::uint64_t>(mult);
+  if (bytes > std::numeric_limits<std::size_t>::max())
+    throw std::out_of_range("size out of range: \"" + v + "\"");
+  return static_cast<std::size_t>(bytes);
+}
+
+std::size_t parse_env_size_bytes(const char* name, std::size_t fallback,
+                                 std::size_t bare_multiplier) {
+  const char* env = std::getenv(name);
+  if (!env || *env == '\0') return fallback;
+  try {
+    return parse_size_bytes(env, bare_multiplier);
+  } catch (const std::exception&) {
+    log_warn(name, "=\"", env, "\" is not a byte size; using default ",
+             fallback, " bytes");
+    return fallback;
+  }
+}
+
 std::int64_t parse_duration_ms(const std::string& v) {
   std::string num = v;
   double scale = 1.0;

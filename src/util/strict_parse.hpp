@@ -44,6 +44,23 @@ long long parse_env_int(const char* name, long long fallback,
 /// bounds): any value in [0, SIZE_MAX representable as long long].
 std::size_t parse_env_size(const char* name, std::size_t fallback);
 
+/// Parse a non-negative byte size with optional binary-unit suffix:
+/// "512m" / "512M" / "512mb" / "512MB" = 512 MiB, likewise "k"/"kb" and
+/// "g"/"gb"; "b" is explicit bytes. A bare number is multiplied by
+/// `bare_multiplier` (1 = bytes; the legacy *_MB knobs pass 1 MiB so
+/// "256" keeps meaning 256 MiB). Throws std::invalid_argument on
+/// anything else — negative values, unknown or dangling suffixes,
+/// trailing garbage ("512mx") — and std::out_of_range on overflow: the
+/// strict_stoi whole-token discipline.
+std::size_t parse_size_bytes(const std::string& v, std::size_t bare_multiplier = 1);
+
+/// parse_env_int-style byte-size knob (DYNASPARSE_MEM_BUDGET,
+/// DYNASPARSE_RESULT_CACHE_MB): unset or empty returns `fallback`
+/// silently; set but malformed or overflowing logs one warning and
+/// returns `fallback`. `fallback` is in bytes.
+std::size_t parse_env_size_bytes(const char* name, std::size_t fallback,
+                                 std::size_t bare_multiplier = 1);
+
 /// Parse a non-negative duration into milliseconds. Accepts a bare
 /// integer ("250" = 250 ms), an "ms" suffix ("250ms"), or an "s" suffix
 /// with an optionally fractional value ("1.5s" = 1500 ms). Throws

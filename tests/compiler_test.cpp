@@ -180,8 +180,8 @@ TEST(CompileTest, ProducesConsistentProgram) {
   CompiledProgram prog = compile(m, ds, u250_config());
   EXPECT_EQ(prog.kernels.size(), m.kernels.size());
   // Operands partitioned with plan sizes.
-  EXPECT_EQ(prog.h0.tile_rows(), prog.plan.n1);
-  EXPECT_EQ(prog.h0.tile_cols(), prog.plan.n2);
+  EXPECT_EQ(prog.h0->tile_rows(), prog.plan.n1);
+  EXPECT_EQ(prog.h0->tile_cols(), prog.plan.n2);
   ASSERT_EQ(prog.weights.size(), m.weights.size());
   EXPECT_EQ(prog.weights[0].tile_rows(), prog.plan.n2);
   // One adjacency operator (GCN uses only sym-norm).

@@ -315,6 +315,13 @@ TEST(NetService, UnknownAndInvalidRequestsAreTyped) {
   EXPECT_TRUE(client.await(client.submit(spec_of("CI", GnnModelKind::kGcn, 1))).ok);
   std::string stats = client.stats();
   EXPECT_NE(stats.find("submits="), std::string::npos);
+  // The memory-budget and tile-pool gauges ride the same STATS reply, so a
+  // wire client can watch residency without a side channel. Numbers are
+  // load-dependent; presence is the contract.
+  for (const char* key :
+       {"budget_limit=", "budget_bytes=", "budget_high_water=", "pool_entries=",
+        "pool_bytes=", "pool_shared_refs="})
+    EXPECT_NE(stats.find(key), std::string::npos) << key;
   server.stop();
 }
 

@@ -480,6 +480,51 @@ TEST(ParseDurationTest, EnvVariantFallsBackOnMalformed) {
   unsetenv("DYNASPARSE_TEST_DURATION");
 }
 
+TEST(ParseSizeTest, SuffixesCaseAndBareMultiplier) {
+  EXPECT_EQ(parse_size_bytes("1024"), 1024u);
+  EXPECT_EQ(parse_size_bytes("512b"), 512u);
+  EXPECT_EQ(parse_size_bytes("4k"), std::size_t{4} << 10);
+  EXPECT_EQ(parse_size_bytes("4kb"), std::size_t{4} << 10);
+  EXPECT_EQ(parse_size_bytes("512m"), std::size_t{512} << 20);
+  EXPECT_EQ(parse_size_bytes("512MB"), std::size_t{512} << 20);
+  EXPECT_EQ(parse_size_bytes("2g"), std::size_t{2} << 30);
+  EXPECT_EQ(parse_size_bytes("2Gb"), std::size_t{2} << 30);
+  // bare_multiplier only scales suffixless values — "256" under an *_MB
+  // knob means 256 MiB, but "1g" stays 1 GiB.
+  EXPECT_EQ(parse_size_bytes("256", std::size_t{1} << 20), std::size_t{256} << 20);
+  EXPECT_EQ(parse_size_bytes("1g", std::size_t{1} << 20), std::size_t{1} << 30);
+  EXPECT_EQ(parse_size_bytes("0"), 0u);
+}
+
+TEST(ParseSizeTest, WholeTokenDisciplineAndOverflow) {
+  // Trailing garbage after the suffix is an error, not a numeric prefix.
+  EXPECT_THROW(parse_size_bytes("512mx"), std::invalid_argument);
+  EXPECT_THROW(parse_size_bytes("512 m"), std::invalid_argument);
+  EXPECT_THROW(parse_size_bytes("m"), std::invalid_argument);
+  EXPECT_THROW(parse_size_bytes(""), std::invalid_argument);
+  EXPECT_THROW(parse_size_bytes("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_size_bytes("1.5g"), std::invalid_argument);
+  // Multiplying past SIZE_MAX must throw, not wrap.
+  EXPECT_THROW(parse_size_bytes("18446744073709551615k"), std::out_of_range);
+  EXPECT_THROW(parse_size_bytes("99999999999999999999"), std::out_of_range);
+  EXPECT_THROW(
+      parse_size_bytes("18446744073709551615", std::size_t{1} << 20),
+      std::out_of_range);
+}
+
+TEST(ParseSizeTest, EnvVariantFallsBackOnMalformed) {
+  unsetenv("DYNASPARSE_TEST_SIZE");
+  EXPECT_EQ(parse_env_size_bytes("DYNASPARSE_TEST_SIZE", 7), 7u);
+  setenv("DYNASPARSE_TEST_SIZE", "2g", 1);
+  EXPECT_EQ(parse_env_size_bytes("DYNASPARSE_TEST_SIZE", 7), std::size_t{2} << 30);
+  setenv("DYNASPARSE_TEST_SIZE", "64", 1);
+  EXPECT_EQ(parse_env_size_bytes("DYNASPARSE_TEST_SIZE", 7, std::size_t{1} << 20),
+            std::size_t{64} << 20);
+  setenv("DYNASPARSE_TEST_SIZE", "512mx", 1);
+  EXPECT_EQ(parse_env_size_bytes("DYNASPARSE_TEST_SIZE", 7), 7u);
+  unsetenv("DYNASPARSE_TEST_SIZE");
+}
+
 TEST(FaultSpecTest, ParseGrammarAndRejections) {
   EXPECT_TRUE(parse_fault_spec("").empty());
 

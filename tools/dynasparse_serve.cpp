@@ -34,6 +34,12 @@
 //                     executing — bit-identical deterministic fields
 //   --memoize-mb M    approximate byte bound for memoized reports
 //                     (default 256 MiB; only meaningful with --memoize)
+//   --mem-budget SIZE process-wide memory budget across every cache tier
+//                     (plans + compiled programs + tile pool + reports).
+//                     Accepts "512m" / "2g" style suffixes; bare numbers
+//                     are bytes. Default 0 = per-tier ceilings only.
+//   --tile-pool N     shared operand tile-pool capacity in entries
+//                     (default 64; 0 = each program holds private tiles)
 //   --max-queue N     bound the request queue to N queued requests
 //                     (default 0 = unbounded)
 //   --admission P     full-queue policy: block | reject | shed
@@ -116,6 +122,7 @@ int main(int argc, char** argv) {
   int requests = 16, workers = 0, intra_op = 0;
   std::size_t cache_capacity = 16, memoize = 0, memoize_mb = 256, max_queue = 0;
   std::size_t plan_store = 0;
+  std::size_t mem_budget = 0, tile_pool = 64;
   bool plan_store_given = false;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
   std::uint64_t seed = 2023;
@@ -150,6 +157,8 @@ int main(int argc, char** argv) {
       else if (key == "--cache") cache_capacity = size_value(need_value());
       else if (key == "--memoize") memoize = size_value(need_value());
       else if (key == "--memoize-mb") memoize_mb = size_value(need_value());
+      else if (key == "--mem-budget") mem_budget = parse_size_bytes(need_value());
+      else if (key == "--tile-pool") tile_pool = size_value(need_value());
       else if (key == "--max-queue") max_queue = size_value(need_value());
       else if (key == "--plan-store") { plan_store = size_value(need_value()); plan_store_given = true; }
       else if (key == "--plan-store-dir") plan_store_dir = need_value();
@@ -218,6 +227,8 @@ int main(int argc, char** argv) {
   opts.admission = admission;
   opts.plan_store_capacity = plan_store;
   opts.plan_store_dir = plan_store_dir;
+  opts.memory_budget_bytes = mem_budget;
+  opts.tile_pool_capacity = tile_pool;
   opts.default_deadline_ms = deadline_ms;
   opts.fault_spec = fault_spec;
   // Options are validated/resolved by the service; report the effective
@@ -234,6 +245,11 @@ int main(int argc, char** argv) {
     std::printf("plan store: up to %zu plans%s%s\n", plan_store,
                 plan_store_dir.empty() ? "" : ", disk tier ",
                 plan_store_dir.c_str());
+  if (mem_budget > 0)
+    std::printf("memory budget: %.1f MiB shared across cache tiers\n",
+                static_cast<double>(mem_budget) / (1024.0 * 1024.0));
+  if (tile_pool > 0)
+    std::printf("tile pool: up to %zu shared operand entries\n", tile_pool);
   if (deadline_ms > 0)
     std::printf("deadline: %lld ms per request (default)\n",
                 static_cast<long long>(deadline_ms));
@@ -271,6 +287,8 @@ int main(int argc, char** argv) {
     CacheStats cs = service.cache_stats();
     RobustnessStats rs = service.robustness_stats();
     AdmissionStats as = service.admission_stats();
+    MemoryBudgetStats ms = service.memory_budget_stats();
+    TilePoolStats ps = service.tile_pool_stats();
     std::printf(
         "net: %lld accepted / %lld refused, %lld frames, %lld submits, "
         "%lld results, %lld errors, %lld protocol errors, %lld timeouts, "
@@ -292,6 +310,12 @@ int main(int argc, char** argv) {
         static_cast<long long>(rs.expired_in_queue),
         static_cast<long long>(rs.expired_running),
         static_cast<long long>(rs.execution_failures));
+    std::printf(
+        "memory: %lld bytes resident (high water %lld, limit %zu); tile pool "
+        "%lld entries / %lld bytes, %lld shared refs\n",
+        static_cast<long long>(ms.bytes), static_cast<long long>(ms.high_water),
+        ms.limit_bytes, static_cast<long long>(ps.entries),
+        static_cast<long long>(ps.bytes), static_cast<long long>(ps.shared_refs));
     if (!json_path.empty()) {
       std::ofstream f(json_path);
       if (!f) usage("cannot write --json file");
@@ -315,7 +339,13 @@ int main(int argc, char** argv) {
         << "  \"cancelled\": " << rs.cancelled << ",\n"
         << "  \"expired_in_queue\": " << rs.expired_in_queue << ",\n"
         << "  \"expired_running\": " << rs.expired_running << ",\n"
-        << "  \"execution_failures\": " << rs.execution_failures << "\n"
+        << "  \"execution_failures\": " << rs.execution_failures << ",\n"
+        << "  \"budget_limit\": " << ms.limit_bytes << ",\n"
+        << "  \"budget_bytes\": " << ms.bytes << ",\n"
+        << "  \"budget_high_water\": " << ms.high_water << ",\n"
+        << "  \"pool_entries\": " << ps.entries << ",\n"
+        << "  \"pool_bytes\": " << ps.bytes << ",\n"
+        << "  \"pool_shared_refs\": " << ps.shared_refs << "\n"
         << "}\n";
       std::printf("wrote %s\n", json_path.c_str());
     }
@@ -425,6 +455,14 @@ int main(int argc, char** argv) {
         static_cast<long long>(pss.disk_writes),
         static_cast<long long>(pss.rejected),
         static_cast<long long>(pss.disk_errors), pss.planning_ms);
+  MemoryBudgetStats ms = service.memory_budget_stats();
+  TilePoolStats ps = service.tile_pool_stats();
+  std::printf(
+      "memory: %lld bytes resident (high water %lld, limit %zu); tile pool "
+      "%lld entries / %lld bytes, %lld shared refs\n",
+      static_cast<long long>(ms.bytes), static_cast<long long>(ms.high_water),
+      ms.limit_bytes, static_cast<long long>(ps.entries),
+      static_cast<long long>(ps.bytes), static_cast<long long>(ps.shared_refs));
   if (completed > 0)
     std::printf("mean simulated accelerator latency %.3f ms/request\n",
                 sim_latency_ms / static_cast<double>(completed));
@@ -483,6 +521,12 @@ int main(int argc, char** argv) {
       << "  \"plan_rejected\": " << pss.rejected << ",\n"
       << "  \"plan_disk_errors\": " << pss.disk_errors << ",\n"
       << "  \"plan_planning_ms\": " << pss.planning_ms << ",\n"
+      << "  \"budget_limit\": " << ms.limit_bytes << ",\n"
+      << "  \"budget_bytes\": " << ms.bytes << ",\n"
+      << "  \"budget_high_water\": " << ms.high_water << ",\n"
+      << "  \"pool_entries\": " << ps.entries << ",\n"
+      << "  \"pool_bytes\": " << ps.bytes << ",\n"
+      << "  \"pool_shared_refs\": " << ps.shared_refs << ",\n"
       << "  \"sequential_wall_ms\": " << sequential_wall_ms << "\n"
       << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
