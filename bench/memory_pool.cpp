@@ -23,6 +23,13 @@
 // The budget runs track-only here (no limit) so the recorded high-water
 // numbers measure the true demand of each configuration.
 //
+// A second section runs the two paper-scale graphs (NELL, Reddit) at
+// their default bench scales (8 and 32) through the same harness — 4
+// programs per dataset ({GCN, GraphSAGE} x {unpruned, 50%-pruned}) — and
+// records their cached-bytes-per-program numbers alongside. Gate there:
+// bit-identity plus any positive reduction (4 programs share 1 dataset,
+// so pooling must shrink the footprint).
+//
 //   memory_pool [--seed S] [--scale N] [--out PATH]
 
 #include <cstring>
@@ -87,19 +94,24 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
 
-  const std::vector<std::string> tags = {"CI", "CO", "PU"};
-  std::vector<ServiceRequest> requests;
-  for (const std::string& tag : tags) {
-    Dataset ds = bench::load_dataset(tag, args);
-    for (GnnModelKind kind : {GnnModelKind::kGcn, GnnModelKind::kSage}) {
-      for (double prune : {0.0, 0.5}) {
-        GnnModel model = bench::make_model(kind, ds, args.seed, prune);
-        Dataset ds_copy = ds;  // each request owns its dataset copy
-        requests.push_back(
-            ServiceRequest::own(std::move(model), std::move(ds_copy), {}));
+  auto build_requests = [&](const std::vector<std::string>& roster_tags) {
+    std::vector<ServiceRequest> reqs;
+    for (const std::string& tag : roster_tags) {
+      Dataset ds = bench::load_dataset(tag, args);
+      for (GnnModelKind kind : {GnnModelKind::kGcn, GnnModelKind::kSage}) {
+        for (double prune : {0.0, 0.5}) {
+          GnnModel model = bench::make_model(kind, ds, args.seed, prune);
+          Dataset ds_copy = ds;  // each request owns its dataset copy
+          reqs.push_back(
+              ServiceRequest::own(std::move(model), std::move(ds_copy), {}));
+        }
       }
     }
-  }
+    return reqs;
+  };
+
+  const std::vector<std::string> tags = {"CI", "CO", "PU"};
+  std::vector<ServiceRequest> requests = build_requests(tags);
   std::printf("memory pool bench: %zu requests over %zu datasets\n",
               requests.size(), tags.size());
 
@@ -157,7 +169,48 @@ int main(int argc, char** argv) {
   }
   w.key("bytes_per_program_reduction").value(reduction);
   w.key("reports_bit_identical").value(identical);
-  const bool pass = identical && reduction >= 0.30;
+
+  // Paper-scale section: NELL and Reddit at their default bench scales.
+  // 4 programs per dataset share 1 pooled copy each, so any positive
+  // reduction is the expected signature of the pool working at scale.
+  const std::vector<std::string> paper_tags = {"NE", "RE"};
+  std::vector<ServiceRequest> paper_requests = build_requests(paper_tags);
+  std::printf("paper-scale section: %zu requests over %zu datasets\n",
+              paper_requests.size(), paper_tags.size());
+  RunResult p_off = run_stream(paper_requests, 0);
+  RunResult p_on = run_stream(paper_requests, 64);
+  bool paper_identical = p_off.fingerprints == p_on.fingerprints;
+  const double p_bpp_off = bytes_per_program(p_off);
+  const double p_bpp_on = bytes_per_program(p_on);
+  const double paper_reduction =
+      p_bpp_off > 0.0 ? 1.0 - p_bpp_on / p_bpp_off : 0.0;
+  std::printf("paper scale off: %.1f KiB/program, on: %.1f KiB/program "
+              "(%.1f%% reduction)  # gate: >0%%\n",
+              p_bpp_off / 1024.0, p_bpp_on / 1024.0, paper_reduction * 100.0);
+  std::printf("paper scale reports bit-identical: %s\n",
+              paper_identical ? "yes" : "NO");
+
+  w.key("paper_scale").begin_object();
+  w.key("requests").value(static_cast<std::int64_t>(paper_requests.size()));
+  w.key("datasets").value(static_cast<std::int64_t>(paper_tags.size()));
+  for (const auto& [name, r] :
+       {std::pair<const char*, const RunResult&>{"pool_off", p_off},
+        std::pair<const char*, const RunResult&>{"pool_on", p_on}}) {
+    w.key(name).begin_object();
+    w.key("wall_ms").value(r.wall_ms);
+    w.key("cache_bytes").value(r.cache.bytes);
+    w.key("pool_bytes").value(r.pool.bytes);
+    w.key("pool_shared_refs").value(r.pool.shared_refs);
+    w.key("bytes_per_program").value(bytes_per_program(r));
+    w.key("budget_high_water").value(r.budget.high_water);
+    w.end_object();
+  }
+  w.key("bytes_per_program_reduction").value(paper_reduction);
+  w.key("reports_bit_identical").value(paper_identical);
+  w.end_object();
+
+  const bool pass = identical && reduction >= 0.30 && paper_identical &&
+                    paper_reduction > 0.0;
   w.key("pass").value(pass);
   w.end_object();
   std::ofstream f(out_path);

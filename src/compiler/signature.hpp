@@ -80,6 +80,19 @@ std::uint64_t model_signature(const GnnModel& model);
 /// into reports), the adjacency CSR arrays, and the feature nonzeros.
 std::uint64_t dataset_signature(const Dataset& ds);
 
+/// Bounded-work dataset identity: the spec and array shapes in full plus
+/// a fixed-count stride sample of the adjacency arrays and feature
+/// nonzeros, instead of dataset_signature's full content walk (which
+/// costs milliseconds on the larger graphs). Content-equal datasets
+/// always fingerprint equal. Built for keys where a collision between
+/// *different* datasets is harmless — the batch scheduler groups on
+/// this, and a falsely grouped member simply misses the shared-operand
+/// sweep (the runtime fuses only pointer-equal pooled operands) while
+/// still executing correctly. NOT a substitute for dataset_signature in
+/// the compilation/result caches, where a collision would alias
+/// different programs.
+std::uint64_t dataset_fingerprint(const Dataset& ds);
+
 /// Hash of every SimConfig field. Keep in sync with the struct — a new
 /// field MUST be added here, or programs compiled under different configs
 /// would collide in the cache.

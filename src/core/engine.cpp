@@ -1,16 +1,24 @@
 #include "core/engine.hpp"
 
+#include <utility>
+
 #include "service/inference_service.hpp"
 
 namespace dynasparse {
 
 InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& runtime,
                              const CancellationToken& token) {
+  return assemble_compiled_report(prog, runtime, execute(prog, runtime, token));
+}
+
+InferenceReport assemble_compiled_report(const CompiledProgram& prog,
+                                         const RuntimeOptions& runtime,
+                                         ExecutionResult execution) {
   InferenceReport rep;
   rep.model_name = prog.model.name;
   rep.strategy = runtime.strategy;
   rep.compile = prog.stats;
-  rep.execution = execute(prog, runtime, token);
+  rep.execution = std::move(execution);
   rep.latency_ms = rep.execution.latency_ms;
 
   // End-to-end latency (paper Section VIII-D): preprocessing + PCIe data

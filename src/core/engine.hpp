@@ -49,4 +49,13 @@ InferenceReport run_inference(const GnnModel& model, const Dataset& ds,
 InferenceReport run_compiled(const CompiledProgram& prog, const RuntimeOptions& runtime,
                              const CancellationToken& token = {});
 
+/// Wrap an already-obtained ExecutionResult in the full InferenceReport
+/// run_compiled would build (compile stats, PCIe data-movement model,
+/// end-to-end latency). Shared by run_compiled and the service's fused
+/// batch path, which executes members through
+/// RuntimeSystem::execute_batch and assembles reports afterwards.
+InferenceReport assemble_compiled_report(const CompiledProgram& prog,
+                                         const RuntimeOptions& runtime,
+                                         ExecutionResult execution);
+
 }  // namespace dynasparse

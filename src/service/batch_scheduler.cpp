@@ -1,0 +1,18 @@
+#include "service/batch_scheduler.hpp"
+
+#include "compiler/signature.hpp"
+#include "graph/dataset.hpp"
+#include "model/model.hpp"
+#include "util/config.hpp"
+
+namespace dynasparse {
+
+BatchKey make_batch_key(const GnnModel& model, const Dataset& dataset,
+                        const SimConfig& config) {
+  BatchKey key;
+  key.plan = plan_signature(model, dataset.graph.num_vertices(), config);
+  key.dataset = dataset_fingerprint(dataset);
+  return key;
+}
+
+}  // namespace dynasparse

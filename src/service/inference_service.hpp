@@ -44,6 +44,20 @@
 // run by the determinism contract the golden/property tests enforce.
 // Off by default.
 //
+// Continuous batching (ServiceOptions::batch_window_us /
+// max_batch_size): workers dequeue through a BatchScheduler
+// (service/batch_scheduler.hpp) that groups queued requests by
+// (plan_signature, dataset_signature) under a collect-for-a-window-or-K
+// policy and executes each group as ONE fused multi-feature batch
+// (RuntimeSystem::execute_batch): the group's shared pooled adjacency
+// operands stream once per kernel for every member instead of once per
+// request. Fusion is invisible in results — each member's report is
+// bit-identical to solo execution, deterministic_fingerprint() included —
+// and invisible to the robustness surface: cancellation, deadlines and
+// injected faults fail exactly the affected member, never a batchmate.
+// Both knobs 0 (the default) keeps the pre-batching one-job-at-a-time
+// behavior. batch_stats() reports formation and fusion counters.
+//
 // Admission control (ServiceOptions::max_queue_depth + admission): a
 // bounded queue gives submit() backpressure under overload — block the
 // submitter, fail fast (AdmissionRejectedError through wait()), or shed
@@ -100,6 +114,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "service/batch_scheduler.hpp"
 #include "service/compilation_cache.hpp"
 #include "service/result_cache.hpp"
 #include "util/blocking_queue.hpp"
@@ -199,6 +214,26 @@ struct AdmissionStats {
   std::int64_t shed = 0;      // queued requests failed by kShedOldest
 };
 
+/// Continuous-batching counters (slots_mu_-guarded snapshots). A "batch"
+/// here is one BatchScheduler release with at least one still-runnable
+/// member (stale/expired members are excluded, so occupancy measures work
+/// actually fused, not queue bookkeeping). All zero with batching off —
+/// every dequeue is then a singleton and is not counted as a batch.
+struct BatchStats {
+  std::int64_t batches_formed = 0;   // releases with >= 1 runnable member
+  std::int64_t batched_requests = 0; // runnable members across them
+  std::int64_t fused_batches = 0;    // releases with >= 2 runnable members
+  std::int64_t fused_requests = 0;   // members of those releases
+  std::int64_t fused_kernels = 0;    // kernels executed as ONE shared-operand
+                                     // sweep (RuntimeSystem::execute_batch)
+  double mean_occupancy() const {
+    return batches_formed > 0
+               ? static_cast<double>(batched_requests) /
+                     static_cast<double>(batches_formed)
+               : 0.0;
+  }
+};
+
 struct ServiceOptions {
   /// Worker threads for submitted requests. 0 = auto: hardware
   /// concurrency capped at 16 (beyond that, intra-op parallelism is the
@@ -286,6 +321,22 @@ struct ServiceOptions {
   /// std::invalid_argument). Empty (default): whatever
   /// DYNASPARSE_FAULT_SPEC armed — or nothing — stays in effect.
   std::string fault_spec;
+  /// Continuous cross-request batching collect window, in microseconds
+  /// (service/batch_scheduler.hpp). Workers hold a fusion-compatible
+  /// group of queued requests open this long (from its first member) and
+  /// execute the group as one fused multi-feature batch — shared pooled
+  /// adjacency operands stream once for the whole group, with per-member
+  /// reports bit-identical to solo execution. 0 (default) with
+  /// max_batch_size <= 1 disables batching entirely: workers pop one job
+  /// at a time exactly as before. Negative values are rejected.
+  /// DYNASPARSE_BATCH_WINDOW_US supplies this for the process default.
+  std::int64_t batch_window_us = 0;
+  /// Release a collecting group as soon as it reaches this many members
+  /// (the K cutoff). 0 with a positive window = unlimited (the window
+  /// alone decides); values > 1 enable batching even with window 0
+  /// (opportunistic fusion of already-queued bursts, no added latency).
+  /// DYNASPARSE_BATCH_MAX supplies this for the process default.
+  std::size_t max_batch_size = 0;
 };
 
 class InferenceService {
@@ -384,6 +435,8 @@ class InferenceService {
   TilePoolStats tile_pool_stats() const { return tile_pool_->stats(); }
   AdmissionStats admission_stats() const;
   RobustnessStats robustness_stats() const;
+  /// Continuous-batching counters; all zero while batching is off.
+  BatchStats batch_stats() const;
   /// Resolved options: workers is the effective worker count (never 0).
   const ServiceOptions& options() const { return options_; }
 
@@ -430,10 +483,35 @@ class InferenceService {
     bool cancel_counted = false;
   };
 
+  /// One batch member after the dequeue-time slot recheck: the job plus
+  /// the token snapshot taken while marking its slot kRunning.
+  struct RunnableMember {
+    Job* job = nullptr;
+    CancellationToken token;
+  };
+
   InferenceReport execute_request(const ServiceRequest& request,
                                   const CancellationToken& token = {});
   void ensure_workers();
   void worker_main();
+  /// Process one BatchScheduler release: per-member stale/expired slot
+  /// recheck, then the solo path for a single runnable member (exactly
+  /// the pre-batching behavior) or the fused path for several.
+  void process_batch(std::vector<Job>& jobs);
+  /// Solo execution + publication of one runnable member (the
+  /// pre-batching worker body after the dequeue recheck).
+  void run_job(Job& job, const CancellationToken& token);
+  /// Fused execution of >= 2 runnable members: per-member compile /
+  /// result-cache peek, RuntimeSystem::execute_batch over the misses,
+  /// per-member report assembly and publication. Member failures
+  /// (cancel, deadline, chaos fault, compile error) are isolated.
+  void run_fused(std::vector<RunnableMember>& members);
+  /// Terminal-state publication shared by the solo and fused paths:
+  /// classify `raw` into the wait() error taxonomy (or discard a
+  /// completed-but-cancelled result), update the slot + robustness stats
+  /// under slots_mu_, wake waiters.
+  void publish_result(RequestId id, InferenceReport&& report,
+                      std::exception_ptr raw, const CancellationToken& token);
   /// Create a kQueued slot under slots_mu_ (throws std::runtime_error
   /// when shutting down and `throw_on_closed`; returns 0 otherwise) and
   /// bump inflight_submits_. `deadline_ms` is the request's effective
@@ -464,6 +542,8 @@ class InferenceService {
   CompilationCache cache_;
   ResultCache result_cache_;
   BlockingQueue<Job> queue_;
+  BatchScheduler<Job> batcher_;  // consumer side of queue_; workers pop
+                                 // batches through it, never queue_ directly
 
   mutable std::mutex slots_mu_;
   std::condition_variable slots_cv_;
@@ -471,6 +551,7 @@ class InferenceService {
   RequestId next_id_ = 1;
   AdmissionStats admission_; // guarded by slots_mu_
   RobustnessStats robust_;   // guarded by slots_mu_
+  BatchStats batch_;         // guarded by slots_mu_
   int waiters_ = 0;          // threads inside wait(); shutdown drains to 0
   int inflight_submits_ = 0; // submits past the accepting_ check but not
                              // yet resolved; shutdown drains to 0

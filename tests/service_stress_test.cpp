@@ -201,6 +201,143 @@ TEST(ServiceStressTest, RandomizedSubmitWaitShutdownInterleavings) {
   }
 }
 
+// The same randomized submit/cancel/deadline/shutdown storm, but with
+// continuous batching ON (PR 9): batch formation — the collect window,
+// the K cutoff, and the per-key groups — races cancels, queue-time
+// expiries, and shutdown, under every admission policy. The PR-6
+// invariants must hold unchanged:
+//
+//   - exact resolution: every obtained id resolves exactly once, and the
+//     robustness counters equal the aborts waiters observed;
+//   - member isolation: no batchmate observes another member's abort —
+//     in rounds without a shutdown race, a request the submitter never
+//     cancelled and that carried no deadline MUST complete (a foreign
+//     abort leaking across a fused batch would surface exactly here);
+//   - bit-identity: every completed report matches its sequential
+//     reference, fused or not.
+TEST(ServiceStressTest, RandomizedBatchingSoakKeepsIsolationAndAccounting) {
+  const ServiceRequest req_a = tiny_request(301, GnnModelKind::kGcn);
+  const ServiceRequest req_b = tiny_request(302, GnnModelKind::kSgc);
+  const std::uint64_t fp_a = reference_fingerprint(req_a);
+  const std::uint64_t fp_b = reference_fingerprint(req_b);
+
+  constexpr int kSubmitters = 5;
+  constexpr int kIters = 10;
+  int round = 0;
+  for (AdmissionPolicy policy :
+       {AdmissionPolicy::kBlock, AdmissionPolicy::kReject,
+        AdmissionPolicy::kShedOldest}) {
+    for (int variant = 0; variant < 3; ++variant, ++round) {
+      ServiceOptions opts;
+      opts.workers = 2;
+      opts.cache_capacity = 4;
+      opts.max_queue_depth = 2 + static_cast<std::size_t>(variant);
+      opts.admission = policy;
+      opts.result_cache_capacity = variant % 2 ? 8 : 0;
+      // Batching pressure varies by round: a pure K policy, a short
+      // window, and a window+K combination.
+      opts.batch_window_us = (variant == 0) ? 0 : 500;
+      opts.max_batch_size = (variant == 1) ? 0 : 3;
+      InferenceService service(opts);
+
+      std::atomic<long> attempts{0}, completed{0}, admission_failed{0},
+          aborted{0}, shutdown_failed{0}, refused_entry{0},
+          wrong_fingerprint{0}, foreign_abort{0};
+
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&, t] {
+          std::mt19937 rng(static_cast<unsigned>(9000 + 1000 * round + t));
+          for (int i = 0; i < kIters; ++i) {
+            const bool use_a = rng() % 2 == 0;
+            ServiceRequest req = use_a ? req_a : req_b;
+            const unsigned deadline_die = rng() % 8;
+            bool had_deadline = false;
+            if (deadline_die == 0) {
+              req.deadline_ms = 1;  // can expire while a batch collects
+              had_deadline = true;
+            } else if (deadline_die == 1) {
+              req.deadline_ms = 50;
+              had_deadline = true;
+            }
+            ++attempts;
+            std::optional<RequestId> id;
+            if (rng() % 2 == 0) {
+              try {
+                id = service.submit(req);
+              } catch (const std::runtime_error&) {
+                ++refused_entry;
+                return;
+              }
+            } else {
+              id = service.try_submit(req);
+              if (!id) {
+                ++refused_entry;
+                continue;
+              }
+            }
+            bool did_cancel = false;
+            if (rng() % 4 == 0) {
+              // Cancel racing batch formation: the victim may be sitting
+              // in a half-collected group, running fused, or terminal.
+              try {
+                did_cancel = service.cancel(*id);
+              } catch (const std::invalid_argument&) {
+              }
+            }
+            try {
+              InferenceReport rep = service.wait(*id);
+              ++completed;
+              if (rep.deterministic_fingerprint() != (use_a ? fp_a : fp_b))
+                ++wrong_fingerprint;
+            } catch (const AdmissionRejectedError&) {
+              ++admission_failed;
+            } catch (const RequestAbortedError&) {
+              ++aborted;
+              if (!did_cancel && !had_deadline) ++foreign_abort;
+            } catch (const std::runtime_error&) {
+              ++shutdown_failed;
+            }
+          }
+        });
+      }
+
+      if (round % 2 == 0) {
+        // Shut down mid-storm: close lands on half-collected groups.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1 + round % 5));
+        service.shutdown();
+      }
+      for (std::thread& t : submitters) t.join();
+
+      const long resolved = completed.load() + admission_failed.load() +
+                            aborted.load() + shutdown_failed.load() +
+                            refused_entry.load();
+      EXPECT_EQ(resolved, attempts.load())
+          << "round " << round << " (" << admission_policy_name(policy)
+          << "): some attempt neither resolved nor was refused";
+      EXPECT_EQ(wrong_fingerprint.load(), 0)
+          << "round " << round
+          << ": a fused batch member returned a wrong report";
+      if (round % 2 != 0) {
+        // No shutdown race: an uncancelled, deadline-free request must
+        // never abort — a batchmate's cancel/expiry/fault is not allowed
+        // to leak into it.
+        EXPECT_EQ(foreign_abort.load(), 0)
+            << "round " << round
+            << ": a batch member observed another member's abort";
+      }
+      AdmissionStats as = service.admission_stats();
+      EXPECT_EQ(as.accepted, completed.load() + aborted.load() +
+                                 shutdown_failed.load() + as.shed)
+          << "round " << round;
+      RobustnessStats rs = service.robustness_stats();
+      EXPECT_EQ(rs.cancelled + rs.expired_in_queue + rs.expired_running,
+                aborted.load())
+          << "round " << round;
+    }
+  }
+}
+
 // A dedicated canceller thread racing the workers over every in-flight
 // id: cancels land on queued, running, and already-terminal slots in
 // arbitrary interleavings. Invariants: cancel() never consumes a slot

@@ -55,6 +55,12 @@
 //   --deadline-ms D   default per-request deadline (a duration: "250",
 //                     "250ms", "1.5s"; default 0 = none). A stream line's
 //                     own deadline_ms= wins over this.
+//   --batch-window U  continuous-batching collect window in MICROSECONDS
+//                     (default 0): fusion-compatible queued requests
+//                     gather this long and execute as one fused batch
+//   --batch-max K     release a collecting batch at K members (default 0:
+//                     with a window, unlimited; K > 1 alone enables
+//                     opportunistic batching of already-queued bursts)
 //   --cancel-after D  cancel every still-outstanding request D after the
 //                     submit burst (a duration; default off) — exercises
 //                     the cooperative-cancellation path end to end
@@ -127,6 +133,8 @@ int main(int argc, char** argv) {
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
   std::uint64_t seed = 2023;
   std::int64_t deadline_ms = 0, cancel_after_ms = -1;  // -1 = no cancellation
+  int batch_window_us = 0;
+  std::size_t batch_max = 0;
   bool warm = false, baseline = false;
   int listen_port = -1;  // -1 = replay mode; 0 = ephemeral
   std::string listen_host = "127.0.0.1";
@@ -165,6 +173,8 @@ int main(int argc, char** argv) {
       else if (key == "--admission") admission = parse_admission_policy(need_value());
       else if (key == "--deadline-ms") deadline_ms = parse_duration_ms(need_value());
       else if (key == "--cancel-after") cancel_after_ms = parse_duration_ms(need_value());
+      else if (key == "--batch-window") batch_window_us = strict_stoi(need_value());
+      else if (key == "--batch-max") batch_max = size_value(need_value());
       else if (key == "--fault") fault_spec = need_value();
       else if (key == "--seed") seed = strict_stoull(need_value());
       else if (key == "--json") json_path = need_value();
@@ -231,6 +241,8 @@ int main(int argc, char** argv) {
   opts.tile_pool_capacity = tile_pool;
   opts.default_deadline_ms = deadline_ms;
   opts.fault_spec = fault_spec;
+  opts.batch_window_us = batch_window_us;
+  opts.max_batch_size = batch_max;
   // Options are validated/resolved by the service; report the effective
   // worker count (no hidden cap).
   InferenceService service(opts);
@@ -253,6 +265,9 @@ int main(int argc, char** argv) {
   if (deadline_ms > 0)
     std::printf("deadline: %lld ms per request (default)\n",
                 static_cast<long long>(deadline_ms));
+  if (batch_window_us > 0 || batch_max > 1)
+    std::printf("batching: window %d us, max %zu per batch (0 = unlimited)\n",
+                batch_window_us, batch_max);
   if (cancel_after_ms >= 0)
     std::printf("cancellation: cancelling outstanding requests %lld ms after submit\n",
                 static_cast<long long>(cancel_after_ms));
@@ -287,6 +302,7 @@ int main(int argc, char** argv) {
     CacheStats cs = service.cache_stats();
     RobustnessStats rs = service.robustness_stats();
     AdmissionStats as = service.admission_stats();
+    BatchStats bs = service.batch_stats();
     MemoryBudgetStats ms = service.memory_budget_stats();
     TilePoolStats ps = service.tile_pool_stats();
     std::printf(
@@ -310,6 +326,14 @@ int main(int argc, char** argv) {
         static_cast<long long>(rs.expired_in_queue),
         static_cast<long long>(rs.expired_running),
         static_cast<long long>(rs.execution_failures));
+    if (batch_window_us > 0 || batch_max > 1)
+      std::printf(
+          "batching: %lld batches / %lld requests (%.2f mean occupancy), "
+          "%lld fused requests, %lld fused kernels\n",
+          static_cast<long long>(bs.batches_formed),
+          static_cast<long long>(bs.batched_requests), bs.mean_occupancy(),
+          static_cast<long long>(bs.fused_requests),
+          static_cast<long long>(bs.fused_kernels));
     std::printf(
         "memory: %lld bytes resident (high water %lld, limit %zu); tile pool "
         "%lld entries / %lld bytes, %lld shared refs\n",
@@ -340,6 +364,11 @@ int main(int argc, char** argv) {
         << "  \"expired_in_queue\": " << rs.expired_in_queue << ",\n"
         << "  \"expired_running\": " << rs.expired_running << ",\n"
         << "  \"execution_failures\": " << rs.execution_failures << ",\n"
+        << "  \"batches_formed\": " << bs.batches_formed << ",\n"
+        << "  \"batched_requests\": " << bs.batched_requests << ",\n"
+        << "  \"fused_requests\": " << bs.fused_requests << ",\n"
+        << "  \"fused_kernels\": " << bs.fused_kernels << ",\n"
+        << "  \"batch_mean_occupancy\": " << bs.mean_occupancy() << ",\n"
         << "  \"budget_limit\": " << ms.limit_bytes << ",\n"
         << "  \"budget_bytes\": " << ms.bytes << ",\n"
         << "  \"budget_high_water\": " << ms.high_water << ",\n"
@@ -455,6 +484,15 @@ int main(int argc, char** argv) {
         static_cast<long long>(pss.disk_writes),
         static_cast<long long>(pss.rejected),
         static_cast<long long>(pss.disk_errors), pss.planning_ms);
+  BatchStats bs = service.batch_stats();
+  if (batch_window_us > 0 || batch_max > 1)
+    std::printf(
+        "batching: %lld batches / %lld requests (%.2f mean occupancy), %lld "
+        "fused requests, %lld fused kernels\n",
+        static_cast<long long>(bs.batches_formed),
+        static_cast<long long>(bs.batched_requests), bs.mean_occupancy(),
+        static_cast<long long>(bs.fused_requests),
+        static_cast<long long>(bs.fused_kernels));
   MemoryBudgetStats ms = service.memory_budget_stats();
   TilePoolStats ps = service.tile_pool_stats();
   std::printf(
@@ -527,6 +565,14 @@ int main(int argc, char** argv) {
       << "  \"pool_entries\": " << ps.entries << ",\n"
       << "  \"pool_bytes\": " << ps.bytes << ",\n"
       << "  \"pool_shared_refs\": " << ps.shared_refs << ",\n"
+      << "  \"batch_window_us\": " << batch_window_us << ",\n"
+      << "  \"batch_max\": " << batch_max << ",\n"
+      << "  \"batches_formed\": " << bs.batches_formed << ",\n"
+      << "  \"batched_requests\": " << bs.batched_requests << ",\n"
+      << "  \"fused_batches\": " << bs.fused_batches << ",\n"
+      << "  \"fused_requests\": " << bs.fused_requests << ",\n"
+      << "  \"fused_kernels\": " << bs.fused_kernels << ",\n"
+      << "  \"batch_mean_occupancy\": " << bs.mean_occupancy() << ",\n"
       << "  \"sequential_wall_ms\": " << sequential_wall_ms << "\n"
       << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
