@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "util/strict_parse.hpp"
 #include "util/stopwatch.hpp"
 
 namespace dynasparse::bench {
@@ -30,9 +31,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
-      args.scale = std::atoi(argv[++i]);
+      args.scale = strict_stoi(argv[++i]);
     else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-      args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      args.seed = strict_stoull(argv[++i]);
   }
   return args;
 }

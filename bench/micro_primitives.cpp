@@ -24,6 +24,7 @@
 #include "matrix/matrix_ops_ref.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
+#include "util/strict_parse.hpp"
 
 namespace {
 
@@ -42,13 +43,13 @@ Args parse(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
-      a.n = std::atoll(argv[++i]);
+      a.n = strict_stoll(argv[++i]);
     else if (!std::strcmp(argv[i], "--density") && i + 1 < argc)
-      a.density = std::atof(argv[++i]);
+      a.density = strict_stod(argv[++i]);
     else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
-      a.reps = std::atoi(argv[++i]);
+      a.reps = strict_stoi(argv[++i]);
     else if (!std::strcmp(argv[i], "--max-threads") && i + 1 < argc)
-      a.max_threads = std::atoi(argv[++i]);
+      a.max_threads = strict_stoi(argv[++i]);
     else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
       a.out = argv[++i];
     else if (!std::strcmp(argv[i], "--smoke"))

@@ -25,6 +25,7 @@
 #include "bench_common.hpp"
 #include "service/request_stream.hpp"
 #include "util/parallel.hpp"
+#include "util/strict_parse.hpp"
 
 using namespace dynasparse;
 using bench::JsonWriter;
@@ -52,9 +53,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
     else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      seed = strict_stoull(argv[++i]);
     else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
-      reps = std::atoi(argv[++i]);
+      reps = strict_stoi(argv[++i]);
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
   }

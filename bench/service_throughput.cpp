@@ -50,14 +50,17 @@
 //                      [--out-batch PATH]
 
 #include <cstring>
+#include <mutex>
 #include <fstream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "service/request_stream.hpp"
 #include "util/fault_injection.hpp"
+#include "util/ordered_mutex.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
+#include "util/strict_parse.hpp"
 
 using namespace dynasparse;
 using bench::JsonWriter;
@@ -110,11 +113,11 @@ int main(int argc, char** argv) {
   const char* out_batch_path = "BENCH_pr9.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      seed = strict_stoull(argv[++i]);
     else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
-      reps = std::atoi(argv[++i]);
+      reps = strict_stoi(argv[++i]);
     else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
-      requests = std::atoi(argv[++i]);
+      requests = strict_stoi(argv[++i]);
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else if (std::strcmp(argv[i], "--out-batch") == 0 && i + 1 < argc)
@@ -509,6 +512,53 @@ int main(int argc, char** argv) {
         unarmed_pct_per_request, per_request_ms, overhead_ok ? "ok" : "FAIL");
   }
 
+  // ---- OrderedMutex overhead: every long-lived mutex in the system is
+  // rank-annotated (util/ordered_mutex.hpp). With the checker compiled
+  // out (NDEBUG without DYNASPARSE_LOCK_CHECK, the release/bench
+  // configuration) lock()/unlock() must inline to the std::mutex they
+  // wrap — gate the extra cost per acquisition at <1% of mean request
+  // latency assuming an absurd 10k acquisitions/request, same framing as
+  // the unarmed fault_point above. The default ctest build runs ARMED:
+  // there each acquisition does real bookkeeping, so the cost is
+  // reported but not gated.
+  double ordered_extra_ns_per_lock = 0.0, ordered_pct_per_request = 0.0;
+  bool ordered_mutex_ok = true;
+  bool ordered_mutex_armed = DYNASPARSE_LOCK_CHECK_ACTIVE != 0;
+  {
+    constexpr std::int64_t kLocks = 5000000;
+    std::mutex plain;
+    OrderedMutex ordered(LockRank::kMemoryBudget);
+    std::int64_t sink = 0;  // observable work under each lock
+    Stopwatch sw_plain;
+    for (std::int64_t i = 0; i < kLocks; ++i) {
+      plain.lock();
+      ++sink;
+      plain.unlock();
+    }
+    const double plain_ms = sw_plain.elapsed_ms();
+    Stopwatch sw_ordered;
+    for (std::int64_t i = 0; i < kLocks; ++i) {
+      ordered.lock();
+      ++sink;
+      ordered.unlock();
+    }
+    const double ordered_ms = sw_ordered.elapsed_ms();
+    ordered_extra_ns_per_lock =
+        (ordered_ms - plain_ms) * 1e6 / static_cast<double>(kLocks);
+    if (ordered_extra_ns_per_lock < 0.0) ordered_extra_ns_per_lock = 0.0;
+    const double per_request_ms = svc_best / static_cast<double>(pool.size());
+    ordered_pct_per_request =
+        (10000.0 * ordered_extra_ns_per_lock / 1e6) / per_request_ms * 100.0;
+    if (!ordered_mutex_armed)
+      ordered_mutex_ok = sink == 2 * kLocks && ordered_pct_per_request < 1.0;
+    std::printf(
+        "OrderedMutex (%s): +%.2f ns/lock over std::mutex, 10k locks = "
+        "%.3f%% of mean request latency: %s\n",
+        ordered_mutex_armed ? "armed, report-only" : "unarmed, gated",
+        ordered_extra_ns_per_lock, ordered_pct_per_request,
+        ordered_mutex_ok ? "ok" : "FAIL");
+  }
+
   // ---- Continuous-batching fusion (ISSUE 9): 8 distinct weight draws
   // over each of 4 plan shapes. Members of a shape regenerate the same
   // dataset content (equal dataset_signature; the tile pool dedups their
@@ -707,6 +757,12 @@ int main(int argc, char** argv) {
   w.key("pct_of_request_at_10k_calls").value(unarmed_pct_per_request);
   w.key("ok").value(overhead_ok);
   w.end_object();
+  w.key("ordered_mutex").begin_object();
+  w.key("armed").value(ordered_mutex_armed);
+  w.key("extra_ns_per_lock").value(ordered_extra_ns_per_lock);
+  w.key("pct_of_request_at_10k_locks").value(ordered_pct_per_request);
+  w.key("ok").value(ordered_mutex_ok);
+  w.end_object();
   w.key("reports_bit_identical").value(all_identical);
   w.key("cache_hits").value(cache_stats.hits);
   w.key("cache_misses").value(cache_stats.misses);
@@ -783,6 +839,9 @@ int main(int argc, char** argv) {
   if (!overhead_ok)
     std::printf("FAIL: unarmed fault_point overhead (%.3f%% >= 1%%)\n",
                 unarmed_pct_per_request);
+  if (!ordered_mutex_ok)
+    std::printf("FAIL: unarmed OrderedMutex overhead (%.3f%% >= 1%%)\n",
+                ordered_pct_per_request);
   if (!plan_ok)
     std::printf(
         "FAIL: plan-reuse scenario (planned %lld, seeded %lld, rejected %lld, "
@@ -798,7 +857,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(batch_on_stats.fused_requests),
         batch_identical ? "yes" : "no");
   return all_identical && speedup >= 2.0 && memo_ok && admission_ok &&
-                 plan_ok && deadline_ok && overhead_ok && batch_ok
+                 plan_ok && deadline_ok && overhead_ok && ordered_mutex_ok &&
+                 batch_ok
              ? 0
              : 1;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "util/strict_parse.hpp"
 
 int main(int argc, char** argv) {
   using namespace dynasparse;
@@ -17,7 +18,8 @@ int main(int argc, char** argv) {
   std::vector<double> sparsities = {0.0, 0.3, 0.6, 0.9, 0.99};
   if (argc > 1) {
     sparsities.clear();
-    for (int i = 1; i < argc; ++i) sparsities.push_back(std::atof(argv[i]) / 100.0);
+    for (int i = 1; i < argc; ++i)
+      sparsities.push_back(strict_stod(argv[i]) / 100.0);
   }
 
   // CiteSeer: very sparse features + a large input dimension, so the

@@ -5,6 +5,30 @@
 
 namespace dynasparse {
 
+// ---- keep-in-sync tripwires ------------------------------------------------
+// Every struct hashed below is pinned to its current size: adding a field
+// changes sizeof and fails this build until the matching hasher (and this
+// assert) is updated — the signature silently missing a new field is
+// exactly the bug that would alias cache keys across different inputs.
+// Sizes are ABI-specific, so the pins only arm on the toolchain CI runs
+// (libstdc++ on x86-64); other ABIs still get the hashers, just not the
+// tripwire. dynasparse_lint rule [signature-tripwire] enforces that every
+// hashed type has an assert here.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(KernelSpec) == 56, "KernelSpec changed: update hash_spec");
+static_assert(sizeof(DenseMatrix) == 48, "DenseMatrix changed: update hash_dense");
+static_assert(sizeof(GnnModel) == 120, "GnnModel changed: update model_signature");
+static_assert(sizeof(Dataset) == 280, "Dataset changed: update dataset_signature");
+static_assert(sizeof(CsrMatrix) == 88, "CsrMatrix changed: update dataset_signature");
+static_assert(sizeof(CooEntry) == 24, "CooEntry changed: update dataset_signature");
+static_assert(sizeof(SimConfig) == 80, "SimConfig changed: update config_signature");
+static_assert(sizeof(KernelIR) == 120, "KernelIR changed: update ir_signature");
+static_assert(sizeof(PartitionPlan) == 24, "PartitionPlan changed: update ir_signature");
+static_assert(sizeof(RuntimeOptions) == 16,
+              "RuntimeOptions changed: update runtime_options_signature");
+static_assert(sizeof(CompileKey) == 24, "CompileKey changed: update make_result_key");
+#endif
+
 namespace {
 
 void hash_spec(HashStream& h, const KernelSpec& s) {

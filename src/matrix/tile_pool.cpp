@@ -14,7 +14,7 @@ std::shared_ptr<const PartitionedMatrix> TilePool::get_or_build(
     const Key& key, const Builder& build) {
   if (max_entries_ == 0) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<OrderedMutex> lk(mu_);
       ++stats_.misses;
     }
     return std::make_shared<const PartitionedMatrix>(build());
@@ -25,7 +25,7 @@ std::shared_ptr<const PartitionedMatrix> TilePool::get_or_build(
     std::shared_future<FillResult> fut;
     bool build_here = false;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<OrderedMutex> lk(mu_);
       auto it = entries_.find(key);
       if (it != entries_.end()) {
         ++stats_.hits;
@@ -55,7 +55,7 @@ std::shared_ptr<const PartitionedMatrix> TilePool::get_or_build(
         // The leader's request was cancelled or hit its deadline; the
         // dead entry is already erased. Retry: this caller becomes the
         // new leader under its own token.
-        std::lock_guard<std::mutex> lk(mu_);
+        std::lock_guard<OrderedMutex> lk(mu_);
         ++stats_.aborted_retries;
         continue;
       }
@@ -68,7 +68,7 @@ std::shared_ptr<const PartitionedMatrix> TilePool::get_or_build(
       promise.set_value(FillResult{value, false, std::string()});
       bool need_rebalance = false;
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        std::lock_guard<OrderedMutex> lk(mu_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
           it->second.value = value;
@@ -108,7 +108,7 @@ std::shared_ptr<const PartitionedMatrix> TilePool::get_or_build(
 }
 
 void TilePool::erase_failed_entry(const Key& key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   lru_.erase(it->second.lru_pos);
@@ -145,18 +145,18 @@ void TilePool::evict_locked(std::size_t entry_limit, std::int64_t byte_target) {
 }
 
 void TilePool::shrink_to_bytes(std::size_t target) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   // entry_limit = current size: only the byte bound drives this pass.
   evict_locked(entries_.size(), static_cast<std::int64_t>(target));
 }
 
 void TilePool::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   evict_locked(0, 0);
 }
 
 TilePoolStats TilePool::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   TilePoolStats out = stats_;
   out.shared_refs = 0;
   for (const auto& [key, e] : entries_) {

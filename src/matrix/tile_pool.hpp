@@ -70,6 +70,7 @@
 #include "matrix/partitioned_matrix.hpp"
 #include "util/keyed_future_cache.hpp"  // CacheFillFailedError
 #include "util/memory_budget.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace dynasparse {
 
@@ -154,7 +155,7 @@ class TilePool {
 
   const std::size_t max_entries_;
   const std::shared_ptr<MemoryBudget::Tier> tier_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{LockRank::kTilePool};
   std::map<Key, Entry> entries_;
   std::list<Key> lru_;  // front = least recently used
   TilePoolStats stats_;

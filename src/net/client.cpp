@@ -82,7 +82,7 @@ WireFrame NetClient::next_frame() {
 }
 
 std::uint64_t NetClient::submit(const StreamRequestSpec& spec) {
-  std::lock_guard<std::mutex> lk(send_mu_);
+  std::lock_guard<OrderedMutex> lk(send_mu_);
   const std::uint64_t corr = next_corr_++;
   send_all(encode_submit(corr, spec));
   return corr;
@@ -106,7 +106,7 @@ NetClient::Outcome NetClient::to_outcome(const WireFrame& f) {
 }
 
 NetClient::Outcome NetClient::await(std::uint64_t corr) {
-  std::lock_guard<std::mutex> lk(recv_mu_);
+  std::lock_guard<OrderedMutex> lk(recv_mu_);
   for (std::size_t i = 0; i < stash_.size(); ++i) {
     if (stash_[i].corr == corr && (stash_[i].type == FrameType::kResult ||
                                    stash_[i].type == FrameType::kError)) {
@@ -125,7 +125,7 @@ NetClient::Outcome NetClient::await(std::uint64_t corr) {
 }
 
 NetClient::Outcome NetClient::await_any() {
-  std::lock_guard<std::mutex> lk(recv_mu_);
+  std::lock_guard<OrderedMutex> lk(recv_mu_);
   for (std::size_t i = 0; i < stash_.size(); ++i) {
     if (stash_[i].type == FrameType::kResult ||
         stash_[i].type == FrameType::kError) {
@@ -152,7 +152,7 @@ WireFrame NetClient::control_reply(std::uint64_t corr) {
   // A control reply is a kState frame, or a kUnknownRequest ERROR. A
   // terminal RESULT / other-code ERROR that races in for the same corr
   // belongs to the awaiter: stash it.
-  std::lock_guard<std::mutex> lk(recv_mu_);
+  std::lock_guard<OrderedMutex> lk(recv_mu_);
   auto is_reply = [&](const WireFrame& f) {
     if (f.corr != corr) return false;
     if (f.type == FrameType::kState) return true;
@@ -175,7 +175,7 @@ WireFrame NetClient::control_reply(std::uint64_t corr) {
 
 std::uint8_t NetClient::poll_state(std::uint64_t corr) {
   {
-    std::lock_guard<std::mutex> lk(send_mu_);
+    std::lock_guard<OrderedMutex> lk(send_mu_);
     send_all(encode_poll(corr));
   }
   WireFrame f = control_reply(corr);
@@ -185,7 +185,7 @@ std::uint8_t NetClient::poll_state(std::uint64_t corr) {
 
 bool NetClient::cancel(std::uint64_t corr) {
   {
-    std::lock_guard<std::mutex> lk(send_mu_);
+    std::lock_guard<OrderedMutex> lk(send_mu_);
     send_all(encode_cancel(corr));
   }
   WireFrame f = control_reply(corr);
@@ -196,11 +196,11 @@ bool NetClient::cancel(std::uint64_t corr) {
 std::string NetClient::stats() {
   std::uint64_t corr = 0;
   {
-    std::lock_guard<std::mutex> lk(send_mu_);
+    std::lock_guard<OrderedMutex> lk(send_mu_);
     corr = next_corr_++;
     send_all(encode_stats(corr));
   }
-  std::lock_guard<std::mutex> lk(recv_mu_);
+  std::lock_guard<OrderedMutex> lk(recv_mu_);
   for (std::size_t i = 0; i < stash_.size(); ++i) {
     if (stash_[i].corr == corr && stash_[i].type == FrameType::kStatsReply) {
       WireFrame f = std::move(stash_[i]);

@@ -36,6 +36,7 @@
 
 #include "net/event_loop.hpp"  // ScopedFd
 #include "net/wire.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace dynasparse {
 
@@ -110,8 +111,8 @@ class NetClient {
   WireFrame control_reply(std::uint64_t corr);
 
   ScopedFd fd_;
-  std::mutex send_mu_;
-  std::mutex recv_mu_;
+  OrderedMutex send_mu_{LockRank::kNetClientSend};
+  OrderedMutex recv_mu_{LockRank::kNetClientRecv};
   std::uint64_t next_corr_ = 1;  // guarded by send_mu_
   std::vector<std::uint8_t> rbuf_;          // guarded by recv_mu_
   std::vector<WireFrame> stash_;            // guarded by recv_mu_

@@ -1,0 +1,17 @@
+#pragma once
+// Net-layer members of the closed error taxonomy (see
+// service/errors.hpp for the rule and the full list).
+
+#include <stdexcept>
+
+namespace dynasparse {
+
+/// Socket/loop setup failed (socket, bind, listen, pipe, ...): the
+/// errno-bearing startup failures of NetServer and the event loop.
+/// Unlike a per-request error this is fatal to start(); the CLI turns it
+/// into one clean usage/abort message.
+struct NetSetupError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace dynasparse

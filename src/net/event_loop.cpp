@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "net/errors.hpp"
+
 #include <fcntl.h>
 #include <poll.h>
 #include <unistd.h>
@@ -15,7 +17,7 @@ namespace dynasparse {
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw NetSetupError(what + ": " + std::strerror(errno));
 }
 
 }  // namespace

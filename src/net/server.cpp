@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "util/fault_injection.hpp"
+#include "net/errors.hpp"
 #include "util/logging.hpp"
 
 namespace dynasparse {
@@ -19,7 +20,7 @@ namespace dynasparse {
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw NetSetupError(what + ": " + std::strerror(errno));
 }
 
 std::uint8_t state_code(RequestState s) {
@@ -49,9 +50,10 @@ NetServer::NetServer(InferenceService& service, NetServerOptions options)
 NetServer::~NetServer() { stop(); }
 
 void NetServer::start() {
-  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  std::lock_guard<OrderedMutex> lk(lifecycle_mu_);
   if (thread_.joinable())
-    throw std::runtime_error("NetServer already started");
+    // Programming error (double start), not an environment failure.
+    throw std::logic_error("NetServer already started");
 
   ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
@@ -62,7 +64,7 @@ void NetServer::start() {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(options_.port);
   if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
-    throw std::runtime_error("NetServer: bad listen host " + options_.host);
+    throw std::invalid_argument("NetServer: bad listen host " + options_.host);
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
     throw_errno("bind " + options_.host + ":" + std::to_string(options_.port));
   if (::listen(fd.get(), options_.backlog) != 0) throw_errno("listen");
@@ -83,7 +85,7 @@ void NetServer::start() {
 }
 
 void NetServer::stop() {
-  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  std::lock_guard<OrderedMutex> lk(lifecycle_mu_);
   if (!thread_.joinable()) return;
   running_.store(false, std::memory_order_release);
   loop_.wake();
@@ -91,12 +93,12 @@ void NetServer::stop() {
 }
 
 NetServerStats NetServer::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  std::lock_guard<OrderedMutex> lk(stats_mu_);
   return stats_;
 }
 
 void NetServer::bump(std::int64_t NetServerStats::*field) {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  std::lock_guard<OrderedMutex> lk(stats_mu_);
   ++(stats_.*field);
 }
 

@@ -46,8 +46,10 @@
 #include <thread>
 #include <unordered_map>
 
+#include "net/errors.hpp"
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
+#include "util/ordered_mutex.hpp"
 #include "service/inference_service.hpp"
 #include "service/request_stream.hpp"
 
@@ -89,7 +91,7 @@ class NetServer {
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
-  /// Bind + listen + spawn the loop thread. Throws std::runtime_error on
+  /// Bind + listen + spawn the loop thread. Throws NetSetupError on
   /// bind/listen failure. port() is valid once this returns.
   void start();
   /// Stop the loop, cancel + consume every in-flight request, notify
@@ -132,7 +134,7 @@ class NetServer {
 
   std::atomic<bool> running_{false};
   std::thread thread_;
-  std::mutex lifecycle_mu_;  // serializes start()/stop()
+  OrderedMutex lifecycle_mu_{LockRank::kNetServerLifecycle};  // serializes start()/stop()
 
   // ---- loop-thread-confined state ----
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
@@ -146,7 +148,7 @@ class NetServer {
   /// request): repeat-heavy streams regenerate each unique content once.
   std::unordered_map<std::string, ServiceRequest> materialized_;
 
-  mutable std::mutex stats_mu_;
+  mutable OrderedMutex stats_mu_{LockRank::kNetServerStats};
   NetServerStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "service/errors.hpp"
 #include "service/inference_service.hpp"
 #include "util/cancellation.hpp"
 
@@ -227,7 +228,7 @@ void rethrow_wire_error(WireErrorCode code, const std::string& message) {
     case WireErrorCode::kAdmissionRejected:
       throw AdmissionRejectedError(message);
     case WireErrorCode::kExecutionError: throw ExecutionError(message);
-    case WireErrorCode::kShuttingDown: throw std::runtime_error(message);
+    case WireErrorCode::kShuttingDown: throw ShutdownError(message);
     case WireErrorCode::kUnknownRequest:
     case WireErrorCode::kInvalidRequest:
       throw std::invalid_argument(message);

@@ -104,7 +104,7 @@ const char* wire_error_name(WireErrorCode c);
 /// thrown: kCancelled -> CancelledError, kDeadlineExceeded ->
 /// DeadlineExceededError, kAdmissionRejected -> AdmissionRejectedError,
 /// kExecutionError -> ExecutionError, kShuttingDown ->
-/// std::runtime_error (the submit/shutdown race), kUnknownRequest /
+/// ShutdownError (the submit/shutdown race), kUnknownRequest /
 /// kInvalidRequest -> std::invalid_argument, kProtocol ->
 /// WireProtocolError.
 [[noreturn]] void rethrow_wire_error(WireErrorCode code,

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "util/blocking_queue.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace dynasparse {
 
@@ -139,7 +140,7 @@ class BatchScheduler {
       Clock::time_point earliest{};
       bool have_pending = false;
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        std::lock_guard<OrderedMutex> lk(mu_);
         std::size_t ripe = groups_.size();
         const Clock::time_point now = Clock::now();
         for (std::size_t i = 0; i < groups_.size(); ++i) {
@@ -191,7 +192,7 @@ class BatchScheduler {
   /// into `out` and return true.
   bool add_job(Job&& job, std::vector<Job>& out) {
     const BatchKey key = key_(job);
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     std::size_t gi = groups_.size();
     for (std::size_t i = 0; i < groups_.size(); ++i) {
       if (groups_[i].key == key) {
@@ -218,7 +219,7 @@ class BatchScheduler {
   /// Queue closed and drained: release the oldest remaining group, or
   /// report end-of-stream.
   bool flush_one(std::vector<Job>& out) {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     if (groups_.empty()) return false;
     std::size_t oldest = 0;
     for (std::size_t i = 1; i < groups_.size(); ++i) {
@@ -232,7 +233,7 @@ class BatchScheduler {
   const BatchPolicy policy_;
   KeyFn key_;
 
-  std::mutex mu_;
+  OrderedMutex mu_{LockRank::kBatchGroups};
   std::vector<Group> groups_;  // few distinct keys at once: linear scan
 };
 

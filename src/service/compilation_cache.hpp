@@ -59,7 +59,7 @@ class CompilationCache {
                             std::shared_ptr<TilePool> pool = nullptr)
       : impl_(capacity, max_bytes,
               [](const CompiledProgram& p) { return p.approx_footprint_bytes(); },
-              std::move(tier)),
+              std::move(tier), LockRank::kCompileCache),
         plans_(std::move(plans)), pool_(std::move(pool)) {}
 
   /// Return the program for (model, ds, cfg), compiling at most once per

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "runtime/runtime_system.hpp"
+#include "service/errors.hpp"
 #include "util/fault_injection.hpp"
 #include "util/parallel.hpp"
 #include "util/strict_parse.hpp"
@@ -40,7 +41,7 @@ ServiceOptions default_engine_options() {
   opts.tile_pool_capacity =
       parse_env_size("DYNASPARSE_TILE_POOL", opts.tile_pool_capacity);
   opts.plan_store_capacity = parse_env_size("DYNASPARSE_PLAN_STORE", 0);
-  if (const char* dir = std::getenv("DYNASPARSE_PLAN_STORE_DIR"))
+  if (const char* dir = env_text("DYNASPARSE_PLAN_STORE_DIR"))
     opts.plan_store_dir = dir;
   // Deadline knob for submitted requests; run_inference routes through
   // run_one, which is never deadline-bounded.
@@ -115,8 +116,10 @@ AdmissionPolicy parse_admission_policy(const std::string& s) {
   if (s == "block") return AdmissionPolicy::kBlock;
   if (s == "reject") return AdmissionPolicy::kReject;
   if (s == "shed" || s == "shed-oldest") return AdmissionPolicy::kShedOldest;
-  throw std::runtime_error("unknown admission policy: " + s +
-                           " (expected block|reject|shed)");
+  // Bad configuration, not runtime state: the caller passed an
+  // unusable option value.
+  throw std::invalid_argument("unknown admission policy: " + s +
+                              " (expected block|reject|shed)");
 }
 
 ServiceRequest ServiceRequest::own(GnnModel model, Dataset dataset,
@@ -200,7 +203,7 @@ void InferenceService::shutdown() {
   // cooperative check — the service goes down in bounded time instead of
   // draining a queue nobody will read.
   {
-    std::lock_guard<std::mutex> lk(slots_mu_);
+    std::lock_guard<OrderedMutex> lk(slots_mu_);
     accepting_ = false;
     for (auto& [id, slot] : slots_) {
       (void)id;
@@ -223,7 +226,7 @@ void InferenceService::shutdown() {
   // before exiting; a running request aborts at its next check or, if it
   // was already past the last one, completes normally.
   {
-    std::lock_guard<std::mutex> lk(workers_mu_);
+    std::lock_guard<OrderedMutex> lk(workers_mu_);
     for (std::thread& t : workers_) t.join();
     workers_.clear();
   }
@@ -232,7 +235,7 @@ void InferenceService::shutdown() {
   // if one ever is not, fail it rather than strand its waiter, then hold
   // the destructor until every in-flight wait() has consumed its slot.
   {
-    std::unique_lock<std::mutex> lk(slots_mu_);
+    std::unique_lock<OrderedMutex> lk(slots_mu_);
     for (auto& [id, slot] : slots_) {
       (void)id;
       assert(slot.state != RequestState::kRunning &&
@@ -240,7 +243,7 @@ void InferenceService::shutdown() {
       if (slot.state == RequestState::kQueued ||
           slot.state == RequestState::kRunning) {
         slot.state = RequestState::kFailed;
-        slot.error = std::make_exception_ptr(std::runtime_error(
+        slot.error = std::make_exception_ptr(ShutdownError(
             "InferenceService destroyed before the request ran"));
         slot.finished = std::chrono::steady_clock::now();
         // Never picked up by a worker: pin started so a wait(id, &timing)
@@ -296,9 +299,9 @@ InferenceReport InferenceService::execute_request(const ServiceRequest& request,
 }
 
 void InferenceService::ensure_workers() {
-  std::lock_guard<std::mutex> lk(workers_mu_);
+  std::lock_guard<OrderedMutex> lk(workers_mu_);
   {
-    std::lock_guard<std::mutex> slk(slots_mu_);
+    std::lock_guard<OrderedMutex> slk(slots_mu_);
     if (!accepting_) return;  // submit() will throw at slot creation
   }
   while (static_cast<int>(workers_.size()) < options_.workers)
@@ -320,7 +323,7 @@ void InferenceService::process_batch(std::vector<Job>& jobs) {
   std::vector<RunnableMember> runnable;
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lk(slots_mu_);
+    std::lock_guard<OrderedMutex> lk(slots_mu_);
     for (Job& job : jobs) {
       auto it = slots_.find(job.id);
       // Stale job: cancel()/shutdown failed the slot while it sat in the
@@ -433,7 +436,7 @@ void InferenceService::run_fused(std::vector<RunnableMember>& members) {
   BatchExecution bx;
   if (!batch.empty()) bx = execute_batch(batch);
   if (bx.fused_kernels > 0) {
-    std::lock_guard<std::mutex> lk(slots_mu_);
+    std::lock_guard<OrderedMutex> lk(slots_mu_);
     batch_.fused_kernels += bx.fused_kernels;
   }
   std::vector<std::ptrdiff_t> batch_index(n, -1);
@@ -501,7 +504,7 @@ void InferenceService::publish_result(RequestId id, InferenceReport&& report,
     }
   }
   {
-    std::lock_guard<std::mutex> lk(slots_mu_);
+    std::lock_guard<OrderedMutex> lk(slots_mu_);
     Slot& slot = slots_.at(id);  // kRunning slots are never consumed
     slot.finished = std::chrono::steady_clock::now();
     if (error) {
@@ -535,10 +538,10 @@ void InferenceService::publish_result(RequestId id, InferenceReport&& report,
 
 RequestId InferenceService::create_slot(bool throw_on_closed,
                                         std::int64_t deadline_ms) {
-  std::lock_guard<std::mutex> lk(slots_mu_);
+  std::lock_guard<OrderedMutex> lk(slots_mu_);
   if (!accepting_) {
     if (throw_on_closed)
-      throw std::runtime_error("InferenceService is shutting down");
+      throw ShutdownError("InferenceService is shutting down");
     return 0;
   }
   RequestId id = next_id_++;
@@ -608,7 +611,7 @@ RequestId InferenceService::submit(ServiceRequest request) {
     // inflight_submits_ forever (the id was never returned, so no waiter
     // can exist).
     {
-      std::lock_guard<std::mutex> lk(slots_mu_);
+      std::lock_guard<OrderedMutex> lk(slots_mu_);
       --inflight_submits_;
       erase_unobserved_slot_locked(id);
     }
@@ -616,7 +619,7 @@ RequestId InferenceService::submit(ServiceRequest request) {
     throw;
   }
   {
-    std::lock_guard<std::mutex> lk(slots_mu_);
+    std::lock_guard<OrderedMutex> lk(slots_mu_);
     --inflight_submits_;
     if (pushed) ++admission_.accepted;
     // Shed jobs were removed from the queue atomically with the push, so
@@ -661,7 +664,7 @@ RequestId InferenceService::submit(ServiceRequest request) {
   }
   slots_cv_.notify_all();  // shutdown may be waiting on the inflight drain
   if (!pushed && !rejected_full)
-    throw std::runtime_error("InferenceService is shutting down");
+    throw ShutdownError("InferenceService is shutting down");
   return id;
 }
 
@@ -679,7 +682,7 @@ std::optional<RequestId> InferenceService::try_submit(ServiceRequest request) {
     // Same cleanup as submit(): never leave inflight_submits_ elevated or
     // a kQueued slot behind on a thread-spawn/allocation failure.
     {
-      std::lock_guard<std::mutex> lk(slots_mu_);
+      std::lock_guard<OrderedMutex> lk(slots_mu_);
       --inflight_submits_;
       erase_unobserved_slot_locked(id);
     }
@@ -688,7 +691,7 @@ std::optional<RequestId> InferenceService::try_submit(ServiceRequest request) {
   }
   const bool pushed = r == BlockingQueue<Job>::PushResult::kOk;
   {
-    std::lock_guard<std::mutex> lk(slots_mu_);
+    std::lock_guard<OrderedMutex> lk(slots_mu_);
     --inflight_submits_;
     if (pushed) {
       ++admission_.accepted;
@@ -703,17 +706,17 @@ std::optional<RequestId> InferenceService::try_submit(ServiceRequest request) {
 }
 
 AdmissionStats InferenceService::admission_stats() const {
-  std::lock_guard<std::mutex> lk(slots_mu_);
+  std::lock_guard<OrderedMutex> lk(slots_mu_);
   return admission_;
 }
 
 BatchStats InferenceService::batch_stats() const {
-  std::lock_guard<std::mutex> lk(slots_mu_);
+  std::lock_guard<OrderedMutex> lk(slots_mu_);
   return batch_;
 }
 
 RobustnessStats InferenceService::robustness_stats() const {
-  std::lock_guard<std::mutex> lk(slots_mu_);
+  std::lock_guard<OrderedMutex> lk(slots_mu_);
   return robust_;
 }
 
@@ -721,7 +724,7 @@ bool InferenceService::cancel(RequestId id) {
   bool notify = false;
   bool accepted = false;
   {
-    std::lock_guard<std::mutex> lk(slots_mu_);
+    std::lock_guard<OrderedMutex> lk(slots_mu_);
     auto it = slots_.find(id);
     if (it == slots_.end()) throw std::invalid_argument("unknown request id");
     Slot& slot = it->second;
@@ -750,7 +753,7 @@ bool InferenceService::cancel(RequestId id) {
 }
 
 RequestState InferenceService::state(RequestId id) const {
-  std::lock_guard<std::mutex> lk(slots_mu_);
+  std::lock_guard<OrderedMutex> lk(slots_mu_);
   auto it = slots_.find(id);
   if (it == slots_.end()) throw std::invalid_argument("unknown request id");
   return it->second.state;
@@ -762,7 +765,7 @@ bool InferenceService::done(RequestId id) const {
 }
 
 InferenceReport InferenceService::wait(RequestId id, RequestTiming* timing) {
-  std::unique_lock<std::mutex> lk(slots_mu_);
+  std::unique_lock<OrderedMutex> lk(slots_mu_);
   if (slots_.find(id) == slots_.end())
     throw std::invalid_argument("unknown request id");
   ++waiters_;

@@ -89,7 +89,7 @@
 // own compile/execute fail that one request, typed, in isolation.
 //
 // Shutdown contract: shutdown() (also run by the destructor) stops
-// accepting submits (a racing submit() throws std::runtime_error and
+// accepting submits (a racing submit() throws ShutdownError and
 // leaves no slot behind), fails every still-queued slot with
 // CancelledError and cancels every running request's token (abort, not
 // drain — a stale queue is worthless once the service is going away),
@@ -118,7 +118,9 @@
 #include "service/compilation_cache.hpp"
 #include "service/result_cache.hpp"
 #include "util/blocking_queue.hpp"
+#include "service/errors.hpp"
 #include "util/cancellation.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace dynasparse {
 
@@ -174,12 +176,12 @@ enum class AdmissionPolicy {
 };
 
 const char* admission_policy_name(AdmissionPolicy p);
-/// Parse "block" / "reject" / "shed"; throws std::runtime_error on
+/// Parse "block" / "reject" / "shed"; throws std::invalid_argument on
 /// unknown names (matching the request_stream parse helpers).
 AdmissionPolicy parse_admission_policy(const std::string& s);
 
 /// Thrown (via wait()) for requests refused by bounded admission control
-/// — distinct from the std::runtime_error a shutdown race produces, so
+/// — distinct from the ShutdownError a shutdown race produces, so
 /// callers can tell "overloaded, retry later" from "service is gone".
 struct AdmissionRejectedError : std::runtime_error {
   using std::runtime_error::runtime_error;
@@ -351,7 +353,7 @@ class InferenceService {
   ~InferenceService();
 
   /// Abort-and-join: stop accepting submits (racing ones throw
-  /// std::runtime_error), fail every still-queued slot with
+  /// ShutdownError), fail every still-queued slot with
   /// CancelledError, cancel every running request's token (the
   /// cooperative checks abort it at the next boundary), join the
   /// workers, fail any slot that never reached a terminal state, wake
@@ -364,7 +366,7 @@ class InferenceService {
   InferenceService& operator=(const InferenceService&) = delete;
 
   /// Enqueue a request. Throws std::invalid_argument on a null
-  /// model/dataset, std::runtime_error if the service is shutting down
+  /// model/dataset, ShutdownError if the service is shutting down
   /// (the request is not enqueued and no slot leaks — a returned id is
   /// always eventually resolved by wait()). With a bounded queue
   /// (ServiceOptions::max_queue_depth) and the queue full, the admission
@@ -512,7 +514,7 @@ class InferenceService {
   /// under slots_mu_, wake waiters.
   void publish_result(RequestId id, InferenceReport&& report,
                       std::exception_ptr raw, const CancellationToken& token);
-  /// Create a kQueued slot under slots_mu_ (throws std::runtime_error
+  /// Create a kQueued slot under slots_mu_ (throws ShutdownError
   /// when shutting down and `throw_on_closed`; returns 0 otherwise) and
   /// bump inflight_submits_. `deadline_ms` is the request's effective
   /// relative deadline (already defaulted/validated; 0 = none) — the
@@ -545,8 +547,8 @@ class InferenceService {
   BatchScheduler<Job> batcher_;  // consumer side of queue_; workers pop
                                  // batches through it, never queue_ directly
 
-  mutable std::mutex slots_mu_;
-  std::condition_variable slots_cv_;
+  mutable OrderedMutex slots_mu_{LockRank::kServiceSlots};
+  OrderedCondVar slots_cv_;
   std::unordered_map<RequestId, Slot> slots_;
   RequestId next_id_ = 1;
   AdmissionStats admission_; // guarded by slots_mu_
@@ -557,7 +559,7 @@ class InferenceService {
                              // yet resolved; shutdown drains to 0
   bool accepting_ = true;    // cleared first thing in shutdown()
 
-  std::mutex workers_mu_;
+  OrderedMutex workers_mu_{LockRank::kServiceWorkers};
   std::vector<std::thread> workers_;
 };
 

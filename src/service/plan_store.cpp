@@ -8,8 +8,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "service/errors.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
+#include "util/strict_parse.hpp"
 #include "util/stopwatch.hpp"
 
 namespace dynasparse {
@@ -46,7 +48,8 @@ bool plan_snapshot_compatible(const IrSnapshot& snap, const GnnModel& model,
 
 PlanStore::PlanStore(PlanStoreOptions options)
     : options_(std::move(options)),
-      impl_(options_.capacity, 0, stored_plan_bytes, options_.tier) {
+      impl_(options_.capacity, 0, stored_plan_bytes, options_.tier,
+            LockRank::kPlanStore) {
   if (!options_.dir.empty() && enabled()) {
     std::error_code ec;
     std::filesystem::create_directories(options_.dir, ec);
@@ -54,7 +57,7 @@ PlanStore::PlanStore(PlanStoreOptions options)
     if (!disk_ok_) {
       log_warn("PlanStore: cannot use disk tier at \"", options_.dir,
                "\"; continuing memory-only");
-      std::lock_guard<std::mutex> lk(side_mu_);
+      std::lock_guard<OrderedMutex> lk(side_mu_);
       ++disk_errors_;
     }
   }
@@ -71,7 +74,7 @@ std::shared_ptr<const StoredPlan> PlanStore::load_disk(std::uint64_t key) {
     // Chaos site: an unreadable snapshot degrades exactly like a corrupt
     // one — count it, re-plan, never fail the request.
     log_warn("PlanStore: injected disk-read fault for ", path, "; re-planning");
-    std::lock_guard<std::mutex> lk(side_mu_);
+    std::lock_guard<OrderedMutex> lk(side_mu_);
     ++disk_errors_;
     return nullptr;
   }
@@ -84,19 +87,19 @@ std::shared_ptr<const StoredPlan> PlanStore::load_disk(std::uint64_t key) {
     // re-hashed content, so a truncated-but-parseable or hand-edited
     // snapshot is detected instead of silently seeding compilations.
     std::string line, word, hex;
-    if (!std::getline(in, line)) throw std::runtime_error("missing irsig trailer");
+    if (!std::getline(in, line)) throw PlanSnapshotError("missing irsig trailer");
     std::istringstream is(line);
     is >> word >> hex;
     if (word != "irsig" || hex.size() != 16)
-      throw std::runtime_error("bad irsig trailer");
-    const std::uint64_t recorded = std::stoull(hex, nullptr, 16);
+      throw PlanSnapshotError("bad irsig trailer");
+    const std::uint64_t recorded = strict_hex_u64(hex);
     plan->ir_sig = ir_signature(plan->snap.kernels, plan->snap.plan);
     if (plan->ir_sig != recorded)
-      throw std::runtime_error("irsig mismatch (corrupt snapshot)");
+      throw PlanSnapshotError("irsig mismatch (corrupt snapshot)");
     return plan;
   } catch (const std::exception& e) {
     log_warn("PlanStore: ignoring disk snapshot ", path, ": ", e.what());
-    std::lock_guard<std::mutex> lk(side_mu_);
+    std::lock_guard<OrderedMutex> lk(side_mu_);
     ++disk_errors_;
     return nullptr;
   }
@@ -114,7 +117,7 @@ void PlanStore::store_disk(std::uint64_t key, const StoredPlan& plan) {
     // Chaos site: a failed persist costs only re-planning after the next
     // restart — count it and move on, same as a real write error below.
     log_warn("PlanStore: injected disk-write fault for ", path);
-    std::lock_guard<std::mutex> lk(side_mu_);
+    std::lock_guard<OrderedMutex> lk(side_mu_);
     ++disk_errors_;
     return;
   }
@@ -134,7 +137,7 @@ void PlanStore::store_disk(std::uint64_t key, const StoredPlan& plan) {
     std::filesystem::rename(tmp, path, ec);
     ok = !ec;
   }
-  std::lock_guard<std::mutex> lk(side_mu_);
+  std::lock_guard<OrderedMutex> lk(side_mu_);
   if (ok) {
     ++disk_writes_;
   } else {
@@ -157,13 +160,13 @@ std::shared_ptr<const StoredPlan> PlanStore::get_or_plan(
         // rejection for the process lifetime and leave the bad file to
         // poison every restart.
         if (plan_snapshot_compatible(loaded->snap, model, ds.graph.num_vertices())) {
-          std::lock_guard<std::mutex> lk(side_mu_);
+          std::lock_guard<OrderedMutex> lk(side_mu_);
           ++disk_hits_;
           return loaded;
         }
         log_warn("PlanStore: disk snapshot ", disk_path(key),
                  " does not match the live planner inputs; re-planning");
-        std::lock_guard<std::mutex> lk(side_mu_);
+        std::lock_guard<OrderedMutex> lk(side_mu_);
         ++rejected_;
       }
     }
@@ -183,7 +186,7 @@ std::shared_ptr<const StoredPlan> PlanStore::get_or_plan(
       attach_scheme(k, made->snap.plan.n1, made->snap.plan.n2);
     made->ir_sig = ir_signature(made->snap.kernels, made->snap.plan);
     {
-      std::lock_guard<std::mutex> lk(side_mu_);
+      std::lock_guard<OrderedMutex> lk(side_mu_);
       ++planned_;
       planning_ms_ += plan_ms;
     }
@@ -224,7 +227,7 @@ CompiledProgram PlanStore::compile_seeded(const GnnModel& model, const Dataset& 
     // valid irsig: never seed from it. Cold-compile instead; correctness
     // costs only the skipped amortization.
     {
-      std::lock_guard<std::mutex> lk(side_mu_);
+      std::lock_guard<OrderedMutex> lk(side_mu_);
       ++rejected_;
     }
     return compile(model, ds, cfg, token, operands);
@@ -234,7 +237,7 @@ CompiledProgram PlanStore::compile_seeded(const GnnModel& model, const Dataset& 
   if (!planned_here) {
     // This compile skipped the planner: it was seeded by a plan some
     // earlier request (or a previous process, via the disk tier) paid for.
-    std::lock_guard<std::mutex> lk(side_mu_);
+    std::lock_guard<OrderedMutex> lk(side_mu_);
     ++seeded_;
     // Exact vs similar reuse, observable per store: a restarted service
     // replaying the same content reproduces the stored IR bit-for-bit
@@ -254,7 +257,7 @@ PlanStoreStats PlanStore::stats() const {
   out.entries = s.entries;
   out.evictions = s.evictions;
   out.bytes = s.bytes;
-  std::lock_guard<std::mutex> lk(side_mu_);
+  std::lock_guard<OrderedMutex> lk(side_mu_);
   out.planned = planned_;
   out.seeded = seeded_;
   out.seeded_exact = seeded_exact_;

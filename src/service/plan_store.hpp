@@ -47,6 +47,7 @@
 #include "compiler/signature.hpp"
 #include "io/ir_io.hpp"
 #include "util/keyed_future_cache.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace dynasparse {
 
@@ -149,7 +150,7 @@ class PlanStore {
   bool disk_ok_ = false;
   KeyedFutureCache<std::uint64_t, StoredPlan> impl_;
 
-  mutable std::mutex side_mu_;  // guards the side counters below
+  mutable OrderedMutex side_mu_{LockRank::kPlanStoreSide};  // guards the side counters below
   std::int64_t planned_ = 0, seeded_ = 0, seeded_exact_ = 0, rejected_ = 0;
   std::int64_t disk_hits_ = 0, disk_writes_ = 0, disk_errors_ = 0;
   double planning_ms_ = 0.0;

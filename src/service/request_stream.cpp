@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "model/pruning.hpp"
+#include "service/errors.hpp"
 #include "util/strict_parse.hpp"
 
 namespace dynasparse {
@@ -12,7 +13,7 @@ namespace dynasparse {
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& msg) {
-  throw std::runtime_error("request stream line " + std::to_string(line) + ": " + msg);
+  throw StreamParseError("request stream line " + std::to_string(line) + ": " + msg);
 }
 
 const char* strategy_token(MappingStrategy s) {
@@ -45,14 +46,14 @@ GnnModelKind parse_model_kind(const std::string& s) {
   if (s == "sage") return GnnModelKind::kSage;
   if (s == "gin") return GnnModelKind::kGin;
   if (s == "sgc") return GnnModelKind::kSgc;
-  throw std::runtime_error("unknown model kind: " + s);
+  throw StreamParseError("unknown model kind: " + s);
 }
 
 MappingStrategy parse_strategy_name(const std::string& s) {
   if (s == "dynamic") return MappingStrategy::kDynamic;
   if (s == "static1") return MappingStrategy::kStatic1;
   if (s == "static2") return MappingStrategy::kStatic2;
-  throw std::runtime_error("unknown strategy: " + s);
+  throw StreamParseError("unknown strategy: " + s);
 }
 
 std::string StreamRequestSpec::to_line() const {
@@ -124,7 +125,7 @@ std::vector<StreamRequestSpec> parse_request_stream(std::istream& in) {
 
 std::vector<StreamRequestSpec> read_request_stream_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open request stream: " + path);
+  if (!in) throw StreamParseError("cannot open request stream: " + path);
   return parse_request_stream(in);
 }
 

@@ -45,7 +45,7 @@ class ResultCache {
                        std::shared_ptr<MemoryBudget::Tier> tier = nullptr)
       : impl_(max_entries, max_bytes,
               [](const InferenceReport& r) { return r.approx_footprint_bytes(); },
-              std::move(tier)) {}
+              std::move(tier), LockRank::kResultCache) {}
 
   bool enabled() const { return impl_.max_entries() > 0; }
 

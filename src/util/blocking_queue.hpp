@@ -34,13 +34,20 @@
 #include <utility>
 #include <vector>
 
+#include "util/ordered_mutex.hpp"
+
 namespace dynasparse {
 
 template <typename T>
 class BlockingQueue {
  public:
   /// capacity 0 = unbounded (push never blocks or refuses for space).
-  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// `rank` places the queue's internal mutex in the global lock
+  /// hierarchy (util/ordered_mutex.hpp); the default suits the service's
+  /// work feed.
+  explicit BlockingQueue(std::size_t capacity = 0,
+                         LockRank rank = LockRank::kWorkQueue)
+      : capacity_(capacity), mu_(rank) {}
 
   enum class PushResult { kOk, kFull, kClosed };
 
@@ -49,7 +56,7 @@ class BlockingQueue {
   /// arrives while this call is blocked waiting for space.
   bool push(T item) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      std::unique_lock<OrderedMutex> lk(mu_);
       space_cv_.wait(lk, [&] { return closed_ || !full_locked(); });
       if (closed_) return false;
       items_.push_back(std::move(item));
@@ -62,7 +69,7 @@ class BlockingQueue {
   /// (the item is dropped in both refusal cases).
   PushResult try_push(T item) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<OrderedMutex> lk(mu_);
       if (closed_) return PushResult::kClosed;
       if (full_locked()) return PushResult::kFull;
       items_.push_back(std::move(item));
@@ -77,7 +84,7 @@ class BlockingQueue {
   /// shedding nothing) once closed. With capacity 0 this never sheds.
   bool push_shed_oldest(T item, std::vector<T>& shed) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<OrderedMutex> lk(mu_);
       if (closed_) return false;
       while (full_locked()) {
         shed.push_back(std::move(items_.front()));
@@ -92,7 +99,7 @@ class BlockingQueue {
   /// Block until an item is available or the queue is closed *and*
   /// drained. Returns false only in the latter case.
   bool pop(T& out) {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<OrderedMutex> lk(mu_);
     items_cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;
     out = std::move(items_.front());
@@ -112,7 +119,7 @@ class BlockingQueue {
   template <typename Clock, typename Duration>
   PopResult pop_until(T& out,
                       const std::chrono::time_point<Clock, Duration>& deadline) {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<OrderedMutex> lk(mu_);
     if (!items_cv_.wait_until(lk, deadline,
                               [&] { return closed_ || !items_.empty(); }))
       return PopResult::kTimeout;
@@ -127,7 +134,7 @@ class BlockingQueue {
   /// Non-blocking pop; false when nothing is queued right now.
   bool try_pop(T& out) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<OrderedMutex> lk(mu_);
       if (items_.empty()) return false;
       out = std::move(items_.front());
       items_.pop_front();
@@ -140,7 +147,7 @@ class BlockingQueue {
   /// Queued items remain poppable until drained.
   void close() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<OrderedMutex> lk(mu_);
       closed_ = true;
     }
     items_cv_.notify_all();
@@ -148,12 +155,12 @@ class BlockingQueue {
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     return items_.size();
   }
 
@@ -165,9 +172,9 @@ class BlockingQueue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable items_cv_;  // waited on by consumers
-  std::condition_variable space_cv_;  // waited on by bounded producers
+  mutable OrderedMutex mu_;
+  OrderedCondVar items_cv_;  // waited on by consumers
+  OrderedCondVar space_cv_;  // waited on by bounded producers
   std::deque<T> items_;
   bool closed_ = false;
 };

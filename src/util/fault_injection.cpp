@@ -78,7 +78,7 @@ FaultSpec parse_fault_spec(const std::string& spec) {
 }
 
 void FaultInjector::arm(const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   sites_.clear();
   order_.clear();
   for (const FaultSiteSpec& s : spec.sites) {
@@ -95,7 +95,7 @@ void FaultInjector::arm(const FaultSpec& spec) {
 
 bool FaultInjector::should_inject(const std::string& site) {
   if (pause_depth_.load(std::memory_order_relaxed) > 0) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return false;
   Site& s = it->second;
@@ -108,14 +108,14 @@ bool FaultInjector::should_inject(const std::string& site) {
 }
 
 FaultSiteStats FaultInjector::site_stats(const std::string& site) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? FaultSiteStats{} : it->second.stats;
 }
 
 std::vector<std::pair<std::string, FaultSiteStats>> FaultInjector::all_stats()
     const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   std::vector<std::pair<std::string, FaultSiteStats>> out;
   out.reserve(order_.size());
   for (const std::string& name : order_)
@@ -126,7 +126,7 @@ std::vector<std::pair<std::string, FaultSiteStats>> FaultInjector::all_stats()
 FaultInjector& FaultInjector::global() {
   static FaultInjector* injector = [] {
     auto* g = new FaultInjector();  // leaked: outlives every static user
-    if (const char* env = std::getenv("DYNASPARSE_FAULT_SPEC"))
+    if (const char* env = env_text("DYNASPARSE_FAULT_SPEC"))
       g->arm(parse_fault_spec(env));
     return g;
   }();

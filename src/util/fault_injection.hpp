@@ -39,6 +39,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "util/ordered_mutex.hpp"
 namespace dynasparse {
 
 /// What an armed `runtime.kernel_fault` site throws — a stand-in for the
@@ -132,7 +133,7 @@ class FaultInjector {
 
   std::atomic<bool> armed_{false};
   std::atomic<int> pause_depth_{0};
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{LockRank::kFaultInjector};
   std::unordered_map<std::string, Site> sites_;
   std::vector<std::string> order_;  // spec order, for all_stats()
 };

@@ -59,6 +59,7 @@
 
 #include "util/cancellation.hpp"
 #include "util/memory_budget.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace dynasparse {
 
@@ -91,10 +92,15 @@ class KeyedFutureCache {
   /// accounting. `tier` (optional) mirrors the byte accounting into a
   /// shared MemoryBudget — pass max_bytes 0 alongside it to let the
   /// budget, not a private ceiling, bound this cache.
+  /// `rank` places this cache's mutex in the global lock hierarchy
+  /// (util/ordered_mutex.hpp): each wrapper passes its own rank
+  /// (kResultCache / kCompileCache / kPlanStore), all of which order
+  /// before kMemoryBudget — the cache -> budget contract above.
   explicit KeyedFutureCache(std::size_t max_entries, std::size_t max_bytes = 0,
-                            Weigher weigh = {}, BudgetTier tier = nullptr)
+                            Weigher weigh = {}, BudgetTier tier = nullptr,
+                            LockRank rank = LockRank::kResultCache)
       : max_entries_(max_entries), max_bytes_(max_bytes),
-        weigh_(std::move(weigh)), tier_(std::move(tier)) {}
+        weigh_(std::move(weigh)), tier_(std::move(tier)), mu_(rank) {}
 
   /// Return the value for `key`, running `make` at most once per key. May
   /// block while another thread runs the same key. The caller that ran
@@ -107,7 +113,7 @@ class KeyedFutureCache {
       const Key& key, const std::function<std::shared_ptr<const V>()>& make) {
     if (max_entries_ == 0) {
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        std::lock_guard<OrderedMutex> lk(mu_);
         ++stats_.misses;
       }
       return make();
@@ -118,7 +124,7 @@ class KeyedFutureCache {
       ValueFuture fut;
       bool make_here = false;
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        std::lock_guard<OrderedMutex> lk(mu_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
           ++stats_.hits;
@@ -147,7 +153,7 @@ class KeyedFutureCache {
           // entry is already erased (erase happens before the failure is
           // published), so loop: this caller re-looks-up and becomes the
           // new leader, running its own factory under its own token.
-          std::lock_guard<std::mutex> lk(mu_);
+          std::lock_guard<OrderedMutex> lk(mu_);
           ++stats_.aborted_retries;
           continue;
         }
@@ -160,7 +166,7 @@ class KeyedFutureCache {
         promise.set_value(FillResult{value, false, std::string()});
         bool need_rebalance = false;
         {
-          std::lock_guard<std::mutex> lk(mu_);
+          std::lock_guard<OrderedMutex> lk(mu_);
           auto it = entries_.find(key);
           if (it != entries_.end()) {
             if (std::size_t hard = hard_byte_cap(); hard > 0 && bytes > hard) {
@@ -216,14 +222,14 @@ class KeyedFutureCache {
   /// Ready entry for `key`, or nullptr (does not wait on in-flight runs
   /// and does not touch LRU order or stats).
   std::shared_ptr<const V> peek(const Key& key) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end() || !it->second.ready) return nullptr;
     return it->second.value.get().value;  // ready entries always hold a value
   }
 
   KeyedCacheStats stats() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     return stats_;
   }
 
@@ -237,7 +243,7 @@ class KeyedFutureCache {
   /// In-flight entries are skipped (their requesters hold the future),
   /// so the result is best-effort under concurrency.
   void shrink_to_bytes(std::size_t target) {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     auto pos = lru_.begin();
     while (stats_.bytes > static_cast<std::int64_t>(target) && pos != lru_.end()) {
       auto it = entries_.find(*pos);
@@ -253,7 +259,7 @@ class KeyedFutureCache {
 
   /// Drop every ready entry (in-flight runs complete unobserved).
   void clear() {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->second.ready) {
         lru_.erase(it->second.lru_pos);
@@ -304,7 +310,7 @@ class KeyedFutureCache {
   /// the failure and rethrow); no-op if the entry is already gone. The
   /// entry never became ready, so no bytes were charged.
   void erase_failed_entry(const Key& key) {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return;
     lru_.erase(it->second.lru_pos);
@@ -344,7 +350,7 @@ class KeyedFutureCache {
   const std::size_t max_bytes_;
   const Weigher weigh_;
   const BudgetTier tier_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_;
   std::map<Key, Entry> entries_;
   std::list<Key> lru_;  // front = least recently used
   KeyedCacheStats stats_;

@@ -6,7 +6,7 @@ namespace dynasparse {
 
 bool MemoryBudget::Tier::charge(std::size_t bytes) {
   if (bytes == 0) return false;
-  std::lock_guard<std::mutex> lk(owner_->mu_);
+  std::lock_guard<OrderedMutex> lk(owner_->mu_);
   bytes_ += static_cast<std::int64_t>(bytes);
   high_water_ = std::max(high_water_, bytes_);
   owner_->total_ += static_cast<std::int64_t>(bytes);
@@ -17,25 +17,37 @@ bool MemoryBudget::Tier::charge(std::size_t bytes) {
 
 void MemoryBudget::Tier::credit(std::size_t bytes) {
   if (bytes == 0) return;
-  std::lock_guard<std::mutex> lk(owner_->mu_);
+  std::lock_guard<OrderedMutex> lk(owner_->mu_);
   bytes_ -= static_cast<std::int64_t>(bytes);
   owner_->total_ -= static_cast<std::int64_t>(bytes);
 }
 
 void MemoryBudget::Tier::set_shrinker(std::function<void(std::size_t)> shrink) {
-  std::lock_guard<std::mutex> lk(owner_->mu_);
+  std::lock_guard<OrderedMutex> lk(owner_->mu_);
   shrink_ = std::move(shrink);
 }
 
 std::int64_t MemoryBudget::Tier::bytes() const {
-  std::lock_guard<std::mutex> lk(owner_->mu_);
+  std::lock_guard<OrderedMutex> lk(owner_->mu_);
   return bytes_;
+}
+
+MemoryBudget::~MemoryBudget() {
+  // Move the callbacks out under the lock, destroy them after releasing
+  // it: dropping a shrinker may run a captured cache's destructor, which
+  // uncharges its tier and re-enters mu_.
+  std::vector<std::function<void(std::size_t)>> dropped;
+  {
+    std::lock_guard<OrderedMutex> lk(mu_);
+    dropped.reserve(tiers_.size());
+    for (auto& tier : tiers_) dropped.push_back(std::move(tier->shrink_));
+  }
 }
 
 std::shared_ptr<MemoryBudget::Tier> MemoryBudget::register_tier(std::string name,
                                                                 double weight) {
   if (!(weight > 0.0)) weight = 1.0;
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   tiers_.push_back(std::shared_ptr<Tier>(
       new Tier(this, std::move(name), weight)));
   return tiers_.back();
@@ -43,7 +55,7 @@ std::shared_ptr<MemoryBudget::Tier> MemoryBudget::register_tier(std::string name
 
 void MemoryBudget::bind_shrinker(const std::string& name,
                                  std::function<void(std::size_t)> shrink) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   for (auto& tier : tiers_)
     if (tier->name_ == name) {
       tier->shrink_ = std::move(shrink);
@@ -95,7 +107,7 @@ void MemoryBudget::rebalance() {
     std::vector<std::pair<std::function<void(std::size_t)>, std::size_t>> work;
     std::int64_t before = 0;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<OrderedMutex> lk(mu_);
       if (total_ <= static_cast<std::int64_t>(limit_)) {
         if (pass > 0) rebalancing_ = false;
         return;
@@ -119,23 +131,23 @@ void MemoryBudget::rebalance() {
       }
     }
     for (auto& [shrink, target] : work) shrink(target);
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<OrderedMutex> lk(mu_);
     if (work.empty() || total_ >= before) {  // no shrinkers or no progress
       rebalancing_ = false;
       return;
     }
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   rebalancing_ = false;
 }
 
 std::int64_t MemoryBudget::total_bytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   return total_;
 }
 
 MemoryBudgetStats MemoryBudget::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<OrderedMutex> lk(mu_);
   MemoryBudgetStats out;
   out.limit_bytes = limit_;
   out.bytes = total_;

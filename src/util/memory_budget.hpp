@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "util/ordered_mutex.hpp"
 namespace dynasparse {
 
 struct MemoryTierStats {
@@ -104,6 +105,12 @@ class MemoryBudget {
   /// limit_bytes 0 = track-only (never shrinks anything).
   explicit MemoryBudget(std::size_t limit_bytes = 0) : limit_(limit_bytes) {}
 
+  /// Drops every tier's shrinker. Shrinkers routinely capture an owning
+  /// reference to their cache while the cache holds the Tier handle —
+  /// the budget severing the callback edge on teardown is what keeps
+  /// that pair from becoming a shared_ptr cycle that outlives everyone.
+  ~MemoryBudget();
+
   /// Register a tier. `weight` sets its fair share of the limit relative
   /// to the other tiers (the old per-tier byte knobs plug in here as soft
   /// weights); non-positive weights are clamped to 1.
@@ -131,7 +138,7 @@ class MemoryBudget {
   std::vector<std::size_t> targets_locked() const;
 
   const std::size_t limit_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{LockRank::kMemoryBudget};
   std::vector<std::shared_ptr<Tier>> tiers_;  // registration order
   std::int64_t total_ = 0;
   std::int64_t high_water_ = 0;

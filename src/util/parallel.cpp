@@ -12,6 +12,7 @@
 #include <mutex>
 #include <thread>
 
+#include "util/ordered_mutex.hpp"
 #include "util/strict_parse.hpp"
 
 namespace dynasparse {
@@ -63,7 +64,7 @@ struct Job {
   std::atomic<std::int64_t> remaining{0};
 
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
+  OrderedMutex error_mu{LockRank::kPoolError};
   std::exception_ptr error;
   std::int64_t error_chunk = std::numeric_limits<std::int64_t>::max();
 
@@ -130,7 +131,7 @@ class Pool {
       // being executed (or split) by other threads right now. Sleep on
       // the shared completion cv; the timeout re-scans in case a split
       // pushed new stealable tasks between our scan and the wait.
-      std::unique_lock<std::mutex> lk(join_mu_);
+      std::unique_lock<OrderedMutex> lk(join_mu_);
       if (job.finished()) break;
       join_cv_.wait_for(lk, std::chrono::microseconds(200),
                         [&] { return job.finished(); });
@@ -144,7 +145,7 @@ class Pool {
     s.chunks = chunks_.load(std::memory_order_relaxed);
     s.chunks_stolen = steals_.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lk(idle_mu_);
+      std::lock_guard<OrderedMutex> lk(idle_mu_);
       s.threads = spawned_;
     }
     return s;
@@ -152,7 +153,7 @@ class Pool {
 
  private:
   struct Slot {
-    std::mutex mu;
+    OrderedMutex mu{LockRank::kPoolDeque};
     std::deque<TaskRange> tasks;  // back = owner (LIFO), front = thieves (FIFO)
   };
 
@@ -160,7 +161,7 @@ class Pool {
 
   ~Pool() {
     {
-      std::lock_guard<std::mutex> lk(idle_mu_);
+      std::lock_guard<OrderedMutex> lk(idle_mu_);
       stop_ = true;
     }
     idle_cv_.notify_all();
@@ -169,7 +170,7 @@ class Pool {
 
   void ensure_workers(int wanted) {
     wanted = std::min(wanted, kMaxWorkers);
-    std::lock_guard<std::mutex> lk(idle_mu_);
+    std::lock_guard<OrderedMutex> lk(idle_mu_);
     while (spawned_ < wanted) {
       int index = spawned_++;
       workers_.emplace_back([this, index] { worker_main(index); });
@@ -182,7 +183,7 @@ class Pool {
     while (true) {
       std::uint64_t seen;
       {
-        std::lock_guard<std::mutex> lk(idle_mu_);
+        std::lock_guard<OrderedMutex> lk(idle_mu_);
         if (stop_) return;
         seen = work_epoch_;
       }
@@ -194,7 +195,7 @@ class Pool {
       // The epoch was read *before* the scan: any push that the scan
       // missed bumped the epoch afterwards, so the predicate fails and we
       // rescan instead of sleeping through it.
-      std::unique_lock<std::mutex> lk(idle_mu_);
+      std::unique_lock<OrderedMutex> lk(idle_mu_);
       ++idle_waiters_;
       idle_cv_.wait(lk, [&] { return stop_ || work_epoch_ != seen; });
       --idle_waiters_;
@@ -207,12 +208,12 @@ class Pool {
   void push_task(TaskRange t) {
     Slot& slot = slots_[t_slot];
     {
-      std::lock_guard<std::mutex> lk(slot.mu);
+      std::lock_guard<OrderedMutex> lk(slot.mu);
       slot.tasks.push_back(t);
     }
     bool wake;
     {
-      std::lock_guard<std::mutex> lk(idle_mu_);
+      std::lock_guard<OrderedMutex> lk(idle_mu_);
       ++work_epoch_;
       wake = idle_waiters_ > 0;
     }
@@ -234,7 +235,7 @@ class Pool {
     const int self = t_slot;
     Slot& mine = slots_[self];
     {
-      std::lock_guard<std::mutex> lk(mine.mu);
+      std::lock_guard<OrderedMutex> lk(mine.mu);
       for (auto it = mine.tasks.rbegin(); it != mine.tasks.rend(); ++it) {
         if (!takeable(*it, only)) continue;
         out = *it;
@@ -250,7 +251,7 @@ class Pool {
       const int idx = (self + off) % kSlots;
       if (idx != kInjectSlot && idx >= nworkers) continue;
       Slot& victim = slots_[idx];
-      std::lock_guard<std::mutex> lk(victim.mu);
+      std::lock_guard<OrderedMutex> lk(victim.mu);
       for (auto it = victim.tasks.begin(); it != victim.tasks.end(); ++it) {
         if (!takeable(*it, only)) continue;
         out = *it;
@@ -299,7 +300,7 @@ class Pool {
       try {
         (*job.fn)(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(job.error_mu);
+        std::lock_guard<OrderedMutex> lk(job.error_mu);
         if (chunk < job.error_chunk) {
           job.error_chunk = chunk;
           job.error = std::current_exception();
@@ -317,7 +318,7 @@ class Pool {
       // the moment it observes zero. Signal through the pool-lifetime cv;
       // the empty critical section pairs with the submitter's
       // check-then-wait under join_mu_ so the wake cannot be lost.
-      { std::lock_guard<std::mutex> lk(join_mu_); }
+      { std::lock_guard<OrderedMutex> lk(join_mu_); }
       join_cv_.notify_all();
     }
   }
@@ -329,11 +330,12 @@ class Pool {
 
   // Shared by every job's submitter for completion waits (jobs are
   // stack-allocated, so their completion signal must not live in them).
-  std::mutex join_mu_;
-  std::condition_variable join_cv_;
+  OrderedMutex join_mu_{LockRank::kPoolJoin};
+  OrderedCondVar join_cv_;
 
-  std::mutex idle_mu_;  // guards spawned_, work_epoch_, idle_waiters_, stop_
-  std::condition_variable idle_cv_;
+  // guards spawned_, work_epoch_, idle_waiters_, stop_
+  OrderedMutex idle_mu_{LockRank::kPoolIdle};
+  OrderedCondVar idle_cv_;
   int spawned_ = 0;
   std::atomic<int> spawned_count_{0};  // mirror of spawned_ for lock-free scans
   int idle_waiters_ = 0;

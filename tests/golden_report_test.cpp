@@ -22,6 +22,7 @@
 
 #include "core/engine.hpp"
 #include "service/inference_service.hpp"
+#include "util/strict_parse.hpp"
 
 namespace dynasparse {
 namespace {
@@ -186,7 +187,7 @@ TEST(GoldenReportTest, MemoizedSweepBitIdenticalToFreshExecution) {
 
 // Regeneration path: skipped unless DYNASPARSE_GOLDEN_REGEN is set.
 TEST(GoldenReportTest, RegenerateTable) {
-  if (std::getenv("DYNASPARSE_GOLDEN_REGEN") == nullptr)
+  if (env_text("DYNASPARSE_GOLDEN_REGEN") == nullptr)
     GTEST_SKIP() << "set DYNASPARSE_GOLDEN_REGEN=1 to print the golden table";
   std::printf("const GoldenRow kGolden[] = {\n");
   for (const GoldenCase& gc : golden_cases()) print_row(run_case(gc));

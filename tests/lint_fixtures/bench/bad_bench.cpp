@@ -1,0 +1,19 @@
+// Fixture bench: raw getenv and std::stoi must be flagged; the
+// annotated atoi, the string literal, and the comment must not.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+int bad_env() { return std::getenv("KNOB") != nullptr; }
+
+int bad_parse(const std::string& v) { return std::stoi(v); }
+
+int waived(const char* v) {
+  return std::atoi(v);  // dynasparse-lint: allow(raw-parse)
+}
+
+// atoi in a comment is fine.
+const char* in_string() { return "atoi"; }
+
+}  // namespace fixture

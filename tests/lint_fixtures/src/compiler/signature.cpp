@@ -1,0 +1,25 @@
+// Fixture hashers: GoodStruct is pinned by a static_assert, BadStruct
+// and BadElem are hashed without one — [signature-tripwire] must flag
+// exactly those two.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct GoodStruct { std::int64_t a; };
+struct BadStruct { std::int64_t a; };
+struct BadElem { std::int64_t a; };
+
+static_assert(sizeof(GoodStruct) == 8, "GoodStruct changed: update hash");
+
+std::uint64_t hash_good(const GoodStruct& s) { return static_cast<std::uint64_t>(s.a); }
+
+std::uint64_t hash_bad(const BadStruct& s) { return static_cast<std::uint64_t>(s.a); }
+
+std::uint64_t hash_vec(const std::vector<BadElem>& v) {
+  std::uint64_t h = 0;
+  for (const BadElem& e : v) h ^= static_cast<std::uint64_t>(e.a);
+  return h;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture net file with zero findings: deriving from std::runtime_error
+// and inheriting its constructors is how taxonomy types are DEFINED —
+// the [error-taxonomy] rule must not flag either form.
+#include <stdexcept>
+
+namespace fixture {
+
+struct FixtureError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void ok_throw() { throw FixtureError("typed"); }
+
+}  // namespace fixture

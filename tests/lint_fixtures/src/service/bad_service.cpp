@@ -1,0 +1,28 @@
+// Fixture service file: one bare runtime_error construction (flagged),
+// one waived by annotation, one unregistered fault site, one
+// non-registry identifier argument — plus legal uses that must stay
+// quiet.
+#include <stdexcept>
+
+#include "util/fault_injection.hpp"
+
+namespace fixture {
+
+void bad_throw() { throw std::runtime_error("boom"); }
+
+void waived_throw() {
+  throw std::runtime_error("legacy");  // dynasparse-lint: allow(error-taxonomy)
+}
+
+bool bad_site() { return fault_point("unknown.site"); }
+
+bool bad_ident(const char* some_flag) { return fault_point(some_flag); }
+
+bool good_literal() { return fault_point("demo.site"); }
+
+bool good_ident() { return fault_point(kFaultDemoSite); }
+
+// A comment mentioning throw std::runtime_error("in prose") is not code.
+const char* not_code() { return "throw std::runtime_error(\"in a string\")"; }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture registry: the only declared site is "demo.site". Everything
+// else a fixture file names must be flagged by [fault-site].
+#pragma once
+
+namespace fixture {
+
+inline constexpr const char* kFaultDemoSite = "demo.site";
+
+inline bool fault_point(const char* site) { return site != nullptr; }
+
+}  // namespace fixture
